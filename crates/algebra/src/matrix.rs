@@ -1,0 +1,394 @@
+//! Dense, structure-agnostic matrices.
+
+use crate::semiring::Semiring;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `rows × cols` matrix in row-major order.
+///
+/// `Matrix` is a plain container; algebraic operations take the structure
+/// (a [`Semiring`] or [`crate::Ring`]) as an explicit argument, so the same
+/// matrix type serves Boolean, tropical, integer, and polynomial entries.
+///
+/// # Examples
+///
+/// ```rust
+/// use cc_algebra::{IntRing, Matrix};
+/// let a = Matrix::from_rows(&[[1i64, 0], [2, 3]]);
+/// let b = Matrix::identity(&IntRing, 2);
+/// assert_eq!(Matrix::mul(&IntRing, &a, &b), a);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone> Matrix<T> {
+    /// Creates a `rows × cols` matrix filled with `fill`.
+    #[must_use]
+    pub fn filled(rows: usize, cols: usize, fill: T) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![fill; rows * cols],
+        }
+    }
+
+    /// Creates a matrix by tabulating `f(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    #[must_use]
+    pub fn from_rows(rows: &[impl AsRef<[T]>]) -> Self {
+        let cols = rows.first().map_or(0, |r| r.as_ref().len());
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.as_ref().len(), cols, "ragged rows");
+            data.extend_from_slice(r.as_ref());
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element-wise map into a new matrix.
+    #[must_use]
+    pub fn map<U: Clone>(&self, f: impl FnMut(&T) -> U) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(f).collect(),
+        }
+    }
+
+    /// Element-wise map with index access.
+    #[must_use]
+    pub fn map_indexed<U: Clone>(&self, mut f: impl FnMut(usize, usize, &T) -> U) -> Matrix<U> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| f(i, j, &self[(i, j)]))
+    }
+
+    /// Transposed copy.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].clone())
+    }
+
+    /// Copies the rectangular block with top-left corner `(r0, c0)` and the
+    /// given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the matrix bounds.
+    #[must_use]
+    pub fn block(&self, r0: usize, c0: usize, height: usize, width: usize) -> Self {
+        assert!(
+            r0 + height <= self.rows && c0 + width <= self.cols,
+            "block out of bounds"
+        );
+        Matrix::from_fn(height, width, |i, j| self[(r0 + i, c0 + j)].clone())
+    }
+
+    /// Writes `block` into this matrix with top-left corner `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the matrix bounds.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Matrix<T>) {
+        assert!(
+            r0 + block.rows <= self.rows && c0 + block.cols <= self.cols,
+            "block out of bounds"
+        );
+        for i in 0..block.rows {
+            for j in 0..block.cols {
+                self[(r0 + i, c0 + j)] = block[(i, j)].clone();
+            }
+        }
+    }
+
+    /// Pads (or truncates) to `rows × cols`, filling new entries with `fill`.
+    #[must_use]
+    pub fn resized(&self, rows: usize, cols: usize, fill: T) -> Self {
+        Matrix::from_fn(rows, cols, |i, j| {
+            if i < self.rows && j < self.cols {
+                self[(i, j)].clone()
+            } else {
+                fill.clone()
+            }
+        })
+    }
+
+    /// Iterates over `(row, col, &value)` in row-major order.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, v)| (k / self.cols, k % self.cols, v))
+    }
+}
+
+impl<T> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Matrix<T> {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:?} ", self.data[i * self.cols + j])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<T: Clone> Matrix<T> {
+    /// Zero matrix of a semiring.
+    #[must_use]
+    pub fn zero<S: Semiring<Elem = T>>(s: &S, rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, s.zero())
+    }
+
+    /// Identity matrix of a semiring.
+    #[must_use]
+    pub fn identity<S: Semiring<Elem = T>>(s: &S, n: usize) -> Self {
+        Matrix::from_fn(n, n, |i, j| if i == j { s.one() } else { s.zero() })
+    }
+
+    /// Entry-wise sum over a semiring.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn add<S: Semiring<Elem = T>>(s: &S, a: &Self, b: &Self) -> Self {
+        assert_eq!(
+            (a.rows, a.cols),
+            (b.rows, b.cols),
+            "dimension mismatch in add"
+        );
+        Matrix::from_fn(a.rows, a.cols, |i, j| s.add(&a[(i, j)], &b[(i, j)]))
+    }
+
+    /// Schoolbook matrix product over a semiring.
+    ///
+    /// This is the reference `O(r·c·k)` product used by local computations
+    /// and as the trusted oracle in tests of the fast algorithms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    #[must_use]
+    pub fn mul<S: Semiring<Elem = T>>(s: &S, a: &Self, b: &Self) -> Self {
+        assert_eq!(a.cols, b.rows, "dimension mismatch in mul");
+        let mut out = Matrix::filled(a.rows, b.cols, s.zero());
+        for i in 0..a.rows {
+            for k in 0..a.cols {
+                let aik = &a[(i, k)];
+                if s.is_zero(aik) {
+                    continue;
+                }
+                for j in 0..b.cols {
+                    let prod = s.mul(aik, &b[(k, j)]);
+                    let cur = &out[(i, j)];
+                    out[(i, j)] = s.add(cur, &prod);
+                }
+            }
+        }
+        out
+    }
+
+    /// `k`-th power of a square matrix over a semiring (by repeated
+    /// squaring). `k = 0` yields the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    #[must_use]
+    pub fn pow<S: Semiring<Elem = T>>(s: &S, a: &Self, mut k: u32) -> Self {
+        assert_eq!(a.rows, a.cols, "pow requires a square matrix");
+        let mut base = a.clone();
+        let mut acc = Matrix::identity(s, a.rows);
+        while k > 0 {
+            if k & 1 == 1 {
+                acc = Matrix::mul(s, &acc, &base);
+            }
+            k >>= 1;
+            if k > 0 {
+                base = Matrix::mul(s, &base, &base);
+            }
+        }
+        acc
+    }
+
+    /// Trace (sum of diagonal entries) over a semiring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    #[must_use]
+    pub fn trace<S: Semiring<Elem = T>>(&self, s: &S) -> T {
+        assert_eq!(self.rows, self.cols, "trace requires a square matrix");
+        let diag: Vec<T> = (0..self.rows).map(|i| self[(i, i)].clone()).collect();
+        s.sum(diag.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BoolSemiring, IntRing};
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as i64);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(1, 2)], 12);
+        assert_eq!(m.row(1), &[10, 11, 12]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 7 + j) as i64);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], m[(1, 2)]);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as i64);
+        let b = m.block(1, 2, 2, 2);
+        assert_eq!(b[(0, 0)], m[(1, 2)]);
+        let mut z = Matrix::filled(4, 4, 0i64);
+        z.set_block(1, 2, &b);
+        assert_eq!(z[(2, 3)], m[(2, 3)]);
+        assert_eq!(z[(0, 0)], 0);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i + 2 * j) as i64);
+        let id = Matrix::identity(&IntRing, 3);
+        assert_eq!(Matrix::mul(&IntRing, &a, &id), a);
+        assert_eq!(Matrix::mul(&IntRing, &id, &a), a);
+    }
+
+    #[test]
+    fn boolean_mul_is_reachability_step() {
+        // Path 0 -> 1 -> 2: A² has the 2-step edge (0,2).
+        let a = Matrix::from_rows(&[
+            [false, true, false],
+            [false, false, true],
+            [false, false, false],
+        ]);
+        let a2 = Matrix::mul(&BoolSemiring, &a, &a);
+        assert!(a2[(0, 2)]);
+        assert!(!a2[(0, 1)]);
+    }
+
+    #[test]
+    fn pow_matches_iterated_mul() {
+        let a = Matrix::from_rows(&[[1i64, 1], [1, 0]]); // Fibonacci matrix
+        let a5 = Matrix::pow(&IntRing, &a, 5);
+        assert_eq!(a5[(0, 0)], 8); // F(6)
+        assert_eq!(Matrix::pow(&IntRing, &a, 0), Matrix::identity(&IntRing, 2));
+    }
+
+    #[test]
+    fn trace_sums_diagonal() {
+        let a = Matrix::from_rows(&[[1i64, 9], [9, 2]]);
+        assert_eq!(a.trace(&IntRing), 3);
+    }
+
+    #[test]
+    fn resized_pads_with_fill() {
+        let a = Matrix::from_rows(&[[1i64, 2], [3, 4]]);
+        let b = a.resized(3, 3, -1);
+        assert_eq!(b[(1, 1)], 4);
+        assert_eq!(b[(2, 2)], -1);
+        assert_eq!(b.resized(2, 2, 0), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_rejects_mismatched() {
+        let a = Matrix::filled(2, 3, 0i64);
+        let b = Matrix::filled(2, 3, 0i64);
+        let _ = Matrix::mul(&IntRing, &a, &b);
+    }
+
+    proptest! {
+        #[test]
+        fn mul_associativity(seed in 0u64..1000) {
+            let mut s = seed;
+            let mut next = move || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); ((s >> 33) % 7) as i64 - 3 };
+            let a = Matrix::from_fn(4, 4, |_, _| next());
+            let b = Matrix::from_fn(4, 4, |_, _| next());
+            let c = Matrix::from_fn(4, 4, |_, _| next());
+            let l = Matrix::mul(&IntRing, &Matrix::mul(&IntRing, &a, &b), &c);
+            let r = Matrix::mul(&IntRing, &a, &Matrix::mul(&IntRing, &b, &c));
+            prop_assert_eq!(l, r);
+        }
+    }
+}

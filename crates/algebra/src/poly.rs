@@ -1,0 +1,293 @@
+//! The degree-capped polynomial ring `ℤ[x]/x^cap`.
+//!
+//! Lemma 18 of the paper embeds a distance product with entries in
+//! `{0, …, M} ∪ {∞}` into a ring product by mapping a weight `w` to the
+//! monomial `xʷ` (and `∞` to `0`); the distance-product entry is then the
+//! minimum degree of the resulting polynomial. Degrees above `2M` never
+//! matter, so arithmetic is performed in `ℤ[x]/x^cap` with `cap = 2M + 1`.
+//!
+//! Elements carry `cap` coefficient words on the wire, so transmitting a
+//! polynomial entry honestly costs `cap` times more than a scalar — this is
+//! precisely the `O(M)` factor in the paper's `O(M n^ρ)` bound.
+
+use crate::semiring::{Ring, Semiring};
+use cc_clique::{WordReader, WordWriter};
+use std::fmt;
+
+/// A polynomial in `ℤ[x]/x^cap`, stored as exactly `cap` coefficients
+/// (constant term first).
+///
+/// All values participating in one computation must share the same `cap`;
+/// mixing caps is a programming error and panics.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CappedPoly {
+    coeffs: Vec<i64>,
+}
+
+impl CappedPoly {
+    /// The zero polynomial with the given cap.
+    #[must_use]
+    pub fn zero(cap: usize) -> Self {
+        assert!(cap > 0, "cap must be positive");
+        Self {
+            coeffs: vec![0; cap],
+        }
+    }
+
+    /// The monomial `xᵈᵉᵍ`, or zero if `deg ≥ cap` (degrees at or above the
+    /// cap are "too long to matter" in the distance-product embedding).
+    #[must_use]
+    pub fn monomial(cap: usize, deg: usize) -> Self {
+        let mut p = Self::zero(cap);
+        if deg < cap {
+            p.coeffs[deg] = 1;
+        }
+        p
+    }
+
+    /// The degree cap (number of stored coefficients).
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Coefficient of `x^i` (zero for `i ≥ cap`).
+    #[must_use]
+    pub fn coeff(&self, i: usize) -> i64 {
+        self.coeffs.get(i).copied().unwrap_or(0)
+    }
+
+    /// The lowest degree with a non-zero coefficient, or `None` for the zero
+    /// polynomial. In the Lemma 18 embedding this recovers the distance
+    /// (`None` decodes to `∞`).
+    #[must_use]
+    pub fn min_degree(&self) -> Option<usize> {
+        self.coeffs.iter().position(|&c| c != 0)
+    }
+}
+
+impl fmt::Debug for CappedPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let terms: Vec<String> = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| format!("{c}x^{i}"))
+            .collect();
+        if terms.is_empty() {
+            write!(f, "0 (cap {})", self.cap())
+        } else {
+            write!(f, "{} (cap {})", terms.join(" + "), self.cap())
+        }
+    }
+}
+
+/// The ring `ℤ[x]/x^cap` as a structure object.
+///
+/// # Examples
+///
+/// ```rust
+/// use cc_algebra::{CappedPoly, PolyRing, Semiring};
+///
+/// let ring = PolyRing::new(5);
+/// // x² · x³ ≡ 0 in ℤ[x]/x⁵ (degree hits the cap).
+/// let p = ring.mul(&CappedPoly::monomial(5, 2), &CappedPoly::monomial(5, 3));
+/// assert_eq!(p.min_degree(), None);
+/// // x¹ · x² = x³ survives.
+/// let q = ring.mul(&CappedPoly::monomial(5, 1), &CappedPoly::monomial(5, 2));
+/// assert_eq!(q.min_degree(), Some(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolyRing {
+    cap: usize,
+}
+
+impl PolyRing {
+    /// Creates the ring with the given degree cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "cap must be positive");
+        Self { cap }
+    }
+
+    /// The degree cap.
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    fn check(&self, e: &CappedPoly) {
+        assert_eq!(
+            e.cap(),
+            self.cap,
+            "mixed caps: element {} vs ring {}",
+            e.cap(),
+            self.cap
+        );
+    }
+}
+
+impl Semiring for PolyRing {
+    type Elem = CappedPoly;
+
+    fn zero(&self) -> CappedPoly {
+        CappedPoly::zero(self.cap)
+    }
+
+    fn one(&self) -> CappedPoly {
+        CappedPoly::monomial(self.cap, 0)
+    }
+
+    fn add(&self, a: &CappedPoly, b: &CappedPoly) -> CappedPoly {
+        self.check(a);
+        self.check(b);
+        let coeffs = a.coeffs.iter().zip(&b.coeffs).map(|(x, y)| x + y).collect();
+        CappedPoly { coeffs }
+    }
+
+    fn mul(&self, a: &CappedPoly, b: &CappedPoly) -> CappedPoly {
+        self.check(a);
+        self.check(b);
+        let mut out = vec![0i64; self.cap];
+        for (i, &ca) in a.coeffs.iter().enumerate() {
+            if ca == 0 {
+                continue;
+            }
+            for (j, &cb) in b.coeffs.iter().enumerate() {
+                if i + j >= self.cap {
+                    break;
+                }
+                if cb != 0 {
+                    out[i + j] += ca * cb;
+                }
+            }
+        }
+        CappedPoly { coeffs: out }
+    }
+
+    fn is_zero(&self, e: &CappedPoly) -> bool {
+        e.coeffs.iter().all(|&c| c == 0)
+    }
+
+    fn write_elem(&self, e: &CappedPoly, out: &mut WordWriter) {
+        self.check(e);
+        for &c in &e.coeffs {
+            out.push(c as u64);
+        }
+    }
+
+    fn read_elem(&self, r: &mut WordReader<'_>) -> CappedPoly {
+        let coeffs = (0..self.cap).map(|_| r.next() as i64).collect();
+        CappedPoly { coeffs }
+    }
+
+    fn elem_width(&self) -> usize {
+        self.cap
+    }
+}
+
+impl Ring for PolyRing {
+    fn neg(&self, a: &CappedPoly) -> CappedPoly {
+        self.check(a);
+        CappedPoly {
+            coeffs: a.coeffs.iter().map(|&c| -c).collect(),
+        }
+    }
+
+    fn scale(&self, coeff: i64, e: &CappedPoly) -> CappedPoly {
+        self.check(e);
+        CappedPoly {
+            coeffs: e.coeffs.iter().map(|&c| coeff * c).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::minplus::{Dist, MinPlus, INFINITY};
+    use proptest::prelude::*;
+
+    #[test]
+    fn monomial_degrees() {
+        let p = CappedPoly::monomial(4, 2);
+        assert_eq!(p.min_degree(), Some(2));
+        assert_eq!(CappedPoly::monomial(4, 9).min_degree(), None);
+        assert_eq!(CappedPoly::zero(4).min_degree(), None);
+    }
+
+    #[test]
+    fn mul_truncates_at_cap() {
+        let ring = PolyRing::new(3);
+        let x2 = CappedPoly::monomial(3, 2);
+        assert!(ring.is_zero(&ring.mul(&x2, &x2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed caps")]
+    fn mixed_caps_rejected() {
+        let ring = PolyRing::new(3);
+        let _ = ring.add(&CappedPoly::zero(3), &CappedPoly::zero(4));
+    }
+
+    /// The heart of Lemma 18: a matrix product over `ℤ[x]/x^cap` of monomial
+    /// matrices computes the distance product via minimum degrees.
+    #[test]
+    fn lemma18_embedding_on_small_matrices() {
+        let m = 3usize; // max weight
+        let cap = 2 * m + 1;
+        let ring = PolyRing::new(cap);
+        let f = Dist::finite;
+        let s = Matrix::from_rows(&[[f(1), f(3)], [INFINITY, f(0)]]);
+        let t = Matrix::from_rows(&[[f(2), INFINITY], [f(1), f(3)]]);
+        let embed = |w: &Dist| match w.value() {
+            Some(v) => CappedPoly::monomial(cap, v as usize),
+            None => CappedPoly::zero(cap),
+        };
+        let se = s.map(&embed);
+        let te = t.map(&embed);
+        let pe = Matrix::mul(&ring, &se, &te);
+        let decoded = pe.map(|p| match p.min_degree() {
+            Some(d) => f(d as i64),
+            None => INFINITY,
+        });
+        let expected = Matrix::mul(&MinPlus, &s, &t);
+        assert_eq!(decoded, expected);
+    }
+
+    fn arb_poly(cap: usize) -> impl Strategy<Value = CappedPoly> {
+        proptest::collection::vec(-5i64..5, cap).prop_map(move |coeffs| CappedPoly { coeffs })
+    }
+
+    proptest! {
+        #[test]
+        fn ring_axioms(a in arb_poly(6), b in arb_poly(6), c in arb_poly(6)) {
+            let r = PolyRing::new(6);
+            prop_assert_eq!(r.add(&a, &b), r.add(&b, &a));
+            prop_assert_eq!(r.mul(&r.mul(&a, &b), &c), r.mul(&a, &r.mul(&b, &c)));
+            prop_assert_eq!(
+                r.mul(&a, &r.add(&b, &c)),
+                r.add(&r.mul(&a, &b), &r.mul(&a, &c))
+            );
+            prop_assert!(r.is_zero(&r.add(&a, &r.neg(&a))));
+            prop_assert_eq!(r.mul(&a, &r.one()), a.clone());
+        }
+
+        #[test]
+        fn roundtrip(a in arb_poly(5)) {
+            let r = PolyRing::new(5);
+            let mut w = cc_clique::WordWriter::new();
+            r.write_elem(&a, &mut w);
+            let words = w.into_words();
+            prop_assert_eq!(words.len(), r.elem_width());
+            let mut rd = cc_clique::WordReader::new(&words);
+            prop_assert_eq!(r.read_elem(&mut rd), a);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Local (single-machine) Strassen multiplication for integer matrices.
+//!
+//! Used as a fast local-compute kernel and as a Criterion baseline against
+//! the schoolbook product; the *distributed* Strassen-style algorithm lives
+//! in `cc-core` and is parameterised by [`crate::BilinearAlgorithm`] instead.
+
+use crate::matrix::Matrix;
+use crate::semiring::IntRing;
+
+/// Dimension at or below which [`strassen_mul`] falls back to the schoolbook
+/// product.
+pub const STRASSEN_CUTOFF: usize = 64;
+
+/// Multiplies two square integer matrices with recursive Strassen
+/// multiplication (`O(n^{2.807})` element multiplications).
+///
+/// Odd dimensions are zero-padded one level at a time, so any size is
+/// accepted.
+///
+/// # Panics
+///
+/// Panics if the matrices are not square with equal dimensions.
+///
+/// # Examples
+///
+/// ```rust
+/// use cc_algebra::{strassen_mul, IntRing, Matrix};
+/// let a = Matrix::from_fn(10, 10, |i, j| (i * 3 + j) as i64 % 7 - 3);
+/// let b = Matrix::from_fn(10, 10, |i, j| (i + 5 * j) as i64 % 5 - 2);
+/// assert_eq!(strassen_mul(&a, &b), Matrix::mul(&IntRing, &a, &b));
+/// ```
+#[must_use]
+pub fn strassen_mul(a: &Matrix<i64>, b: &Matrix<i64>) -> Matrix<i64> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "strassen_mul requires square matrices");
+    assert_eq!(
+        (b.rows(), b.cols()),
+        (n, n),
+        "strassen_mul requires equal-sized matrices"
+    );
+    if n <= STRASSEN_CUTOFF {
+        return Matrix::mul(&IntRing, a, b);
+    }
+    if n % 2 == 1 {
+        let ap = a.resized(n + 1, n + 1, 0);
+        let bp = b.resized(n + 1, n + 1, 0);
+        return strassen_mul(&ap, &bp).resized(n, n, 0);
+    }
+    let h = n / 2;
+    let blk = |m: &Matrix<i64>, i: usize, j: usize| m.block(i * h, j * h, h, h);
+    let (a11, a12, a21, a22) = (blk(a, 0, 0), blk(a, 0, 1), blk(a, 1, 0), blk(a, 1, 1));
+    let (b11, b12, b21, b22) = (blk(b, 0, 0), blk(b, 0, 1), blk(b, 1, 0), blk(b, 1, 1));
+
+    let add = |x: &Matrix<i64>, y: &Matrix<i64>| Matrix::add(&IntRing, x, y);
+    let sub = |x: &Matrix<i64>, y: &Matrix<i64>| {
+        Matrix::from_fn(x.rows(), x.cols(), |i, j| x[(i, j)] - y[(i, j)])
+    };
+
+    let m1 = strassen_mul(&add(&a11, &a22), &add(&b11, &b22));
+    let m2 = strassen_mul(&add(&a21, &a22), &b11);
+    let m3 = strassen_mul(&a11, &sub(&b12, &b22));
+    let m4 = strassen_mul(&a22, &sub(&b21, &b11));
+    let m5 = strassen_mul(&add(&a11, &a12), &b22);
+    let m6 = strassen_mul(&sub(&a21, &a11), &add(&b11, &b12));
+    let m7 = strassen_mul(&sub(&a12, &a22), &add(&b21, &b22));
+
+    let c11 = add(&sub(&add(&m1, &m4), &m5), &m7);
+    let c12 = add(&m3, &m5);
+    let c21 = add(&m2, &m4);
+    let c22 = add(&add(&sub(&m1, &m2), &m3), &m6);
+
+    let mut out = Matrix::filled(n, n, 0i64);
+    out.set_block(0, 0, &c11);
+    out.set_block(0, h, &c12);
+    out.set_block(h, 0, &c21);
+    out.set_block(h, h, &c22);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_matrix(n: usize, seed: u64) -> Matrix<i64> {
+        let mut s = seed;
+        Matrix::from_fn(n, n, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) % 21) as i64 - 10
+        })
+    }
+
+    #[test]
+    fn matches_schoolbook_across_sizes() {
+        for n in [1, 2, 5, 16, 63, 65, 70, 100, 130] {
+            let a = rand_matrix(n, n as u64);
+            let b = rand_matrix(n, n as u64 + 1);
+            assert_eq!(strassen_mul(&a, &b), Matrix::mul(&IntRing, &a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn identity_preserved() {
+        let n = 96;
+        let a = rand_matrix(n, 7);
+        let id = Matrix::identity(&IntRing, n);
+        assert_eq!(strassen_mul(&a, &id), a);
+    }
+}

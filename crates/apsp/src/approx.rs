@@ -1,0 +1,119 @@
+//! `(1+o(1))`-approximate APSP (Theorem 9).
+
+use cc_algebra::Dist;
+use cc_clique::Clique;
+use cc_core::{distance, FastPlan, RowMatrix};
+use cc_graph::Graph;
+
+/// Chooses the per-product accuracy `δ` so that the end-to-end error
+/// `(1+δ)^{⌈log₂ n⌉}` stays below `1 + target`; the paper's
+/// `δ = 1/log² n` corresponds to a `(1+o(1))` target.
+#[must_use]
+pub fn delta_for_target(n: usize, target: f64) -> f64 {
+    assert!(target > 0.0, "target must be positive");
+    let levels = (n.max(2) as f64).log2().ceil();
+    (1.0 + target).powf(1.0 / levels) - 1.0
+}
+
+/// Theorem 9: approximate APSP for directed graphs with non-negative
+/// integer weights, via `⌈log₂ n⌉` approximate squarings (Lemma 20).
+///
+/// Every returned distance `D̃[u][v]` satisfies
+/// `d(u,v) ≤ D̃[u][v] ≤ (1+delta)^{⌈log₂ n⌉} · d(u,v)`;
+/// pick `delta` with [`delta_for_target`]. Smaller `delta` costs more
+/// rounds (`O(log_{1+δ} M / δ)` per squaring), reproducing the paper's
+/// accuracy/round trade-off.
+///
+/// # Panics
+///
+/// Panics if weights are negative, `delta ≤ 0`, or sizes mismatch.
+pub fn apsp_approx(clique: &mut Clique, g: &Graph, delta: f64) -> RowMatrix<Dist> {
+    let n = clique.n();
+    assert_eq!(g.n(), n, "graph and clique sizes must match");
+    assert!(delta > 0.0, "delta must be positive");
+    assert!(
+        g.edges().iter().all(|&(_, _, w)| w >= 0),
+        "weights must be non-negative"
+    );
+
+    let alg = FastPlan::best_strassen(n);
+    let mut cur = RowMatrix::from_matrix(&g.weight_matrix());
+    clique.phase("apsp_approx", |clique| {
+        let mut hops = 1usize;
+        while hops < n {
+            cur = distance::approx_distance_product(clique, &alg, &cur, &cur, delta);
+            hops *= 2;
+        }
+    });
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::{generators, oracle};
+
+    /// Checks the Theorem 9 guarantee against the exact oracle.
+    fn check_ratio(g: &Graph, delta: f64) {
+        let n = g.n();
+        let exact = oracle::apsp(g);
+        let mut clique = Clique::new(n);
+        let approx = apsp_approx(&mut clique, g, delta);
+        let levels = (n.max(2) as f64).log2().ceil();
+        let bound = (1.0 + delta).powf(levels);
+        for u in 0..n {
+            for v in 0..n {
+                match (exact[(u, v)].value(), approx.row(u)[v].value()) {
+                    (Some(e), Some(a)) => {
+                        assert!(a >= e, "({u},{v}): {a} < exact {e}");
+                        assert!(
+                            a as f64 <= bound * e as f64 + 1e-9,
+                            "({u},{v}): {a} exceeds {bound:.3}·{e}"
+                        );
+                    }
+                    (None, None) => {}
+                    (e, a) => panic!("({u},{v}): finiteness mismatch {e:?} vs {a:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approximation_holds_on_weighted_digraphs() {
+        for seed in 0..3 {
+            check_ratio(&generators::weighted_gnp(10, 0.35, 50, true, seed), 0.3);
+        }
+    }
+
+    #[test]
+    fn approximation_holds_with_wide_weight_range() {
+        // Weights spanning two orders of magnitude force several scaling
+        // levels inside Lemma 20.
+        check_ratio(&generators::weighted_gnp(10, 0.4, 400, true, 7), 0.4);
+    }
+
+    #[test]
+    fn tighter_delta_costs_more_rounds() {
+        let g = generators::weighted_gnp(10, 0.35, 60, true, 2);
+        let rounds = |delta: f64| {
+            let mut clique = Clique::new(10);
+            let _ = apsp_approx(&mut clique, &g, delta);
+            clique.rounds()
+        };
+        assert!(rounds(0.2) > rounds(0.8), "smaller δ must cost more rounds");
+    }
+
+    #[test]
+    fn delta_for_target_composes() {
+        let n = 64;
+        let delta = delta_for_target(n, 0.1);
+        let levels = (n as f64).log2().ceil();
+        assert!((1.0 + delta).powf(levels) <= 1.1 + 1e-9);
+    }
+
+    #[test]
+    fn unweighted_graphs_are_near_exact() {
+        let g = generators::directed_cycle(8);
+        check_ratio(&g, 0.25);
+    }
+}

@@ -1,0 +1,130 @@
+//! Distance-based graph metrics derived from APSP: eccentricities,
+//! diameter, and radius.
+//!
+//! Once distances are row-distributed, each node knows its own
+//! eccentricity locally and one broadcast round aggregates the diameter
+//! and radius — the pattern behind Table 1's "weighted diameter" column.
+
+use crate::seidel::apsp_seidel;
+use cc_algebra::Dist;
+use cc_clique::Clique;
+use cc_core::RowMatrix;
+use cc_graph::Graph;
+
+/// Diameter, radius, and per-node eccentricities computed from a
+/// row-distributed distance matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMetrics {
+    /// `ecc[v]` = max distance from `v` to any reachable node.
+    pub eccentricity: Vec<Dist>,
+    /// Largest eccentricity; `∞` if the graph is disconnected (some pair
+    /// unreachable).
+    pub diameter: Dist,
+    /// Smallest eccentricity.
+    pub radius: Dist,
+}
+
+/// Folds a distance matrix into eccentricities/diameter/radius with one
+/// broadcast round (each node contributes its local row maximum).
+///
+/// Unreachable pairs make the affected eccentricities (and hence the
+/// diameter) `∞`, matching the usual convention for disconnected graphs.
+pub fn metrics_from_distances(clique: &mut Clique, dist: &RowMatrix<Dist>) -> DistanceMetrics {
+    let n = clique.n();
+    assert_eq!(dist.n(), n, "distance matrix size mismatch");
+    let raw = clique.phase("metrics", |c| {
+        c.broadcast(|v| {
+            dist.row(v)
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(Dist::zero())
+                .raw() as u64
+        })
+    });
+    let eccentricity: Vec<Dist> = raw.into_iter().map(|w| Dist::from_raw(w as i64)).collect();
+    let diameter = eccentricity.iter().copied().max().expect("n >= 2");
+    let radius = eccentricity.iter().copied().min().expect("n >= 2");
+    DistanceMetrics {
+        eccentricity,
+        diameter,
+        radius,
+    }
+}
+
+/// Unweighted undirected diameter/radius in `Õ(n^ρ)` rounds: Seidel's APSP
+/// plus one broadcast.
+///
+/// # Panics
+///
+/// Panics if the graph is directed or weighted, or sizes mismatch.
+pub fn unweighted_metrics(clique: &mut Clique, g: &Graph) -> DistanceMetrics {
+    let dist = apsp_seidel(clique, g);
+    metrics_from_distances(clique, &dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_algebra::INFINITY;
+    use cc_graph::{generators, oracle};
+
+    fn oracle_metrics(g: &Graph) -> (Dist, Dist) {
+        let d = oracle::apsp(g);
+        let n = g.n();
+        let ecc: Vec<Dist> = (0..n)
+            .map(|u| (0..n).map(|v| d[(u, v)]).max().expect("n >= 1"))
+            .collect();
+        (
+            ecc.iter().copied().max().unwrap(),
+            ecc.iter().copied().min().unwrap(),
+        )
+    }
+
+    #[test]
+    fn known_diameters() {
+        let cases: &[(&str, Graph, i64, i64)] = &[
+            ("path P8", generators::path(8), 7, 4),
+            ("cycle C10", generators::cycle(10), 5, 5),
+            ("Petersen", generators::petersen(), 2, 2),
+            ("hypercube Q4", generators::hypercube(4), 4, 4),
+            ("K7", generators::complete(7), 1, 1),
+        ];
+        for (name, g, dia, rad) in cases {
+            let mut clique = Clique::new(g.n());
+            let m = unweighted_metrics(&mut clique, g);
+            assert_eq!(m.diameter, Dist::finite(*dia), "{name} diameter");
+            assert_eq!(m.radius, Dist::finite(*rad), "{name} radius");
+        }
+    }
+
+    #[test]
+    fn disconnected_graphs_have_infinite_diameter() {
+        let g = generators::disjoint_union(&generators::cycle(4), &generators::cycle(5));
+        let mut clique = Clique::new(9);
+        let m = unweighted_metrics(&mut clique, &g);
+        assert_eq!(m.diameter, INFINITY);
+        assert_eq!(m.radius, INFINITY);
+    }
+
+    #[test]
+    fn random_graphs_match_oracle() {
+        for seed in 0..4 {
+            let g = generators::gnp(20, 0.2, seed);
+            let (dia, rad) = oracle_metrics(&g);
+            let mut clique = Clique::new(20);
+            let m = unweighted_metrics(&mut clique, &g);
+            assert_eq!(m.diameter, dia, "seed {seed}");
+            assert_eq!(m.radius, rad, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn caveman_distances_are_long() {
+        let g = generators::caveman(4, 5);
+        let mut clique = Clique::new(20);
+        let m = unweighted_metrics(&mut clique, &g);
+        // 4 cliques in a chain: diameter spans three bridges.
+        assert!(m.diameter >= Dist::finite(7), "got {}", m.diameter);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-validation: the four APSP engines must agree wherever their
+//! domains overlap, and each must agree with the centralized oracle. This
+//! catches bugs that single-engine tests cannot (e.g. a systematic
+//! off-by-one that an engine shares with its own reference path).
+
+use cc_clique::Clique;
+use cc_graph::{generators, oracle, Graph};
+use proptest::prelude::*;
+
+/// Unweighted undirected instances: exact squaring, Seidel, and
+/// small-weights (U = n) all apply.
+fn arb_unweighted() -> impl Strategy<Value = Graph> {
+    (8usize..20, 0u64..500, 2u32..8)
+        .prop_map(|(n, seed, d)| generators::gnp(n, f64::from(d) / 20.0, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn three_exact_engines_agree_on_unweighted_graphs(g in arb_unweighted()) {
+        let n = g.n();
+        let expected = oracle::apsp(&g);
+
+        let mut c = Clique::new(n);
+        let exact = cc_apsp::apsp_exact(&mut c, &g);
+        prop_assert_eq!(exact.dist.to_matrix(), expected.clone());
+
+        let mut c = Clique::new(n);
+        let seidel = cc_apsp::apsp_seidel(&mut c, &g);
+        prop_assert_eq!(seidel.to_matrix(), expected.clone());
+
+        let mut c = Clique::new(n);
+        let small = cc_apsp::apsp_small_weights(&mut c, &g, Some(n as i64));
+        prop_assert_eq!(small.to_matrix(), expected);
+    }
+
+    #[test]
+    fn approx_never_beats_exact_and_meets_its_bound(
+        n in 8usize..14,
+        seed in 0u64..500,
+        maxw in 1i64..20,
+    ) {
+        let g = generators::weighted_gnp(n, 0.3, maxw, true, seed);
+        let exact = oracle::apsp(&g);
+        let delta = 0.5;
+        let mut c = Clique::new(n);
+        let approx = cc_apsp::apsp_approx(&mut c, &g, delta);
+        let bound = (1.0 + delta).powf((n as f64).log2().ceil());
+        for u in 0..n {
+            for v in 0..n {
+                match (exact[(u, v)].value(), approx.row(u)[v].value()) {
+                    (Some(e), Some(a)) => {
+                        prop_assert!(a >= e, "({u},{v})");
+                        prop_assert!(a as f64 <= bound * e as f64 + 1e-9, "({u},{v})");
+                    }
+                    (None, None) => {}
+                    (e, a) => prop_assert!(false, "finiteness mismatch {e:?} vs {a:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_agree_with_distance_matrix(g in arb_unweighted()) {
+        let n = g.n();
+        let mut c = Clique::new(n);
+        let dist = cc_apsp::apsp_seidel(&mut c, &g);
+        let m = cc_apsp::metrics_from_distances(&mut c, &dist);
+        for v in 0..n {
+            let ecc = dist.row(v).iter().copied().max().expect("n >= 1");
+            prop_assert_eq!(m.eccentricity[v], ecc);
+        }
+        prop_assert_eq!(m.diameter, *m.eccentricity.iter().max().unwrap());
+        prop_assert_eq!(m.radius, *m.eccentricity.iter().min().unwrap());
+    }
+}
+
+#[test]
+fn engines_agree_on_structured_families() {
+    for (name, g) in [
+        ("hypercube Q3", generators::hypercube(3)),
+        ("caveman 3x4", generators::caveman(3, 4)),
+        ("petersen", generators::petersen()),
+        ("cycle C15", generators::cycle(15)),
+    ] {
+        let n = g.n();
+        let expected = oracle::apsp(&g);
+        let mut c = Clique::new(n);
+        assert_eq!(
+            cc_apsp::apsp_exact(&mut c, &g).dist.to_matrix(),
+            expected,
+            "{name}: exact"
+        );
+        let mut c = Clique::new(n);
+        assert_eq!(
+            cc_apsp::apsp_seidel(&mut c, &g).to_matrix(),
+            expected,
+            "{name}: seidel"
+        );
+        let mut c = Clique::new(n);
+        assert_eq!(
+            cc_apsp::apsp_small_weights(&mut c, &g, None).to_matrix(),
+            expected,
+            "{name}: small-weights"
+        );
+    }
+}

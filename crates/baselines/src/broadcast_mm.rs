@@ -1,0 +1,86 @@
+//! Matrix multiplication in the **broadcast** congested clique
+//! (Corollary 24's regime).
+//!
+//! When every node must send the *same* message to all neighbours in a
+//! round, matrix multiplication cannot beat `Ω̃(n)` rounds (Corollary 24,
+//! via Holzer–Pinsker). This module provides the matching upper bound —
+//! every node broadcasts its row of `B`, then multiplies locally — so the
+//! `lower_bounds` experiment can demonstrate the separation between the
+//! unicast clique's `O(n^{1-2/σ})` rounds and the broadcast clique's
+//! `Θ(n)`.
+
+use cc_clique::{Clique, Mode};
+use cc_core::RowMatrix;
+
+/// Multiplies integer matrices on a broadcast clique in `Θ(n)` rounds.
+///
+/// # Panics
+///
+/// Panics if the clique is not in [`Mode::Broadcast`] (use
+/// [`cc_clique::CliqueConfig`]) or the dimensions mismatch.
+pub fn multiply(clique: &mut Clique, a: &RowMatrix<i64>, b: &RowMatrix<i64>) -> RowMatrix<i64> {
+    let n = clique.n();
+    assert_eq!(
+        clique.config().mode,
+        Mode::Broadcast,
+        "this baseline targets the broadcast clique"
+    );
+    assert_eq!(a.n(), n, "operand A dimension must equal clique size");
+    assert_eq!(b.n(), n, "operand B dimension must equal clique size");
+
+    let rows = clique.phase("broadcast_mm", |c| {
+        c.broadcast_vec(|v| b.row(v).iter().map(|&x| x as u64).collect())
+    });
+    RowMatrix::from_fn(n, |u, v| {
+        (0..n).map(|w| a.row(u)[w] * rows[w][v] as i64).sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_algebra::{IntRing, Matrix};
+    use cc_clique::CliqueConfig;
+
+    fn broadcast_clique(n: usize) -> Clique {
+        Clique::with_config(
+            n,
+            CliqueConfig {
+                mode: Mode::Broadcast,
+                ..CliqueConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn matches_local_product() {
+        let n = 10;
+        let a = Matrix::from_fn(n, n, |i, j| (i + 2 * j) as i64 % 5 - 2);
+        let b = Matrix::from_fn(n, n, |i, j| (3 * i + j) as i64 % 7 - 3);
+        let mut clique = broadcast_clique(n);
+        let p = multiply(
+            &mut clique,
+            &RowMatrix::from_matrix(&a),
+            &RowMatrix::from_matrix(&b),
+        );
+        assert_eq!(p.to_matrix(), Matrix::mul(&IntRing, &a, &b));
+    }
+
+    #[test]
+    fn rounds_are_linear_in_n() {
+        for n in [8, 16, 32] {
+            let a = RowMatrix::from_fn(n, |_, _| 1i64);
+            let mut clique = broadcast_clique(n);
+            let _ = multiply(&mut clique, &a, &a);
+            assert_eq!(clique.rounds(), n as u64, "broadcasting n rows of n words");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast clique")]
+    fn refuses_unicast_cliques() {
+        let a = RowMatrix::from_fn(4, |_, _| 0i64);
+        let mut clique = Clique::new(4);
+        let _ = multiply(&mut clique, &a, &a);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cc-baselines: prior-work baselines
+//!
+//! The algorithms the paper's Table 1 compares against, implemented
+//! honestly on the same simulator so that round counts are directly
+//! comparable:
+//!
+//! * [`dolev`] — the deterministic partition-based subgraph algorithms of
+//!   Dolev, Lenzen and Peled (DISC 2012): triangle counting in
+//!   `O(n^{1/3})` rounds and `k`-cycle detection in `O(k²·n^{1-2/k})`
+//!   rounds;
+//! * [`naive`] — the "learn everything" gather baseline, distributed
+//!   Bellman–Ford APSP, and row-gather matrix multiplication (`Θ(n)`
+//!   rounds);
+//! * [`broadcast_mm`] — matrix multiplication in the **broadcast** congested
+//!   clique, whose `Θ(n)` rounds illustrate the Corollary 24 separation.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use cc_clique::Clique;
+//! use cc_graph::generators;
+//! use cc_baselines::dolev;
+//!
+//! let g = generators::complete(8);
+//! let mut clique = Clique::new(8);
+//! assert_eq!(dolev::triangle_count(&mut clique, &g), 56);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast_mm;
+pub mod dolev;
+pub mod naive;

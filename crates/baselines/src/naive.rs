@@ -1,0 +1,202 @@
+//! Naive baselines: whole-graph gather, distributed Bellman–Ford APSP, and
+//! row-gather matrix multiplication — the `Θ(n)`-round class that the
+//! paper's algorithms improve upon.
+
+use cc_algebra::{Dist, IntRing, Matrix, Semiring, INFINITY};
+use cc_clique::{pack_pair, unpack_pair, Clique};
+use cc_core::RowMatrix;
+use cc_graph::Graph;
+
+/// "Learn everything": every node obtains the full edge list (weights
+/// included) in `O(m/n)` rounds via the gossip primitive. Returns the
+/// reconstructed graph (identical at every node).
+///
+/// # Panics
+///
+/// Panics if `clique.n() != g.n()`, or if a weight exceeds 32 bits
+/// (edges are packed as two words).
+pub fn gather_graph(clique: &mut Clique, g: &Graph) -> Graph {
+    let n = clique.n();
+    assert_eq!(g.n(), n, "graph and clique sizes must match");
+    let words = clique.phase("gather_graph", |c| {
+        c.gossip(|v| {
+            let mut out = Vec::new();
+            for (u, w) in g
+                .neighbors(v)
+                .map(|u| (u, g.weight(v, u).expect("edge weight")))
+            {
+                if g.is_directed() || v < u {
+                    assert!(
+                        (0..=u32::MAX as i64).contains(&w),
+                        "weight must fit 32 bits"
+                    );
+                    out.push(pack_pair(v, u));
+                    out.push(w as u64);
+                }
+            }
+            out
+        })
+    });
+    let mut local = if g.is_directed() {
+        Graph::directed(n)
+    } else {
+        Graph::undirected(n)
+    };
+    for pair in words.chunks_exact(2) {
+        let (v, u) = unpack_pair(pair[0]);
+        local.add_weighted_edge(v, u, pair[1] as i64);
+    }
+    local
+}
+
+/// Distributed Bellman–Ford APSP: node `u` maintains the distance column
+/// `d(s, u)` for every source `s` and exchanges it with its graph
+/// neighbours each iteration (`n` words per graph edge per iteration), for
+/// hop-diameter many iterations — `Θ(n·D)` rounds, the combinatorial
+/// baseline against which Table 1's APSP rows are measured.
+///
+/// # Panics
+///
+/// Panics if weights are negative or sizes mismatch.
+pub fn bellman_ford_apsp(clique: &mut Clique, g: &Graph) -> RowMatrix<Dist> {
+    let n = clique.n();
+    assert_eq!(g.n(), n, "graph and clique sizes must match");
+    assert!(
+        g.edges().iter().all(|&(_, _, w)| w >= 0),
+        "non-negative weights required"
+    );
+
+    // columns[u][s] = current estimate of d(s, u).
+    let mut columns: Vec<Vec<Dist>> = (0..n)
+        .map(|u| {
+            (0..n)
+                .map(|s| if s == u { Dist::zero() } else { INFINITY })
+                .collect()
+        })
+        .collect();
+
+    clique.phase("bellman_ford", |clique| {
+        loop {
+            // Each node sends its column to every out-neighbour in G.
+            let inbox = clique.exchange(|w| {
+                let payload: Vec<u64> = columns[w].iter().map(|d| d.raw() as u64).collect();
+                g.neighbors(w).map(|u| (u, payload.clone())).collect()
+            });
+            let mut changed = vec![false; n];
+            for u in 0..n {
+                for w in g.in_neighbors(u) {
+                    let edge = Dist::finite(g.weight(w, u).expect("edge weight"));
+                    let col = inbox.received(u, w);
+                    for s in 0..n {
+                        let cand = Dist::from_raw(col[s] as i64) + edge;
+                        if cand < columns[u][s] {
+                            columns[u][s] = cand;
+                            changed[u] = true;
+                        }
+                    }
+                }
+            }
+            if !clique.or_all(|u| changed[u]) {
+                break;
+            }
+        }
+    });
+    // Convert columns to the row convention: d(s, ·) at node s — one
+    // all-to-all transpose round.
+    let inbox = clique.exchange(|u| {
+        (0..n)
+            .filter(|&s| s != u)
+            .map(|s| (s, vec![columns[u][s].raw() as u64]))
+            .collect()
+    });
+    RowMatrix::from_fn(n, |s, u| {
+        if s == u {
+            Dist::zero()
+        } else {
+            Dist::from_raw(inbox.received(s, u)[0] as i64)
+        }
+    })
+}
+
+/// Naive matrix multiplication: every node gathers all of `B` (`n²` words
+/// through the gossip primitive, `Θ(n)` rounds) and multiplies its own row
+/// locally. The baseline for Theorem 1's semiring row.
+pub fn row_gather_mm(
+    clique: &mut Clique,
+    a: &RowMatrix<i64>,
+    b: &RowMatrix<i64>,
+) -> RowMatrix<i64> {
+    let n = clique.n();
+    assert_eq!(a.n(), n, "operand A dimension must equal clique size");
+    assert_eq!(b.n(), n, "operand B dimension must equal clique size");
+    let words = clique.phase("row_gather_mm", |c| {
+        c.gossip(|v| b.row(v).iter().map(|&x| x as u64).collect())
+    });
+    // Rebuild B locally (contributions arrive in (source, index) order).
+    let full_b = Matrix::from_fn(n, n, |i, j| words[i * n + j] as i64);
+    RowMatrix::from_fn(n, |u, v| {
+        (0..n)
+            .map(|w| IntRing.mul(&a.row(u)[w], &full_b[(w, v)]))
+            .sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::{generators, oracle};
+
+    #[test]
+    fn gather_reconstructs_the_graph() {
+        let g = generators::weighted_gnp(15, 0.3, 9, false, 4);
+        let mut clique = Clique::new(15);
+        let local = gather_graph(&mut clique, &g);
+        assert_eq!(local, g);
+        // O(m/n) + O(1) rounds.
+        assert!(clique.rounds() <= 2 * (2 * g.m() as u64 / 14) + 10);
+    }
+
+    #[test]
+    fn bellman_ford_matches_oracle() {
+        for seed in 0..3 {
+            let g = generators::weighted_gnp(14, 0.3, 7, true, seed);
+            let mut clique = Clique::new(14);
+            let d = bellman_ford_apsp(&mut clique, &g);
+            assert_eq!(d.to_matrix(), oracle::apsp(&g), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn bellman_ford_costs_linear_rounds_per_iteration() {
+        let g = generators::cycle(16);
+        let mut clique = Clique::new(16);
+        let _ = bellman_ford_apsp(&mut clique, &g);
+        // Hop diameter 8, n words per edge per iteration: many rounds.
+        assert!(clique.rounds() >= 16 * 8, "rounds {}", clique.rounds());
+    }
+
+    #[test]
+    fn row_gather_mm_matches_local() {
+        let n = 12;
+        let mut st = 5u64;
+        let mut next = move || {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((st >> 33) % 7) as i64 - 3
+        };
+        let a = Matrix::from_fn(n, n, |_, _| next());
+        let b = Matrix::from_fn(n, n, |_, _| next());
+        let mut clique = Clique::new(n);
+        let p = row_gather_mm(
+            &mut clique,
+            &RowMatrix::from_matrix(&a),
+            &RowMatrix::from_matrix(&b),
+        );
+        assert_eq!(p.to_matrix(), Matrix::mul(&IntRing, &a, &b));
+        // Gathering n² words costs at least n-ish rounds.
+        assert!(
+            clique.rounds() as usize >= n - 2,
+            "rounds {}",
+            clique.rounds()
+        );
+    }
+}

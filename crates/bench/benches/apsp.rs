@@ -1,0 +1,51 @@
+//! Wall-clock of the APSP algorithms (Table 1 rows 8–11 at fixed n).
+
+use cc_clique::Clique;
+use cc_graph::generators;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp");
+    group.sample_size(10);
+
+    let n = 27;
+    let weighted = generators::weighted_gnp(n, 0.25, 9, true, 17);
+    let unweighted = generators::gnp(n, 0.2, 31);
+
+    group.bench_function("exact_squaring_n27", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            cc_apsp::apsp_exact(&mut clique, &weighted)
+        });
+    });
+    group.bench_function("seidel_n27", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            cc_apsp::apsp_seidel(&mut clique, &unweighted)
+        });
+    });
+    group.bench_function("small_weights_u8_n27", |b| {
+        let g = generators::weighted_gnp(n, 0.5, 2, true, 23);
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            cc_apsp::apsp_small_weights(&mut clique, &g, Some(8))
+        });
+    });
+    group.bench_function("approx_delta_half_n27", |b| {
+        let g = generators::weighted_gnp(n, 0.3, 10, true, 29);
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            cc_apsp::apsp_approx(&mut clique, &g, 0.5)
+        });
+    });
+    group.bench_function("bellman_ford_baseline_n27", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            cc_baselines::naive::bellman_ford_apsp(&mut clique, &weighted)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apsp);
+criterion_main!(benches);

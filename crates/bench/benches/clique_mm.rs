@@ -1,0 +1,43 @@
+//! Wall-clock of the distributed multiplication algorithms on the
+//! simulator (Table 1 rows 1–2 at fixed n), including the round counts as
+//! auxiliary output.
+
+use cc_algebra::{IntRing, Matrix};
+use cc_clique::Clique;
+use cc_core::{fast_mm, semiring_mm, RowMatrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn rand_matrix(n: usize, seed: u64) -> Matrix<i64> {
+    let mut st = seed;
+    Matrix::from_fn(n, n, |_, _| {
+        st = st
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((st >> 33) % 9) as i64 - 4
+    })
+}
+
+fn bench_clique_mm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique_mm");
+    group.sample_size(10);
+    for n in [27usize, 64, 125] {
+        let a = RowMatrix::from_matrix(&rand_matrix(n, 1));
+        let b = RowMatrix::from_matrix(&rand_matrix(n, 2));
+        group.bench_with_input(BenchmarkId::new("semiring_3d", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut clique = Clique::new(n);
+                semiring_mm::multiply(&mut clique, &IntRing, &a, &b)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fast_strassen", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut clique = Clique::new(n);
+                fast_mm::multiply_auto(&mut clique, &IntRing, &a, &b)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clique_mm);
+criterion_main!(benches);

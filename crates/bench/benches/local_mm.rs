@@ -1,0 +1,35 @@
+//! Wall-clock comparison of the local multiplication kernels: schoolbook
+//! vs. recursive Strassen (the compute-side analogue of Theorem 1's
+//! communication trade-off).
+
+use cc_algebra::{strassen_mul, IntRing, Matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn rand_matrix(n: usize, seed: u64) -> Matrix<i64> {
+    let mut st = seed;
+    Matrix::from_fn(n, n, |_, _| {
+        st = st
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((st >> 33) % 19) as i64 - 9
+    })
+}
+
+fn bench_local_mm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_mm");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let a = rand_matrix(n, 1);
+        let b = rand_matrix(n, 2);
+        group.bench_with_input(BenchmarkId::new("schoolbook", n), &n, |bench, _| {
+            bench.iter(|| Matrix::mul(&IntRing, &a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("strassen", n), &n, |bench, _| {
+            bench.iter(|| strassen_mul(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_mm);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Wall-clock of the subgraph algorithms (Table 1 rows 3–7 at fixed n).
+
+use cc_clique::Clique;
+use cc_graph::generators;
+use cc_subgraph::GirthConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_subgraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subgraph");
+    group.sample_size(10);
+
+    let n = 64;
+    let dense = generators::gnp(n, 0.3, 11);
+    let sparse = generators::gnp(n, 1.5 / n as f64, 5);
+
+    group.bench_function("triangles_ours_n64", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            cc_subgraph::count_triangles(&mut clique, &dense)
+        });
+    });
+    group.bench_function("triangles_dolev_n64", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            cc_baselines::dolev::triangle_count(&mut clique, &dense)
+        });
+    });
+    group.bench_function("c4_detect_theorem4_n64", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            cc_subgraph::detect_4cycle(&mut clique, &sparse)
+        });
+    });
+    group.bench_function("c4_count_n64", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            cc_subgraph::count_4cycles(&mut clique, &dense)
+        });
+    });
+    group.bench_function("c5_count_n64", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            cc_subgraph::count_5cycles(&mut clique, &dense)
+        });
+    });
+    group.bench_function("girth_dense_n64", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            cc_subgraph::girth(&mut clique, &dense, GirthConfig::default())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_subgraph);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Approximation-quality experiment for Theorem 9: measured worst-case
+//! stretch of the `(1+o(1))`-approximate APSP against the exact oracle,
+//! and the accuracy/rounds trade-off as `δ` varies.
+//!
+//! Usage: `cargo run --release -p cc-bench --bin apsp_accuracy`
+
+use cc_clique::Clique;
+use cc_graph::{generators, oracle};
+
+fn main() {
+    let n = 27;
+    let g = generators::weighted_gnp(n, 0.3, 50, true, 41);
+    let exact = oracle::apsp(&g);
+
+    println!("## Theorem 9 accuracy (n = {n}, weights ≤ 50, directed G(n, 0.3))\n");
+    println!("| δ | guarantee (1+δ)^⌈log n⌉ | measured max stretch | mean stretch | rounds |");
+    println!("|---|---|---|---|---|");
+    for &delta in &[1.0, 0.5, 0.25, 0.125] {
+        let mut clique = Clique::new(n);
+        let approx = cc_apsp::apsp_approx(&mut clique, &g, delta);
+        let levels = (n as f64).log2().ceil();
+        let bound = (1.0 + delta).powf(levels);
+        let mut max_stretch: f64 = 1.0;
+        let mut sum_stretch = 0.0;
+        let mut pairs = 0usize;
+        for u in 0..n {
+            for v in 0..n {
+                if u == v {
+                    continue;
+                }
+                match (exact[(u, v)].value(), approx.row(u)[v].value()) {
+                    (Some(e), Some(a)) if e > 0 => {
+                        let stretch = a as f64 / e as f64;
+                        assert!(stretch >= 1.0 - 1e-12, "approx below exact at ({u},{v})");
+                        assert!(stretch <= bound + 1e-9, "guarantee violated at ({u},{v})");
+                        max_stretch = max_stretch.max(stretch);
+                        sum_stretch += stretch;
+                        pairs += 1;
+                    }
+                    (Some(0), Some(a)) => assert_eq!(a, 0, "zero distances must stay zero"),
+                    (None, None) | (Some(_), Some(_)) => {}
+                    (e, a) => panic!("finiteness mismatch at ({u},{v}): {e:?} vs {a:?}"),
+                }
+            }
+        }
+        println!(
+            "| {delta} | {bound:.3} | {max_stretch:.4} | {:.4} | {} |",
+            sum_stretch / pairs as f64,
+            clique.rounds()
+        );
+    }
+    println!("\nEvery pair satisfied exact ≤ approx ≤ (1+δ)^⌈log n⌉ · exact.");
+}

@@ -1,0 +1,603 @@
+//! The [`Clique`] engine: primitives, routing, and accounting.
+
+use crate::inbox::Inboxes;
+use crate::network::{LinkLoads, Network};
+use crate::stats::Stats;
+use crate::word::Word;
+
+/// Communication regime of the simulated clique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// The standard congested clique: each node may send a *different* word
+    /// to each neighbour in a round.
+    #[default]
+    Unicast,
+    /// The *broadcast* congested clique: every message a node sends in a
+    /// round must be identical across all neighbours. Point-to-point
+    /// primitives ([`Clique::exchange`], [`Clique::route`]) are unavailable.
+    /// Used to reproduce the Ω̃(n) separation of Corollary 24.
+    Broadcast,
+}
+
+/// Relay-selection policy of the balanced router (see [`Clique::route`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RelayPolicy {
+    /// Power-of-two-choices: hash two candidate relays per word, pick the
+    /// less loaded. Keeps per-link loads within a small constant of the
+    /// ideal `⌈L/n⌉` (the default).
+    #[default]
+    TwoChoice,
+    /// Single hashed relay per word (plain Valiant routing). Simpler, but
+    /// suffers `O(log n / log log n)` balls-into-bins slack; kept for the
+    /// router ablation experiment.
+    SingleHash,
+}
+
+/// Configuration for a [`Clique`].
+#[derive(Debug, Clone)]
+pub struct CliqueConfig {
+    /// Communication regime (see [`Mode`]).
+    pub mode: Mode,
+    /// Seed for the deterministic relay-balancing hash used by
+    /// [`Clique::route`] and [`Clique::gossip`].
+    pub route_seed: u64,
+    /// When `true`, every communication step records a fingerprint of its
+    /// per-link loads into [`Stats::pattern_fingerprints`]; used by the
+    /// obliviousness tests.
+    pub record_patterns: bool,
+    /// Relay selection policy for balanced routing.
+    pub relay_policy: RelayPolicy,
+}
+
+impl Default for CliqueConfig {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Unicast,
+            route_seed: 0x5eed_c11e,
+            record_patterns: false,
+            relay_policy: RelayPolicy::TwoChoice,
+        }
+    }
+}
+
+/// A simulated congested clique of `n` nodes.
+///
+/// All communication primitives take a *message generator* closure that is
+/// invoked once per node id; by convention the closure may consult only that
+/// node's local state and previously received messages, mirroring the
+/// locality discipline of the real model.
+///
+/// # Examples
+///
+/// ```rust
+/// use cc_clique::Clique;
+///
+/// let mut clique = Clique::new(4);
+/// // Each node v sends v*10 + u to node u, over direct links.
+/// let inboxes = clique.exchange(|v| {
+///     (0..4).filter(|&u| u != v).map(|u| (u, vec![(v * 10 + u) as u64])).collect()
+/// });
+/// assert_eq!(inboxes.received(2, 3), &[32]);
+/// assert_eq!(clique.rounds(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Clique {
+    n: usize,
+    net: Network,
+    stats: Stats,
+    cfg: CliqueConfig,
+}
+
+impl Clique {
+    /// Creates a clique of `n` nodes with the default configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self::with_config(n, CliqueConfig::default())
+    }
+
+    /// Creates a clique with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn with_config(n: usize, cfg: CliqueConfig) -> Self {
+        assert!(
+            n >= 2,
+            "a congested clique needs at least 2 nodes (got {n})"
+        );
+        Self {
+            n,
+            net: Network::new(n),
+            stats: Stats::new(cfg.record_patterns),
+            cfg,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Synchronous rounds executed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.stats.rounds()
+    }
+
+    /// Execution statistics (rounds, words, per-phase breakdown).
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Configuration this clique was created with.
+    #[must_use]
+    pub fn config(&self) -> &CliqueConfig {
+        &self.cfg
+    }
+
+    /// Runs `f` inside a named accounting phase; rounds and words charged
+    /// while `f` runs are attributed to `name` (and to enclosing phases).
+    pub fn phase<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.stats.push_phase(name);
+        let r = f(self);
+        self.stats.pop_phase();
+        r
+    }
+
+    fn charge_loads(&mut self, loads: &LinkLoads) {
+        self.stats.record_fingerprint(loads.iter());
+        self.stats.charge(loads.rounds(), loads.words());
+    }
+
+    fn require_unicast(&self, primitive: &str) {
+        assert!(
+            self.cfg.mode == Mode::Unicast,
+            "{primitive} is unavailable in the broadcast congested clique (Mode::Broadcast)"
+        );
+    }
+
+    /// Direct link-level exchange: node `v`'s generator returns a list of
+    /// `(destination, words)` messages, each of which travels on the
+    /// `(v, destination)` link. The step costs as many rounds as the longest
+    /// per-link queue.
+    ///
+    /// Use this for patterns that are already balanced per link; use
+    /// [`Clique::route`] when per-link loads would exceed per-node loads
+    /// divided by `n`.
+    pub fn exchange<F>(&mut self, mut messages: F) -> Inboxes
+    where
+        F: FnMut(usize) -> Vec<(usize, Vec<Word>)>,
+    {
+        self.require_unicast("exchange");
+        for v in 0..self.n {
+            for (dst, words) in messages(v) {
+                self.net.enqueue(v, dst, &words);
+            }
+        }
+        let (inboxes, loads) = self.net.flush();
+        self.charge_loads(&loads);
+        inboxes
+    }
+
+    /// Balanced two-phase routing (Lenzen-style): every word is sent to a
+    /// pseudo-random relay and then forwarded to its destination, so a step
+    /// in which each node sends and receives at most `L` words costs
+    /// `O(⌈L/n⌉)` rounds — `O(1)` rounds for `L ≤ n`, as guaranteed by the
+    /// routing theorem the paper invokes.
+    ///
+    /// This entry point models *oblivious* routing (the pattern is known to
+    /// all nodes in advance, so no destination headers are transmitted). For
+    /// data-dependent patterns use [`Clique::route_dynamic`], which charges
+    /// one extra header word per message.
+    pub fn route<F>(&mut self, messages: F) -> Inboxes
+    where
+        F: FnMut(usize) -> Vec<(usize, Vec<Word>)>,
+    {
+        self.route_inner(messages, false)
+    }
+
+    /// Like [`Clique::route`], but for data-dependent (non-oblivious)
+    /// patterns: each message is charged one extra word carrying its
+    /// destination, which the relay needs in order to forward it.
+    pub fn route_dynamic<F>(&mut self, messages: F) -> Inboxes
+    where
+        F: FnMut(usize) -> Vec<(usize, Vec<Word>)>,
+    {
+        self.route_inner(messages, true)
+    }
+
+    fn route_inner<F>(&mut self, mut messages: F, charge_headers: bool) -> Inboxes
+    where
+        F: FnMut(usize) -> Vec<(usize, Vec<Word>)>,
+    {
+        self.require_unicast("route");
+        let n = self.n;
+        // (src, dst, words) triples, collected up front.
+        let mut msgs: Vec<(usize, usize, Vec<Word>)> = Vec::new();
+        for v in 0..n {
+            for (dst, words) in messages(v) {
+                assert!(dst < n, "route destination {dst} out of range (n={n})");
+                if !words.is_empty() {
+                    msgs.push((v, dst, words));
+                }
+            }
+        }
+
+        // Assign each word a relay, balancing both the (src -> relay) and
+        // (relay -> dst) phases. Relays are drawn by a deterministic hash
+        // with power-of-two-choices (the less loaded of two candidates),
+        // which keeps per-link loads within a small constant of the ideal
+        // ⌈load/n⌉ — the guarantee of the routing schemes the paper invokes.
+        let mut phase_a = LinkLoads::new();
+        let mut phase_b = LinkLoads::new();
+        let mut a_out = vec![0usize; n * n];
+        let mut b_out = vec![0usize; n * n];
+        // Remember original src so the simulator can build the final inboxes.
+        let mut deliveries: Vec<(usize, usize, Word)> = Vec::new(); // (src, dst, word)
+        for (src, dst, words) in &msgs {
+            for (j, &w) in words.iter().enumerate() {
+                let h = splitmix(
+                    self.cfg.route_seed ^ ((*src as u64) << 42) ^ ((*dst as u64) << 21) ^ j as u64,
+                );
+                let r1 = (h % n as u64) as usize;
+                let relay = match self.cfg.relay_policy {
+                    RelayPolicy::SingleHash => r1,
+                    RelayPolicy::TwoChoice => {
+                        let r2 = ((h >> 32) % n as u64) as usize;
+                        let cost = |r: usize| a_out[src * n + r].max(b_out[r * n + dst]);
+                        if cost(r1) <= cost(r2) {
+                            r1
+                        } else {
+                            r2
+                        }
+                    }
+                };
+                let payload = if charge_headers { 2 } else { 1 };
+                a_out[src * n + relay] += payload;
+                b_out[relay * n + dst] += payload;
+                deliveries.push((*src, *dst, w));
+            }
+        }
+        for s in 0..n {
+            for d in 0..n {
+                phase_a.add(s, d, a_out[s * n + d]);
+                phase_b.add(s, d, b_out[s * n + d]);
+            }
+        }
+        self.charge_loads(&phase_a);
+        self.charge_loads(&phase_b);
+
+        let mut inboxes = Inboxes::new(n);
+        for (src, dst, w) in deliveries {
+            inboxes.push(dst, src, [w]);
+        }
+        inboxes
+    }
+
+    /// One-to-all broadcast: every node sends the *same* word to all others.
+    /// Costs exactly one round. Returns the vector of broadcast words
+    /// (identical knowledge at every node).
+    pub fn broadcast<F>(&mut self, mut word_of: F) -> Vec<Word>
+    where
+        F: FnMut(usize) -> Word,
+    {
+        let n = self.n;
+        let words: Vec<Word> = (0..n).map(&mut word_of).collect();
+        let mut loads = LinkLoads::new();
+        for s in 0..n {
+            for d in 0..n {
+                loads.add(s, d, 1);
+            }
+        }
+        self.charge_loads(&loads);
+        words
+    }
+
+    /// Sequence broadcast: node `v` sends the same `kᵥ`-word sequence to all
+    /// others; the step costs `max kᵥ` rounds. Returns per-source sequences
+    /// (identical knowledge at every node).
+    pub fn broadcast_vec<F>(&mut self, mut words_of: F) -> Vec<Vec<Word>>
+    where
+        F: FnMut(usize) -> Vec<Word>,
+    {
+        let n = self.n;
+        let seqs: Vec<Vec<Word>> = (0..n).map(&mut words_of).collect();
+        let mut loads = LinkLoads::new();
+        for (s, seq) in seqs.iter().enumerate() {
+            for d in 0..n {
+                loads.add(s, d, seq.len());
+            }
+        }
+        self.charge_loads(&loads);
+        seqs
+    }
+
+    /// "Learn everything" (the gather pattern of Dolev et al.): every node
+    /// contributes a word list, and every node ends up knowing the union.
+    /// Words are first spread evenly over relay nodes and then broadcast, so
+    /// the cost is `O(⌈T/n⌉)` rounds for `T` total words.
+    ///
+    /// The returned vector is the concatenation of all contributions in
+    /// `(source, index)` order — identical at every node. Contributions must
+    /// be self-describing (e.g. packed edges): source attribution is not
+    /// transmitted.
+    pub fn gossip<F>(&mut self, mut words_of: F) -> Vec<Word>
+    where
+        F: FnMut(usize) -> Vec<Word>,
+    {
+        let n = self.n;
+        let contributions: Vec<Vec<Word>> = (0..n).map(&mut words_of).collect();
+
+        if self.cfg.mode == Mode::Broadcast {
+            // In the broadcast clique each node can only broadcast its own
+            // words: cost max kᵥ rounds.
+            let seqs = self.broadcast_vec(|v| contributions[v].clone());
+            return seqs.into_iter().flatten().collect();
+        }
+
+        // Phase A: spread words over relays (balanced).
+        let mut relay_load = vec![0usize; n];
+        let mut phase_a = LinkLoads::new();
+        let mut a_out = vec![0usize; n * n];
+        for (src, words) in contributions.iter().enumerate() {
+            for (j, _w) in words.iter().enumerate() {
+                let relay =
+                    splitmix(self.cfg.route_seed ^ ((src as u64) << 32) ^ j as u64) as usize % n;
+                relay_load[relay] += 1;
+                a_out[src * n + relay] += 1;
+            }
+        }
+        for s in 0..n {
+            for d in 0..n {
+                phase_a.add(s, d, a_out[s * n + d]);
+            }
+        }
+        self.charge_loads(&phase_a);
+
+        // Phase B: each relay broadcasts its assigned words, one per round.
+        let max_assigned = relay_load.iter().copied().max().unwrap_or(0) as u64;
+        let total: u64 = relay_load.iter().map(|&x| x as u64).sum();
+        let mut phase_b = LinkLoads::new();
+        // Broadcast loads: relay r sends relay_load[r] words on each link.
+        for (r, &load) in relay_load.iter().enumerate() {
+            for d in 0..n {
+                phase_b.add(r, d, load);
+            }
+        }
+        debug_assert_eq!(phase_b.rounds(), max_assigned);
+        debug_assert_eq!(phase_b.words(), total * (n as u64 - 1));
+        self.charge_loads(&phase_b);
+
+        contributions.into_iter().flatten().collect()
+    }
+
+    /// Global sum: every node contributes an `i64`; all nodes learn the total
+    /// in one round.
+    pub fn sum_all<F>(&mut self, mut value_of: F) -> i64
+    where
+        F: FnMut(usize) -> i64,
+    {
+        let words = self.broadcast(|v| value_of(v) as u64);
+        words.into_iter().map(|w| w as i64).sum()
+    }
+
+    /// Global disjunction: all nodes learn whether any node contributed
+    /// `true`, in one round.
+    pub fn or_all<F>(&mut self, mut flag_of: F) -> bool
+    where
+        F: FnMut(usize) -> bool,
+    {
+        let words = self.broadcast(|v| u64::from(flag_of(v)));
+        words.into_iter().any(|w| w != 0)
+    }
+
+    /// Global maximum over per-node `i64` contributions, in one round.
+    pub fn max_all<F>(&mut self, mut value_of: F) -> i64
+    where
+        F: FnMut(usize) -> i64,
+    {
+        let words = self.broadcast(|v| value_of(v) as u64);
+        words.into_iter().map(|w| w as i64).max().expect("n >= 2")
+    }
+
+    /// Global minimum over per-node `i64` contributions, in one round.
+    pub fn min_all<F>(&mut self, mut value_of: F) -> i64
+    where
+        F: FnMut(usize) -> i64,
+    {
+        let words = self.broadcast(|v| value_of(v) as u64);
+        words.into_iter().map(|w| w as i64).min().expect("n >= 2")
+    }
+}
+
+/// SplitMix64 finaliser; deterministic relay-balancing hash.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_costs_one_round() {
+        let mut c = Clique::new(5);
+        let words = c.broadcast(|v| (v * v) as u64);
+        assert_eq!(words, vec![0, 1, 4, 9, 16]);
+        assert_eq!(c.rounds(), 1);
+    }
+
+    #[test]
+    fn exchange_rounds_equal_max_link_queue() {
+        let mut c = Clique::new(4);
+        let ib = c.exchange(|v| {
+            if v == 0 {
+                vec![(1, vec![1, 2, 3, 4, 5])] // 5 words on one link
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(c.rounds(), 5);
+        assert_eq!(ib.received(1, 0).len(), 5);
+    }
+
+    #[test]
+    fn route_balances_hot_links() {
+        // Node 0 sends 100 words to node 1. Direct exchange would need 100
+        // rounds; balanced routing needs about 2 * ceil(100/16) plus hash
+        // imbalance.
+        let n = 16;
+        let mut c = Clique::new(n);
+        let ib = c.route(|v| {
+            if v == 0 {
+                vec![(1, (0..100).collect())]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(ib.received(1, 0).len(), 100);
+        assert!(
+            c.rounds() < 40,
+            "routed rounds {} should beat direct 100",
+            c.rounds()
+        );
+    }
+
+    #[test]
+    fn route_dynamic_charges_headers() {
+        let n = 8;
+        let mut a = Clique::new(n);
+        a.route(|v| {
+            if v == 0 {
+                vec![(1, (0..64).collect())]
+            } else {
+                vec![]
+            }
+        });
+        let mut b = Clique::new(n);
+        b.route_dynamic(|v| {
+            if v == 0 {
+                vec![(1, (0..64).collect())]
+            } else {
+                vec![]
+            }
+        });
+        assert!(b.rounds() > a.rounds(), "headers must cost extra rounds");
+        assert!(b.stats().words() >= 2 * a.stats().words() - 1);
+    }
+
+    #[test]
+    fn route_balanced_instance_is_constant_rounds() {
+        // Every node sends one word to every other node: per-node load n-1,
+        // which Lenzen routes in O(1) rounds.
+        for n in [8, 16, 32, 64] {
+            let mut c = Clique::new(n);
+            c.route(|v| {
+                (0..n)
+                    .filter(|&u| u != v)
+                    .map(|u| (u, vec![v as u64]))
+                    .collect()
+            });
+            assert!(c.rounds() <= 8, "n={n}: rounds {} not O(1)", c.rounds());
+        }
+    }
+
+    #[test]
+    fn gossip_delivers_union_with_linear_speedup() {
+        let n = 16;
+        let k = 8; // words per node
+        let mut c = Clique::new(n);
+        let all = c.gossip(|v| (0..k).map(|j| (v * k + j) as u64).collect());
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..(n * k) as u64).collect::<Vec<_>>());
+        // Naive broadcast_vec would need k = 8 rounds minimum and total/(n-1)
+        // is the floor; allow a small constant over the ideal.
+        let ideal = (n * k) as u64 / (n as u64 - 1);
+        assert!(
+            c.rounds() <= 3 * ideal + 8,
+            "rounds {} vs ideal {}",
+            c.rounds(),
+            ideal
+        );
+    }
+
+    #[test]
+    fn reducers_agree_with_local_fold() {
+        let mut c = Clique::new(6);
+        assert_eq!(c.sum_all(|v| v as i64), 15);
+        assert!(c.or_all(|v| v == 3));
+        assert!(!c.or_all(|_| false));
+        assert_eq!(c.max_all(|v| -(v as i64)), 0);
+        assert_eq!(c.min_all(|v| v as i64 * 2), 0);
+        assert_eq!(c.rounds(), 5);
+    }
+
+    #[test]
+    fn phases_attribute_rounds() {
+        let mut c = Clique::new(4);
+        c.phase("setup", |c| {
+            c.broadcast(|v| v as u64);
+        });
+        c.phase("work", |c| {
+            c.broadcast(|v| v as u64);
+            c.broadcast(|v| v as u64);
+        });
+        assert_eq!(c.stats().phase("setup").unwrap().rounds, 1);
+        assert_eq!(c.stats().phase("work").unwrap().rounds, 2);
+        assert_eq!(c.rounds(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast congested clique")]
+    fn broadcast_mode_forbids_exchange() {
+        let cfg = CliqueConfig {
+            mode: Mode::Broadcast,
+            ..CliqueConfig::default()
+        };
+        let mut c = Clique::with_config(4, cfg);
+        let _ = c.exchange(|_| vec![]);
+    }
+
+    #[test]
+    fn broadcast_mode_gossip_costs_max_contribution() {
+        let cfg = CliqueConfig {
+            mode: Mode::Broadcast,
+            ..CliqueConfig::default()
+        };
+        let mut c = Clique::with_config(4, cfg);
+        let all = c.gossip(|v| vec![v as u64; v + 1]);
+        assert_eq!(all.len(), 1 + 2 + 3 + 4);
+        assert_eq!(c.rounds(), 4); // max contribution, no n-fold speedup
+    }
+
+    #[test]
+    fn pattern_fingerprints_are_input_independent_for_fixed_pattern() {
+        let run = |payload: u64| {
+            let cfg = CliqueConfig {
+                record_patterns: true,
+                ..CliqueConfig::default()
+            };
+            let mut c = Clique::with_config(4, cfg);
+            c.exchange(|v| vec![((v + 1) % 4, vec![payload + v as u64])]);
+            c.stats().pattern_fingerprints().to_vec()
+        };
+        assert_eq!(run(10), run(999));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn tiny_clique_rejected() {
+        let _ = Clique::new(1);
+    }
+}

@@ -1,0 +1,55 @@
+//! # cc-clique: a congested clique simulator
+//!
+//! This crate implements the **congested clique** model of distributed
+//! computing: `n` nodes communicate in synchronous rounds over a complete
+//! network, and in each round every ordered pair of nodes may exchange one
+//! message of `O(log n)` bits (one [`Word`] in this implementation).
+//!
+//! The simulator is *faithful at the link level*: algorithms enqueue words on
+//! directed links, and [`Clique`] executes synchronous rounds in which each
+//! link drains at most one word. The reported round count of an algorithm is
+//! the number of rounds actually executed, never an analytic formula.
+//!
+//! ## Primitives
+//!
+//! * [`Clique::exchange`] — direct link-level exchange (each message travels
+//!   on its own `(src, dst)` link).
+//! * [`Clique::route`] — balanced two-phase routing in the style of
+//!   Lenzen (PODC 2013): messages are spread over intermediate relays so that
+//!   any instance where each node sends and receives at most `n` words
+//!   completes in `O(1)` rounds.
+//! * [`Clique::broadcast`] / [`Clique::broadcast_vec`] — one-to-all
+//!   broadcast of one word (or a word sequence) from every node.
+//! * [`Clique::gossip`] — "learn everything": every node obtains the union of
+//!   all contributed words in `O(total/n)` rounds.
+//! * Reducers ([`Clique::sum_all`], [`Clique::or_all`], [`Clique::max_all`],
+//!   [`Clique::min_all`]) — single-round aggregate + local fold.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use cc_clique::Clique;
+//!
+//! let mut clique = Clique::new(8);
+//! // Every node broadcasts its own id; afterwards everyone knows all ids.
+//! let ids = clique.broadcast(|v| v as u64);
+//! assert_eq!(ids, (0..8).collect::<Vec<u64>>());
+//! assert_eq!(clique.rounds(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clique;
+mod inbox;
+mod network;
+mod stats;
+mod word;
+
+pub use crate::clique::{Clique, CliqueConfig, Mode, RelayPolicy};
+pub use crate::inbox::Inboxes;
+pub use crate::network::LinkLoads;
+pub use crate::stats::{PhaseStats, Stats};
+pub use crate::word::{
+    pack_pair, read_exact, unpack_pair, write_all, AsWords, Word, WordReader, WordWriter,
+};

@@ -1,0 +1,168 @@
+//! Link-level execution: per-round, per-link capacity accounting.
+
+use crate::inbox::Inboxes;
+use crate::word::Word;
+
+/// Per-link word counts of one communication step, in deterministic
+/// `(src, dst)` order. Used for round accounting and obliviousness
+/// fingerprints.
+#[derive(Debug, Clone, Default)]
+pub struct LinkLoads {
+    loads: Vec<(usize, usize, usize)>,
+}
+
+impl LinkLoads {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add(&mut self, src: usize, dst: usize, words: usize) {
+        if words > 0 && src != dst {
+            self.loads.push((src, dst, words));
+        }
+    }
+
+    /// The number of synchronous rounds needed to drain these loads: the
+    /// maximum over directed links of the number of words on that link
+    /// (each link carries one word per round).
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.loads
+            .iter()
+            .map(|&(_, _, w)| w as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total words crossing links.
+    #[must_use]
+    pub fn words(&self) -> u64 {
+        self.loads.iter().map(|&(_, _, w)| w as u64).sum()
+    }
+
+    /// Iterates over `(src, dst, words)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.loads.iter().copied()
+    }
+
+    /// Maximum number of words sent by any single node in this step.
+    #[must_use]
+    pub fn max_out(&self, n: usize) -> usize {
+        let mut out = vec![0usize; n];
+        for &(s, _, w) in &self.loads {
+            out[s] += w;
+        }
+        out.into_iter().max().unwrap_or(0)
+    }
+
+    /// Maximum number of words received by any single node in this step.
+    #[must_use]
+    pub fn max_in(&self, n: usize) -> usize {
+        let mut inc = vec![0usize; n];
+        for &(_, d, w) in &self.loads {
+            inc[d] += w;
+        }
+        inc.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// The physical network: a queue of words per directed link.
+///
+/// `flush` executes synchronous rounds until all queues drain; in each round a
+/// link moves exactly one word, so the number of executed rounds equals the
+/// maximum queue length. Self-addressed words (`src == dst`) are local memory
+/// moves and cost nothing, matching the model (a node need not use the
+/// network to talk to itself).
+#[derive(Debug)]
+pub struct Network {
+    n: usize,
+    /// `queues[src * n + dst]`.
+    queues: Vec<Vec<Word>>,
+}
+
+impl Network {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            n,
+            queues: vec![Vec::new(); n * n],
+        }
+    }
+
+    pub(crate) fn enqueue(&mut self, src: usize, dst: usize, words: &[Word]) {
+        assert!(
+            src < self.n && dst < self.n,
+            "node index out of range (n={})",
+            self.n
+        );
+        self.queues[src * self.n + dst].extend_from_slice(words);
+    }
+
+    /// Drains all queues, returning the delivered messages and the loads that
+    /// determine the round cost.
+    pub(crate) fn flush(&mut self) -> (Inboxes, LinkLoads) {
+        let n = self.n;
+        let mut inboxes = Inboxes::new(n);
+        let mut loads = LinkLoads::new();
+        for src in 0..n {
+            for dst in 0..n {
+                let q = &mut self.queues[src * n + dst];
+                if q.is_empty() {
+                    continue;
+                }
+                loads.add(src, dst, q.len());
+                inboxes.push(dst, src, q.drain(..));
+            }
+        }
+        (inboxes, loads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_counts_max_queue_as_rounds() {
+        let mut net = Network::new(3);
+        net.enqueue(0, 1, &[1, 2, 3]);
+        net.enqueue(1, 2, &[4]);
+        net.enqueue(2, 0, &[5, 6]);
+        let (ib, loads) = net.flush();
+        assert_eq!(loads.rounds(), 3);
+        assert_eq!(loads.words(), 6);
+        assert_eq!(ib.received(1, 0), &[1, 2, 3]);
+        assert_eq!(ib.received(2, 1), &[4]);
+        assert_eq!(ib.received(0, 2), &[5, 6]);
+        // Queues are drained.
+        let (_, loads2) = net.flush();
+        assert_eq!(loads2.rounds(), 0);
+    }
+
+    #[test]
+    fn self_messages_are_free() {
+        let mut net = Network::new(2);
+        net.enqueue(0, 0, &[7, 8, 9]);
+        net.enqueue(0, 1, &[1]);
+        let (ib, loads) = net.flush();
+        assert_eq!(loads.rounds(), 1);
+        assert_eq!(loads.words(), 1);
+        assert_eq!(ib.received(0, 0), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn in_out_maxima() {
+        let mut loads = LinkLoads::new();
+        loads.add(0, 1, 5);
+        loads.add(0, 2, 3);
+        loads.add(2, 1, 4);
+        assert_eq!(loads.max_out(3), 8);
+        assert_eq!(loads.max_in(3), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn enqueue_validates_indices() {
+        let mut net = Network::new(2);
+        net.enqueue(0, 5, &[1]);
+    }
+}

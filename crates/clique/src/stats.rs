@@ -1,0 +1,174 @@
+//! Round and traffic accounting.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-phase round and word counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Synchronous rounds executed while the phase was active.
+    pub rounds: u64,
+    /// Total words delivered while the phase was active.
+    pub words: u64,
+}
+
+/// Cumulative execution statistics for a [`crate::Clique`].
+///
+/// Phases are named by [`crate::Clique::phase`]; nested phases attribute their
+/// cost to every enclosing phase, so a top-level phase reports the full cost
+/// of the algorithm it wraps.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    rounds: u64,
+    words: u64,
+    phases: BTreeMap<String, PhaseStats>,
+    stack: Vec<String>,
+    /// Fingerprints of flush-level communication patterns (for obliviousness
+    /// tests); populated only when pattern recording is enabled.
+    fingerprints: Vec<u64>,
+    record_patterns: bool,
+}
+
+impl Stats {
+    pub(crate) fn new(record_patterns: bool) -> Self {
+        Self {
+            record_patterns,
+            ..Self::default()
+        }
+    }
+
+    /// Total rounds executed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total words delivered so far.
+    #[must_use]
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Statistics for a named phase, if that phase ever ran.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Option<PhaseStats> {
+        self.phases.get(name).copied()
+    }
+
+    /// All phase names seen so far, in lexicographic order.
+    pub fn phase_names(&self) -> impl Iterator<Item = &str> {
+        self.phases.keys().map(String::as_str)
+    }
+
+    /// Fingerprints of each executed flush's communication pattern.
+    ///
+    /// Two runs with identical fingerprint sequences used identical
+    /// communication patterns (same per-link word counts in the same order),
+    /// which is the paper's notion of an *oblivious* algorithm.
+    #[must_use]
+    pub fn pattern_fingerprints(&self) -> &[u64] {
+        &self.fingerprints
+    }
+
+    pub(crate) fn charge(&mut self, rounds: u64, words: u64) {
+        self.rounds += rounds;
+        self.words += words;
+        for name in &self.stack {
+            let e = self.phases.entry(name.clone()).or_default();
+            e.rounds += rounds;
+            e.words += words;
+        }
+    }
+
+    pub(crate) fn push_phase(&mut self, name: &str) {
+        self.stack.push(name.to_owned());
+        self.phases.entry(name.to_owned()).or_default();
+    }
+
+    pub(crate) fn pop_phase(&mut self) {
+        self.stack.pop().expect("phase stack underflow");
+    }
+
+    pub(crate) fn record_fingerprint(
+        &mut self,
+        loads: impl Iterator<Item = (usize, usize, usize)>,
+    ) {
+        if !self.record_patterns {
+            return;
+        }
+        // FNV-1a over the (src, dst, len) triples in iteration order.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (s, d, l) in loads {
+            mix(s as u64);
+            mix(d as u64);
+            mix(l as u64);
+        }
+        self.fingerprints.push(h);
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "rounds={} words={}", self.rounds, self.words)?;
+        for (name, p) in &self.phases {
+            writeln!(f, "  {name}: rounds={} words={}", p.rounds, p.words)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_phase_attribution() {
+        let mut s = Stats::new(false);
+        s.push_phase("outer");
+        s.charge(1, 10);
+        s.push_phase("inner");
+        s.charge(2, 20);
+        s.pop_phase();
+        s.charge(3, 30);
+        s.pop_phase();
+        assert_eq!(s.rounds(), 6);
+        assert_eq!(s.words(), 60);
+        assert_eq!(
+            s.phase("outer").unwrap(),
+            PhaseStats {
+                rounds: 6,
+                words: 60
+            }
+        );
+        assert_eq!(
+            s.phase("inner").unwrap(),
+            PhaseStats {
+                rounds: 2,
+                words: 20
+            }
+        );
+        assert!(s.phase("missing").is_none());
+    }
+
+    #[test]
+    fn fingerprints_detect_pattern_changes() {
+        let mut a = Stats::new(true);
+        a.record_fingerprint([(0, 1, 3), (1, 0, 2)].into_iter());
+        let mut b = Stats::new(true);
+        b.record_fingerprint([(0, 1, 3), (1, 0, 2)].into_iter());
+        assert_eq!(a.pattern_fingerprints(), b.pattern_fingerprints());
+        let mut c = Stats::new(true);
+        c.record_fingerprint([(0, 1, 4), (1, 0, 2)].into_iter());
+        assert_ne!(a.pattern_fingerprints(), c.pattern_fingerprints());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Stats::new(false);
+        assert!(!format!("{s}").is_empty());
+    }
+}

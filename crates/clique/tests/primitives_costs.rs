@@ -1,0 +1,121 @@
+//! Cost-model contract tests: every primitive's round charge must equal
+//! the model-defined cost on exactly-characterised instances. These pin
+//! down the accounting rules the rest of the workspace builds on.
+
+use cc_clique::{Clique, CliqueConfig, Mode};
+
+#[test]
+fn broadcast_is_exactly_one_round() {
+    for n in [2, 5, 33] {
+        let mut c = Clique::new(n);
+        c.broadcast(|v| v as u64);
+        assert_eq!(c.rounds(), 1, "n={n}");
+        assert_eq!(c.stats().words(), (n * (n - 1)) as u64);
+    }
+}
+
+#[test]
+fn broadcast_vec_costs_longest_sequence() {
+    let mut c = Clique::new(6);
+    let seqs = c.broadcast_vec(|v| vec![v as u64; v]);
+    assert_eq!(c.rounds(), 5, "max sequence length");
+    assert_eq!(seqs[3], vec![3, 3, 3]);
+    // Empty sequences cost nothing.
+    let mut c2 = Clique::new(6);
+    c2.broadcast_vec(|_| Vec::new());
+    assert_eq!(c2.rounds(), 0);
+}
+
+#[test]
+fn exchange_charges_per_link_queues() {
+    // Two messages on the same link queue sequentially; different links in
+    // parallel.
+    let mut c = Clique::new(4);
+    c.exchange(|v| match v {
+        0 => vec![(1, vec![1, 2]), (2, vec![3])],
+        3 => vec![(2, vec![4])],
+        _ => vec![],
+    });
+    assert_eq!(c.rounds(), 2, "longest link queue is 0→1 with 2 words");
+    assert_eq!(c.stats().words(), 4);
+}
+
+#[test]
+fn self_messages_are_free_everywhere() {
+    let mut c = Clique::new(4);
+    let inbox = c.exchange(|v| vec![(v, vec![7, 8, 9])]);
+    assert_eq!(c.rounds(), 0, "local memory moves cost nothing");
+    assert_eq!(inbox.received(2, 2), &[7, 8, 9]);
+}
+
+#[test]
+fn dynamic_routing_charges_headers_per_message() {
+    let n = 8;
+    // 16 single-word messages per node: oblivious pays ~16/n·2 phases,
+    // dynamic pays double (1 header word per message).
+    let pattern = |v: usize| -> Vec<(usize, Vec<u64>)> {
+        (0..16).map(|j| ((v + j + 1) % n, vec![j as u64])).collect()
+    };
+    let mut oblivious = Clique::new(n);
+    oblivious.route(pattern);
+    let mut dynamic = Clique::new(n);
+    dynamic.route_dynamic(pattern);
+    assert_eq!(
+        dynamic.stats().words(),
+        2 * oblivious.stats().words(),
+        "headers double the traffic"
+    );
+    assert!(dynamic.rounds() >= oblivious.rounds());
+}
+
+#[test]
+fn gossip_cost_tracks_total_volume() {
+    // Doubling everyone's contribution should roughly double gossip cost.
+    let run = |k: usize| {
+        let mut c = Clique::new(16);
+        c.gossip(|v| vec![v as u64; k]);
+        c.rounds()
+    };
+    let (r8, r32) = (run(8), run(32));
+    assert!(
+        r32 >= 3 * r8 && r32 <= 6 * r8,
+        "4x volume should be ~4x rounds: {r8} -> {r32}"
+    );
+}
+
+#[test]
+fn reducers_share_one_broadcast_each() {
+    let mut c = Clique::new(10);
+    let s = c.sum_all(|v| v as i64);
+    let m = c.max_all(|v| v as i64);
+    assert_eq!((s, m), (45, 9));
+    assert_eq!(c.rounds(), 2, "one broadcast per reduce");
+}
+
+#[test]
+fn phase_totals_are_consistent_with_global_totals() {
+    let mut c = Clique::new(8);
+    c.phase("a", |c| {
+        c.broadcast(|v| v as u64);
+    });
+    c.phase("b", |c| {
+        c.route(|v| vec![((v + 1) % 8, vec![1, 2])]);
+    });
+    let a = c.stats().phase("a").unwrap();
+    let b = c.stats().phase("b").unwrap();
+    assert_eq!(a.rounds + b.rounds, c.rounds());
+    assert_eq!(a.words + b.words, c.stats().words());
+}
+
+#[test]
+fn broadcast_mode_allows_broadcasts_and_reducers() {
+    let cfg = CliqueConfig {
+        mode: Mode::Broadcast,
+        ..CliqueConfig::default()
+    };
+    let mut c = Clique::with_config(6, cfg);
+    let words = c.broadcast(|v| (v * 2) as u64);
+    assert_eq!(words[3], 6);
+    assert_eq!(c.sum_all(|v| v as i64), 15);
+    assert!(c.or_all(|v| v == 5));
+}

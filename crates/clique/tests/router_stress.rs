@@ -1,0 +1,151 @@
+//! Stress tests for the balanced router and the gossip primitive under
+//! adversarially skewed load patterns: the routing guarantee the paper
+//! borrows from Lenzen — `O(⌈L/n⌉)` rounds for per-node loads `L` — must
+//! hold (up to small constants) regardless of how the load is shaped.
+
+use cc_clique::{Clique, CliqueConfig, RelayPolicy};
+
+/// Ideal rounds for a routing instance: `max(out, in) / n`, the
+/// information-theoretic floor.
+fn ideal(per_node_load: usize, n: usize) -> u64 {
+    per_node_load.div_ceil(n) as u64
+}
+
+#[test]
+fn single_hot_destination() {
+    // Every node sends its full budget to ONE destination: in-load n·L at
+    // the target. Rounds must track the receiver bottleneck, not explode.
+    let n = 64;
+    let per_src = 2 * n;
+    let mut c = Clique::new(n);
+    c.route(|v| {
+        if v == 0 {
+            vec![]
+        } else {
+            vec![(0, vec![v as u64; per_src])]
+        }
+    });
+    let floor = ideal((n - 1) * per_src, n);
+    assert!(
+        c.rounds() <= 3 * floor + 8,
+        "hot destination: {} rounds vs floor {floor}",
+        c.rounds()
+    );
+}
+
+#[test]
+fn single_hot_source() {
+    let n = 64;
+    let mut c = Clique::new(n);
+    c.route(|v| {
+        if v != 0 {
+            return vec![];
+        }
+        (1..n)
+            .map(|u| (u, vec![u as u64; 2 * n / (n - 1) + 1]))
+            .collect()
+    });
+    assert!(
+        c.rounds() <= 16,
+        "hot source should still be ~O(1): {}",
+        c.rounds()
+    );
+}
+
+#[test]
+fn permutation_pattern_is_cheap() {
+    // One word per node to a permuted destination: the lightest possible
+    // routing instance; must be a handful of rounds.
+    let n = 128;
+    let mut c = Clique::new(n);
+    c.route(|v| vec![((v * 37 + 11) % n, vec![v as u64])]);
+    assert!(
+        c.rounds() <= 6,
+        "permutation routing took {} rounds",
+        c.rounds()
+    );
+}
+
+#[test]
+fn block_scatter_matches_theory() {
+    // The 3D algorithm's shape: each node sends n/p words to p² peers.
+    let n = 125;
+    let p = 5;
+    let chunk = n / p;
+    let mut c = Clique::new(n);
+    c.route(|v| {
+        (0..p * p)
+            .map(|k| ((v + k * p + 1) % n, vec![0u64; chunk]))
+            .collect()
+    });
+    let floor = ideal(p * p * chunk, n);
+    assert!(
+        c.rounds() <= 3 * floor + 8,
+        "block scatter: {} rounds vs floor {floor}",
+        c.rounds()
+    );
+}
+
+#[test]
+fn two_choice_beats_single_hash_on_balanced_loads() {
+    let n = 64;
+    let run = |policy: RelayPolicy| {
+        let cfg = CliqueConfig {
+            relay_policy: policy,
+            ..CliqueConfig::default()
+        };
+        let mut c = Clique::with_config(n, cfg);
+        c.route(|v| {
+            (0..n)
+                .filter(|&u| u != v)
+                .map(|u| (u, vec![v as u64; 2]))
+                .collect()
+        });
+        c.rounds()
+    };
+    assert!(run(RelayPolicy::TwoChoice) <= run(RelayPolicy::SingleHash));
+}
+
+#[test]
+fn gossip_with_empty_and_uneven_contributions() {
+    let n = 32;
+    let mut c = Clique::new(n);
+    let all = c.gossip(|v| {
+        if v % 3 == 0 {
+            vec![v as u64; v + 1]
+        } else {
+            vec![]
+        }
+    });
+    let expect: usize = (0..n).filter(|v| v % 3 == 0).map(|v| v + 1).sum();
+    assert_eq!(all.len(), expect);
+    // Also the degenerate all-empty case.
+    let mut c2 = Clique::new(n);
+    let nothing = c2.gossip(|_| vec![]);
+    assert!(nothing.is_empty());
+    assert_eq!(c2.rounds(), 0);
+}
+
+#[test]
+fn route_preserves_per_source_order() {
+    let n = 16;
+    let mut c = Clique::new(n);
+    let inbox = c.route(|v| vec![((v + 1) % n, (0..10).map(|j| (v * 100 + j) as u64).collect())]);
+    for v in 0..n {
+        let got = inbox.received((v + 1) % n, v);
+        let expect: Vec<u64> = (0..10).map(|j| (v * 100 + j) as u64).collect();
+        assert_eq!(got, expect.as_slice(), "order from source {v}");
+    }
+}
+
+#[test]
+fn repeated_routes_accumulate_rounds_monotonically() {
+    let n = 16;
+    let mut c = Clique::new(n);
+    let mut last = 0;
+    for step in 0..5 {
+        c.route(|v| vec![((v + step + 1) % n, vec![step as u64])]);
+        assert!(c.rounds() > last, "rounds must strictly grow per step");
+        last = c.rounds();
+    }
+}

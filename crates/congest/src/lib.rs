@@ -1,0 +1,369 @@
+//! # cc-congest: the CONGEST model
+//!
+//! The paper's conclusions (§5) propose carrying its congested-clique
+//! techniques into the standard **CONGEST** model, where the `n` nodes of
+//! `G` communicate *only along the edges of `G`* (one `O(log n)`-bit word
+//! per edge direction per round): "fast triangle detection in the CONGEST
+//! model is trivial in those areas of the network that are sparse … in
+//! dense areas we may have enough overall bandwidth for fast matrix
+//! multiplication algorithms."
+//!
+//! This crate provides that future-work substrate and the classical
+//! comparison points on it:
+//!
+//! * [`Congest`] — a round-faithful simulator (per-edge word queues, the
+//!   same honest accounting as [`cc_clique::Clique`]);
+//! * [`triangle_detect`] — the folklore `O(Δ)`-round neighbourhood
+//!   exchange, whose *degree*-dependence is exactly what the paper's clique
+//!   algorithms remove;
+//! * [`bfs`] / [`sssp_bellman_ford`] — distance computation whose
+//!   `Θ(diameter)` round cost illustrates why the clique model "masks away
+//!   the effect of distances" (paper §1).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use cc_congest::{bfs, Congest};
+//! use cc_graph::generators;
+//!
+//! let g = generators::cycle(10);
+//! let mut net = Congest::new(&g);
+//! let dist = bfs(&mut net, 0);
+//! assert_eq!(dist[5], Some(5));
+//! assert_eq!(net.rounds(), 6); // a BFS wave pays the eccentricity
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cc_clique::Word;
+use cc_graph::Graph;
+use std::collections::BTreeMap;
+
+/// A simulated CONGEST network over a graph `G`: communication happens
+/// only along edges of `G`, one word per edge direction per round.
+///
+/// As in [`cc_clique::Clique`], algorithms enqueue words and the simulator
+/// executes synchronous rounds; the reported round count is the number of
+/// executed rounds (the longest per-edge queue per step).
+#[derive(Debug)]
+pub struct Congest<'g> {
+    g: &'g Graph,
+    rounds: u64,
+    words: u64,
+}
+
+/// Messages delivered by one [`Congest::exchange`] step:
+/// `inbox[v]` maps each in-neighbour to the words it sent.
+pub type EdgeInboxes = Vec<BTreeMap<usize, Vec<Word>>>;
+
+impl<'g> Congest<'g> {
+    /// Creates a CONGEST network over `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has fewer than 2 nodes.
+    #[must_use]
+    pub fn new(g: &'g Graph) -> Self {
+        assert!(g.n() >= 2, "a network needs at least 2 nodes");
+        Self {
+            g,
+            rounds: 0,
+            words: 0,
+        }
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.g
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.g.n()
+    }
+
+    /// Synchronous rounds executed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total words delivered so far.
+    #[must_use]
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// One communication step: node `v`'s generator returns messages for
+    /// its **out-neighbours only**; the step costs as many rounds as the
+    /// longest per-edge queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message targets a non-neighbour — CONGEST has no other
+    /// links.
+    pub fn exchange<F>(&mut self, mut messages: F) -> EdgeInboxes
+    where
+        F: FnMut(usize) -> Vec<(usize, Vec<Word>)>,
+    {
+        let n = self.n();
+        let mut inboxes: EdgeInboxes = vec![BTreeMap::new(); n];
+        let mut max_queue = 0u64;
+        for v in 0..n {
+            for (u, payload) in messages(v) {
+                assert!(
+                    self.g.has_edge(v, u),
+                    "CONGEST violation: {v} -> {u} is not an edge of G"
+                );
+                if payload.is_empty() {
+                    continue;
+                }
+                self.words += payload.len() as u64;
+                let entry = inboxes[u].entry(v).or_default();
+                entry.extend(payload);
+                max_queue = max_queue.max(entry.len() as u64);
+            }
+        }
+        self.rounds += max_queue;
+        inboxes
+    }
+
+    /// Convenience: every node sends the same word to all its neighbours
+    /// (one round, like a local flood step).
+    pub fn flood<F>(&mut self, mut word_of: F) -> EdgeInboxes
+    where
+        F: FnMut(usize) -> Option<Word>,
+    {
+        let g = self.g;
+        self.exchange(|v| match word_of(v) {
+            Some(w) => g.neighbors(v).map(|u| (u, vec![w])).collect(),
+            None => Vec::new(),
+        })
+    }
+}
+
+/// Folklore CONGEST triangle detection: every node ships its neighbour
+/// list to every neighbour (`deg(v)` words per incident edge), then checks
+/// for a common neighbour locally. Costs `Θ(Δ)` rounds — the baseline whose
+/// degree dependence the paper's clique algorithms eliminate.
+///
+/// # Panics
+///
+/// Panics on directed graphs.
+#[must_use]
+pub fn triangle_detect(net: &mut Congest<'_>) -> bool {
+    let g = net.graph().clone();
+    assert!(
+        !g.is_directed(),
+        "triangle detection expects an undirected graph"
+    );
+    let neighbor_lists: Vec<Vec<Word>> = (0..g.n())
+        .map(|v| g.neighbors(v).map(|u| u as Word).collect())
+        .collect();
+    let inboxes = net.exchange(|v| {
+        g.neighbors(v)
+            .map(|u| (u, neighbor_lists[v].clone()))
+            .collect()
+    });
+    // v sees N(u) for every neighbour u: a triangle exists iff some
+    // received list shares a node with N(v).
+    (0..g.n()).any(|v| {
+        inboxes[v]
+            .iter()
+            .any(|(_, list)| list.iter().any(|&w| g.has_edge(v, w as usize)))
+    })
+}
+
+/// BFS from `root`: hop distances computed by wave propagation, paying one
+/// round per level — `Θ(ecc(root))` rounds, the distance dependence the
+/// clique model abstracts away.
+#[must_use]
+pub fn bfs(net: &mut Congest<'_>, root: usize) -> Vec<Option<usize>> {
+    let n = net.n();
+    assert!(root < n, "root out of range");
+    let mut dist: Vec<Option<usize>> = vec![None; n];
+    dist[root] = Some(0);
+    let mut frontier: Vec<usize> = vec![root];
+    while !frontier.is_empty() {
+        let in_frontier: Vec<bool> = {
+            let mut f = vec![false; n];
+            for &v in &frontier {
+                f[v] = true;
+            }
+            f
+        };
+        let inboxes = net.flood(|v| {
+            if in_frontier[v] {
+                Some(v as Word)
+            } else {
+                None
+            }
+        });
+        let mut next = Vec::new();
+        for v in 0..n {
+            if dist[v].is_none() && !inboxes[v].is_empty() {
+                let level = frontier
+                    .first()
+                    .and_then(|&f| dist[f])
+                    .expect("frontier nodes have distances");
+                dist[v] = Some(level + 1);
+                next.push(v);
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// Single-source Bellman–Ford in CONGEST for non-negative weights: each
+/// round every improved node announces its tentative distance to its
+/// neighbours. Terminates after at most `n` waves; `Θ(n)` rounds worst
+/// case on weighted paths.
+///
+/// # Panics
+///
+/// Panics if weights are negative or `root` is out of range.
+#[must_use]
+pub fn sssp_bellman_ford(net: &mut Congest<'_>, root: usize) -> Vec<Option<i64>> {
+    let n = net.n();
+    assert!(root < n, "root out of range");
+    assert!(
+        net.graph().edges().iter().all(|&(_, _, w)| w >= 0),
+        "non-negative weights required"
+    );
+    let mut dist: Vec<Option<i64>> = vec![None; n];
+    dist[root] = Some(0);
+    let mut changed: Vec<bool> = vec![false; n];
+    changed[root] = true;
+    loop {
+        let snapshot = dist.clone();
+        let announce: Vec<bool> = changed.clone();
+        let inboxes = net.flood(|v| {
+            if announce[v] {
+                snapshot[v].map(|d| d as Word)
+            } else {
+                None
+            }
+        });
+        changed = vec![false; n];
+        let mut any = false;
+        for v in 0..n {
+            for (&u, words) in &inboxes[v] {
+                let du = words[0] as i64;
+                let w = net.graph().weight(u, v).expect("edge weight");
+                let cand = du + w;
+                if dist[v].is_none_or(|cur| cand < cur) {
+                    dist[v] = Some(cand);
+                    changed[v] = true;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::{generators, oracle};
+
+    #[test]
+    fn exchange_rejects_non_edges() {
+        let g = generators::path(4);
+        let mut net = Congest::new(&g);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.exchange(|v| if v == 0 { vec![(3, vec![1])] } else { vec![] })
+        }));
+        assert!(result.is_err(), "0 -> 3 is not an edge of P4");
+    }
+
+    #[test]
+    fn triangle_detection_matches_oracle() {
+        for (g, expect) in [
+            (generators::complete(6), true),
+            (generators::petersen(), false),
+            (generators::cycle(3), true),
+            (generators::grid(3, 3), false),
+        ] {
+            let mut net = Congest::new(&g);
+            assert_eq!(triangle_detect(&mut net), expect);
+        }
+        for seed in 0..5 {
+            let g = generators::gnp(20, 0.15, seed);
+            let mut net = Congest::new(&g);
+            assert_eq!(
+                triangle_detect(&mut net),
+                oracle::count_triangles(&g) > 0,
+                "seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_rounds_scale_with_max_degree() {
+        // A star has Δ = n-1: the folklore algorithm pays for it even
+        // though a star is triangle-free — the weakness the paper's clique
+        // algorithms do not have.
+        let mut star = cc_graph::Graph::undirected(32);
+        for v in 1..32 {
+            star.add_edge(0, v);
+        }
+        let mut net = Congest::new(&star);
+        assert!(!triangle_detect(&mut net));
+        assert!(
+            net.rounds() >= 31,
+            "Δ-dependence expected, got {}",
+            net.rounds()
+        );
+    }
+
+    #[test]
+    fn bfs_matches_oracle_and_pays_eccentricity() {
+        for seed in 0..4 {
+            let g = generators::gnp(18, 0.2, seed);
+            let mut net = Congest::new(&g);
+            let dist = bfs(&mut net, 0);
+            assert_eq!(dist, oracle::bfs_dist(&g, 0), "seed={seed}");
+        }
+        let g = generators::path(20);
+        let mut net = Congest::new(&g);
+        let dist = bfs(&mut net, 0);
+        assert_eq!(dist[19], Some(19));
+        assert!(
+            net.rounds() >= 19,
+            "BFS pays the distance: {}",
+            net.rounds()
+        );
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra() {
+        for seed in 0..4 {
+            let g = generators::weighted_gnp(16, 0.25, 7, false, seed);
+            let mut net = Congest::new(&g);
+            let got = sssp_bellman_ford(&mut net, 0);
+            let expect = oracle::dijkstra(&g, 0);
+            for v in 0..16 {
+                assert_eq!(got[v], expect[v].value(), "({v}) seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn congest_pays_the_diameter() {
+        // One BFS on a path pays Θ(n) rounds; the clique-side comparison
+        // (Seidel's full APSP in far fewer rounds on the same graph) lives
+        // in the facade's `congest_vs_clique` integration test.
+        let g = generators::path(24);
+        let mut net = Congest::new(&g);
+        let _ = bfs(&mut net, 0);
+        assert!(net.rounds() >= 23);
+    }
+}

@@ -1,0 +1,79 @@
+//! Boolean matrix products through the fast integer path.
+//!
+//! A Boolean product `A·B` over the semiring `({0,1}, ∨, ∧)` equals the
+//! integer product thresholded at zero, so the fast bilinear algorithm
+//! (which needs a ring) applies: this is how the paper's cycle-detection,
+//! girth, and Seidel algorithms obtain their Boolean products in
+//! `O(n^ρ)` rounds (e.g. the remark below Lemma 11).
+
+use crate::fast_mm;
+use crate::row_matrix::RowMatrix;
+use cc_algebra::{BilinearAlgorithm, IntRing};
+use cc_clique::Clique;
+
+/// Boolean matrix product via integer fast multiplication: entry `(u,v)` is
+/// `true` iff some `w` has `A[u][w] ∧ B[w][v]`.
+///
+/// Intermediate integer values are bounded by `n`, so single-word entries
+/// suffice.
+pub fn multiply(
+    clique: &mut Clique,
+    alg: &BilinearAlgorithm,
+    a: &RowMatrix<bool>,
+    b: &RowMatrix<bool>,
+) -> RowMatrix<bool> {
+    let ia = a.map(|&x| i64::from(x));
+    let ib = b.map(|&x| i64::from(x));
+    let p = clique.phase("boolmm", |c| fast_mm::multiply(c, &IntRing, alg, &ia, &ib));
+    p.map(|&x| x != 0)
+}
+
+/// `A·B ∨ C` in one pass — the recurring shape of the paper's reachability
+/// recurrences (equation (4): `B⁽ⁱ⁾ = (B⁽ʲ⁾ B⁽ᵏ⁾) ∨ A`).
+pub fn multiply_or(
+    clique: &mut Clique,
+    alg: &BilinearAlgorithm,
+    a: &RowMatrix<bool>,
+    b: &RowMatrix<bool>,
+    c: &RowMatrix<bool>,
+) -> RowMatrix<bool> {
+    let p = multiply(clique, alg, a, b);
+    p.map_indexed(|u, v, &x| x || c.row(u)[v])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fast_plan::FastPlan;
+    use cc_algebra::{BoolSemiring, Matrix};
+
+    #[test]
+    fn matches_boolean_semiring_product() {
+        for n in [4, 9, 14] {
+            let a = Matrix::from_fn(n, n, |i, j| (i * 5 + j) % 3 == 0);
+            let b = Matrix::from_fn(n, n, |i, j| (i + 2 * j) % 4 == 1);
+            let alg = FastPlan::best_strassen(n);
+            let mut clique = Clique::new(n);
+            let p = multiply(
+                &mut clique,
+                &alg,
+                &RowMatrix::from_matrix(&a),
+                &RowMatrix::from_matrix(&b),
+            );
+            assert_eq!(p.to_matrix(), Matrix::mul(&BoolSemiring, &a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn multiply_or_folds_in_the_adjacency() {
+        let n = 6;
+        // Directed path 0→1→…→5: A² reaches two steps, A²∨A reaches one or two.
+        let a = Matrix::from_fn(n, n, |i, j| j == i + 1);
+        let alg = FastPlan::best_strassen(n);
+        let mut clique = Clique::new(n);
+        let rm = RowMatrix::from_matrix(&a);
+        let p = multiply_or(&mut clique, &alg, &rm, &rm, &rm);
+        assert!(p.row(0)[1] && p.row(0)[2]);
+        assert!(!p.row(0)[3]);
+    }
+}

@@ -1,0 +1,59 @@
+//! # cc-core: matrix multiplication in the congested clique
+//!
+//! This crate implements the primary contribution of *"Algebraic Methods in
+//! the Congested Clique"* (PODC 2015): matrix multiplication algorithms for
+//! the congested clique and the distance-product machinery built on them.
+//!
+//! * [`semiring_mm`] — the **3D algorithm** (paper §2.1): `O(n^{1/3})`-round
+//!   multiplication over any semiring, by partitioning the `n³`
+//!   element-multiplications into `n` subcubes.
+//! * [`fast_mm`] — the **fast bilinear algorithm** (paper §2.2):
+//!   `O(n^{1-2/σ})`-round multiplication over rings, parameterised by any
+//!   [`cc_algebra::BilinearAlgorithm`] with `m = O(d^σ)` multiplications
+//!   (Strassen and its tensor powers here; the paper's `ω < 2.373`
+//!   algorithms have no implementable tensor description — see DESIGN.md).
+//! * [`distance`] — min-plus (distance) products: exact via the 3D
+//!   algorithm, weight-capped via the polynomial-ring embedding (Lemma 18),
+//!   and `(1+δ)`-approximate via weight scaling (Lemma 20).
+//! * [`witness`] — witness matrices for distance products (paper §3.4),
+//!   enabling routing-table construction.
+//! * [`boolean`] — Boolean semiring products through the integer fast path.
+//!
+//! Matrices live in the paper's input convention: node `v` holds **row `v`**
+//! of each operand and ends with row `v` of the product ([`RowMatrix`]).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use cc_algebra::{IntRing, Matrix};
+//! use cc_clique::Clique;
+//! use cc_core::{semiring_mm, RowMatrix};
+//!
+//! let n = 8;
+//! let a = Matrix::from_fn(n, n, |i, j| ((i + j) % 3) as i64);
+//! let b = Matrix::from_fn(n, n, |i, j| ((2 * i + j) % 5) as i64);
+//! let mut clique = Clique::new(n);
+//! let product = semiring_mm::multiply(
+//!     &mut clique,
+//!     &IntRing,
+//!     &RowMatrix::from_matrix(&a),
+//!     &RowMatrix::from_matrix(&b),
+//! );
+//! assert_eq!(product.to_matrix(), Matrix::mul(&IntRing, &a, &b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boolean;
+pub mod distance;
+pub mod fast_mm;
+mod fast_plan;
+mod plan3d;
+mod row_matrix;
+pub mod semiring_mm;
+pub mod witness;
+
+pub use crate::fast_plan::FastPlan;
+pub use crate::plan3d::Plan3d;
+pub use crate::row_matrix::RowMatrix;

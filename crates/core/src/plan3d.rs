@@ -1,0 +1,205 @@
+//! Partitioning plan for the semiring 3D algorithm (paper §2.1, Figure 1).
+
+/// The index partitioning used by the 3D algorithm: the `n × n × n`
+/// multiplication cube is split into `p³` subcubes (`p = ⌊n^{1/3}⌋`), and
+/// the `p³` *active* nodes are identified with digit triples
+/// `v = v₁v₂v₃ ∈ [p]³`; node `v₁v₂v₃` computes the block product
+/// `S[v₁∗∗, v₂∗∗] · T[v₂∗∗, v₃∗∗]`.
+///
+/// The paper assumes `n^{1/3}` is an integer; this plan generalises to all
+/// `n` by letting the `p³ ≤ n` lowest-numbered nodes be active (the rest
+/// participate only as row owners) and by using row/column blocks of size
+/// `⌈n/p⌉` with a shorter final block.
+///
+/// # Examples
+///
+/// ```rust
+/// use cc_core::Plan3d;
+/// let plan = Plan3d::new(64);
+/// assert_eq!(plan.p(), 4);
+/// assert_eq!(plan.active(), 64);
+/// assert_eq!(plan.digits(0b_110110 /* 54 */), (3, 1, 2)); // 54 = 3*16 + 1*4 + 2
+/// assert_eq!(plan.block_of_row(63), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Plan3d {
+    n: usize,
+    p: usize,
+    bs: usize,
+}
+
+impl Plan3d {
+    /// Builds the plan for an `n`-node clique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 1`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "empty clique");
+        let mut p = 1;
+        while (p + 1) * (p + 1) * (p + 1) <= n {
+            p += 1;
+        }
+        let bs = n.div_ceil(p);
+        Self { n, p, bs }
+    }
+
+    /// Clique / matrix dimension `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Cube side `p = ⌊n^{1/3}⌋`.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Number of active nodes, `p³`.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.p * self.p * self.p
+    }
+
+    /// Row/column block size `⌈n/p⌉` (the final block may be shorter).
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.bs
+    }
+
+    /// Digit decomposition of an active node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not active.
+    #[must_use]
+    pub fn digits(&self, v: usize) -> (usize, usize, usize) {
+        assert!(
+            v < self.active(),
+            "node {v} is not active (p³ = {})",
+            self.active()
+        );
+        (v / (self.p * self.p), (v / self.p) % self.p, v % self.p)
+    }
+
+    /// Node id of a digit triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any digit is out of `[p]`.
+    #[must_use]
+    pub fn node_of(&self, d1: usize, d2: usize, d3: usize) -> usize {
+        assert!(
+            d1 < self.p && d2 < self.p && d3 < self.p,
+            "digit out of range"
+        );
+        (d1 * self.p + d2) * self.p + d3
+    }
+
+    /// The block index of matrix row/column `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r ≥ n`.
+    #[must_use]
+    pub fn block_of_row(&self, r: usize) -> usize {
+        assert!(r < self.n, "row {r} out of range");
+        r / self.bs
+    }
+
+    /// The row/column range of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b ≥ p`.
+    #[must_use]
+    pub fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+        assert!(b < self.p, "block {b} out of range (p = {})", self.p);
+        b * self.bs..((b + 1) * self.bs).min(self.n)
+    }
+
+    /// ASCII rendering of the Figure 1 partitioning: the matrix `S` divided
+    /// into the `p × p` grid of blocks `S[x∗∗, y∗∗]`, with one block
+    /// highlighted as in the paper's figure.
+    #[must_use]
+    pub fn render_figure(&self, highlight: (usize, usize)) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "3D plan: n = {}, p = {}, block ⌈n/p⌉ = {} (Figure 1)\n",
+            self.n, self.p, self.bs
+        ));
+        for x in 0..self.p {
+            for _sub in 0..2 {
+                for y in 0..self.p {
+                    let mark = if (x, y) == highlight { "##" } else { "··" };
+                    out.push_str(&format!("[{mark}{mark}]"));
+                }
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "highlighted: S[{}∗∗, {}∗∗] = rows {:?} × cols {:?}\n",
+            highlight.0,
+            highlight.1,
+            self.block_range(highlight.0),
+            self.block_range(highlight.1)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_cube() {
+        let plan = Plan3d::new(27);
+        assert_eq!(plan.p(), 3);
+        assert_eq!(plan.active(), 27);
+        assert_eq!(plan.block_size(), 9);
+        assert_eq!(plan.digits(26), (2, 2, 2));
+        assert_eq!(plan.node_of(2, 2, 2), 26);
+        assert_eq!(plan.block_range(2), 18..27);
+    }
+
+    #[test]
+    fn non_cube_degrades_gracefully() {
+        let plan = Plan3d::new(30);
+        assert_eq!(plan.p(), 3);
+        assert_eq!(plan.active(), 27);
+        assert_eq!(plan.block_size(), 10);
+        assert_eq!(plan.block_range(2), 20..30);
+        // All rows map to a valid block.
+        for r in 0..30 {
+            assert!(plan.block_of_row(r) < 3);
+        }
+    }
+
+    #[test]
+    fn tiny_clique_has_single_block() {
+        let plan = Plan3d::new(5);
+        assert_eq!(plan.p(), 1);
+        assert_eq!(plan.active(), 1);
+        assert_eq!(plan.block_range(0), 0..5);
+    }
+
+    #[test]
+    fn digits_roundtrip() {
+        let plan = Plan3d::new(64);
+        for v in 0..plan.active() {
+            let (a, b, c) = plan.digits(v);
+            assert_eq!(plan.node_of(a, b, c), v);
+        }
+    }
+
+    #[test]
+    fn figure_rendering_mentions_parameters() {
+        let plan = Plan3d::new(27);
+        let fig = plan.render_figure((1, 2));
+        assert!(fig.contains("p = 3"));
+        assert!(fig.contains("S[1∗∗, 2∗∗]"));
+    }
+}

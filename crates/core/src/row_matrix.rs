@@ -1,0 +1,152 @@
+//! Row-distributed matrices: the paper's input/output convention.
+
+use cc_algebra::Matrix;
+
+/// An `n × n` matrix distributed over an `n`-node clique so that node `v`
+/// holds row `v` — the input and output convention of the paper's matrix
+/// multiplication task (§2).
+///
+/// The driver program owns the whole structure (this is a simulation), but
+/// algorithms access `rows[v]` only from node `v`'s message-generator
+/// closures, preserving the locality discipline.
+///
+/// # Examples
+///
+/// ```rust
+/// use cc_algebra::Matrix;
+/// use cc_core::RowMatrix;
+///
+/// let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as i64);
+/// let rm = RowMatrix::from_matrix(&m);
+/// assert_eq!(rm.n(), 4);
+/// assert_eq!(rm.row(2), &[8, 9, 10, 11]);
+/// assert_eq!(rm.to_matrix(), m);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowMatrix<E> {
+    rows: Vec<Vec<E>>,
+}
+
+impl<E: Clone> RowMatrix<E> {
+    /// Distributes a square matrix by rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    #[must_use]
+    pub fn from_matrix(m: &Matrix<E>) -> Self {
+        assert_eq!(
+            m.rows(),
+            m.cols(),
+            "row distribution requires a square matrix"
+        );
+        Self {
+            rows: (0..m.rows()).map(|i| m.row(i).to_vec()).collect(),
+        }
+    }
+
+    /// Builds a distributed matrix by tabulating entries.
+    #[must_use]
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> E) -> Self {
+        Self {
+            rows: (0..n).map(|i| (0..n).map(|j| f(i, j)).collect()).collect(),
+        }
+    }
+
+    /// Collects the distributed rows into one local matrix (driver-side
+    /// convenience for tests and result inspection; not a communication
+    /// step).
+    #[must_use]
+    pub fn to_matrix(&self) -> Matrix<E> {
+        Matrix::from_fn(self.n(), self.n(), |i, j| self.rows[i][j].clone())
+    }
+
+    /// Matrix dimension (= clique size).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Node `v`'s local row.
+    #[must_use]
+    pub fn row(&self, v: usize) -> &[E] {
+        &self.rows[v]
+    }
+
+    /// Mutable access to node `v`'s local row.
+    pub fn row_mut(&mut self, v: usize) -> &mut [E] {
+        &mut self.rows[v]
+    }
+
+    /// Builds a new distributed matrix from per-node rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly `n` rows of length `n` are supplied.
+    #[must_use]
+    pub fn from_rows(rows: Vec<Vec<E>>) -> Self {
+        let n = rows.len();
+        assert!(
+            rows.iter().all(|r| r.len() == n),
+            "rows must have length n={n}"
+        );
+        Self { rows }
+    }
+
+    /// Element-wise map.
+    #[must_use]
+    pub fn map<F: Clone>(&self, mut f: impl FnMut(&E) -> F) -> RowMatrix<F> {
+        RowMatrix {
+            rows: self
+                .rows
+                .iter()
+                .map(|r| r.iter().map(&mut f).collect())
+                .collect(),
+        }
+    }
+
+    /// Element-wise map with `(row, col)` indices.
+    #[must_use]
+    pub fn map_indexed<F: Clone>(&self, mut f: impl FnMut(usize, usize, &E) -> F) -> RowMatrix<F> {
+        RowMatrix {
+            rows: self
+                .rows
+                .iter()
+                .enumerate()
+                .map(|(i, r)| r.iter().enumerate().map(|(j, e)| f(i, j, e)).collect())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as i64);
+        let rm = RowMatrix::from_matrix(&m);
+        assert_eq!(rm.to_matrix(), m);
+    }
+
+    #[test]
+    fn map_indexed_sees_coordinates() {
+        let rm = RowMatrix::from_fn(2, |_, _| 0i64);
+        let mapped = rm.map_indexed(|i, j, _| (i * 10 + j) as i64);
+        assert_eq!(mapped.row(1), &[10, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        let m = Matrix::filled(2, 3, 0i64);
+        let _ = RowMatrix::from_matrix(&m);
+    }
+
+    #[test]
+    #[should_panic(expected = "length n")]
+    fn rejects_ragged_rows() {
+        let _ = RowMatrix::from_rows(vec![vec![1i64, 2], vec![3]]);
+    }
+}

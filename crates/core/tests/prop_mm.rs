@@ -1,0 +1,118 @@
+//! Property tests for the distributed multiplication engines: for random
+//! matrices and *arbitrary* clique sizes (including primes and other
+//! padding-hostile values), every engine must agree with the local
+//! schoolbook product over its structure.
+
+use cc_algebra::{Dist, IntRing, Matrix, MinPlus, ModRing, INFINITY};
+use cc_clique::Clique;
+use cc_core::{fast_mm, semiring_mm, RowMatrix};
+use proptest::prelude::*;
+
+fn int_matrix(n: usize, seed: u64) -> Matrix<i64> {
+    let mut st = seed.wrapping_add(0x9e3779b97f4a7c15);
+    Matrix::from_fn(n, n, |_, _| {
+        st = st
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((st >> 33) % 13) as i64 - 6
+    })
+}
+
+fn dist_matrix(n: usize, seed: u64) -> Matrix<Dist> {
+    let mut st = seed.wrapping_add(7);
+    Matrix::from_fn(n, n, |_, _| {
+        st = st
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let x = st >> 33;
+        if x.is_multiple_of(5) {
+            INFINITY
+        } else {
+            Dist::finite((x % 30) as i64)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn semiring_3d_matches_local(n in 2usize..30, seed in 0u64..10_000) {
+        let a = int_matrix(n, seed);
+        let b = int_matrix(n, seed ^ 0xabcd);
+        let mut clique = Clique::new(n);
+        let p = semiring_mm::multiply(
+            &mut clique,
+            &IntRing,
+            &RowMatrix::from_matrix(&a),
+            &RowMatrix::from_matrix(&b),
+        );
+        prop_assert_eq!(p.to_matrix(), Matrix::mul(&IntRing, &a, &b));
+    }
+
+    #[test]
+    fn fast_mm_matches_local(n in 2usize..30, seed in 0u64..10_000) {
+        let a = int_matrix(n, seed);
+        let b = int_matrix(n, seed ^ 0x1234);
+        let mut clique = Clique::new(n);
+        let p = fast_mm::multiply_auto(
+            &mut clique,
+            &IntRing,
+            &RowMatrix::from_matrix(&a),
+            &RowMatrix::from_matrix(&b),
+        );
+        prop_assert_eq!(p.to_matrix(), Matrix::mul(&IntRing, &a, &b));
+    }
+
+    #[test]
+    fn min_plus_3d_matches_local(n in 2usize..24, seed in 0u64..10_000) {
+        let a = dist_matrix(n, seed);
+        let b = dist_matrix(n, seed ^ 0x77);
+        let mut clique = Clique::new(n);
+        let p = semiring_mm::multiply(
+            &mut clique,
+            &MinPlus,
+            &RowMatrix::from_matrix(&a),
+            &RowMatrix::from_matrix(&b),
+        );
+        prop_assert_eq!(p.to_matrix(), Matrix::mul(&MinPlus, &a, &b));
+    }
+
+    #[test]
+    fn fast_mm_matches_local_over_prime_field(n in 2usize..22, p in 0usize..4, seed in 0u64..10_000) {
+        let primes = [2u64, 5, 13, 31];
+        let field = ModRing::new(primes[p]);
+        let a = int_matrix(n, seed).map(|&x| field.reduce(x));
+        let b = int_matrix(n, seed ^ 0x55).map(|&x| field.reduce(x));
+        let mut clique = Clique::new(n);
+        let prod = fast_mm::multiply_auto(
+            &mut clique,
+            &field,
+            &RowMatrix::from_matrix(&a),
+            &RowMatrix::from_matrix(&b),
+        );
+        prop_assert_eq!(prod.to_matrix(), Matrix::mul(&field, &a, &b));
+    }
+
+    #[test]
+    fn witnesses_certify_on_random_instances(n in 4usize..20, seed in 0u64..10_000) {
+        let a = dist_matrix(n, seed);
+        let b = dist_matrix(n, seed ^ 0x99);
+        let mut clique = Clique::new(n);
+        let (p, q) = semiring_mm::distance_product_with_witness(
+            &mut clique,
+            &RowMatrix::from_matrix(&a),
+            &RowMatrix::from_matrix(&b),
+        );
+        prop_assert_eq!(p.to_matrix(), Matrix::mul(&MinPlus, &a, &b));
+        for u in 0..n {
+            for v in 0..n {
+                if p.row(u)[v].is_finite() {
+                    let w = q.row(u)[v];
+                    prop_assert!(w < n);
+                    prop_assert_eq!(a[(u, w)] + b[(w, v)], p.row(u)[v]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Deterministic, seedable workload generators.
+//!
+//! Every random generator takes an explicit seed and uses a fixed RNG
+//! (`StdRng`), so experiments and tests are reproducible bit-for-bit.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)`: each undirected pair is an edge independently with
+/// probability `p`.
+#[must_use]
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::undirected(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Directed `G(n, p)`: each ordered pair is an edge independently with
+/// probability `p`.
+#[must_use]
+pub fn gnp_directed(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::directed(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Random weighted graph: `G(n, p)` topology with integer weights drawn
+/// uniformly from `1..=max_weight`. Directed or undirected.
+#[must_use]
+pub fn weighted_gnp(n: usize, p: f64, max_weight: i64, directed: bool, seed: u64) -> Graph {
+    assert!(max_weight >= 1, "max_weight must be at least 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = if directed {
+        Graph::directed(n)
+    } else {
+        Graph::undirected(n)
+    };
+    for u in 0..n {
+        let vs: Box<dyn Iterator<Item = usize>> = if directed {
+            Box::new(0..n)
+        } else {
+            Box::new((u + 1)..n)
+        };
+        for v in vs {
+            if u != v && rng.gen_bool(p) {
+                g.add_weighted_edge(u, v, rng.gen_range(1..=max_weight));
+            }
+        }
+    }
+    g
+}
+
+/// The cycle `C_n` (undirected); has girth exactly `n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut g = Graph::undirected(n);
+    for v in 0..n {
+        g.add_edge(v, (v + 1) % n);
+    }
+    g
+}
+
+/// The directed cycle on `n` nodes (`v → v+1 → … → v`).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn directed_cycle(n: usize) -> Graph {
+    assert!(n >= 2, "a directed cycle needs at least 2 nodes");
+    let mut g = Graph::directed(n);
+    for v in 0..n {
+        g.add_edge(v, (v + 1) % n);
+    }
+    g
+}
+
+/// The path `P_n` on `n` nodes (acyclic).
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::undirected(n);
+    for v in 0..n.saturating_sub(1) {
+        g.add_edge(v, v + 1);
+    }
+    g
+}
+
+/// The complete graph `K_n`.
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::undirected(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}` (triangle-free; girth 4 when
+/// `a, b ≥ 2`).
+#[must_use]
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::undirected(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            g.add_edge(u, a + v);
+        }
+    }
+    g
+}
+
+/// The `rows × cols` grid graph (girth 4 when both dimensions are ≥ 2).
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::undirected(rows * cols);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// The Petersen graph: 10 nodes, 15 edges, girth 5, twelve 5-cycles, no
+/// triangles or 4-cycles — a classic witness for cycle-detection edge cases.
+#[must_use]
+pub fn petersen() -> Graph {
+    let mut g = Graph::undirected(10);
+    for v in 0..5 {
+        g.add_edge(v, (v + 1) % 5); // outer pentagon
+        g.add_edge(5 + v, 5 + (v + 2) % 5); // inner pentagram
+        g.add_edge(v, 5 + v); // spokes
+    }
+    g
+}
+
+/// Preferential-attachment ("social network") graph: nodes arrive one at a
+/// time and attach to `attach` existing nodes sampled proportionally to
+/// degree. Produces the heavy-tailed degree distributions that motivate the
+/// paper's subgraph-analytics applications.
+///
+/// # Panics
+///
+/// Panics if `attach == 0` or `n <= attach`.
+#[must_use]
+pub fn preferential_attachment(n: usize, attach: usize, seed: u64) -> Graph {
+    assert!(attach >= 1, "attach must be positive");
+    assert!(n > attach, "need more nodes than attachments");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::undirected(n);
+    // Start from a small clique on attach+1 nodes.
+    for u in 0..=attach {
+        for v in (u + 1)..=attach {
+            g.add_edge(u, v);
+        }
+    }
+    // Degree-proportional sampling via a repeated-endpoints urn.
+    let mut urn: Vec<usize> = Vec::new();
+    for u in 0..=attach {
+        for _ in 0..g.degree(u) {
+            urn.push(u);
+        }
+    }
+    for v in (attach + 1)..n {
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < attach {
+            let pick = urn[rng.gen_range(0..urn.len())];
+            chosen.insert(pick);
+        }
+        for &u in &chosen {
+            g.add_edge(v, u);
+            urn.push(u);
+            urn.push(v);
+        }
+    }
+    g
+}
+
+/// A graph guaranteed to contain a `k`-cycle: a random `G(n, p)` plus a
+/// planted cycle through `k` random nodes. (Shorter cycles may also exist;
+/// use [`cycle`] for exact-girth workloads.)
+///
+/// # Panics
+///
+/// Panics if `k < 3` or `k > n`.
+#[must_use]
+pub fn planted_cycle(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    assert!((3..=n).contains(&k), "need 3 <= k <= n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = gnp(n, p, seed.wrapping_add(1));
+    // Choose k distinct nodes.
+    let mut nodes: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        nodes.swap(i, j);
+    }
+    for i in 0..k {
+        let (u, v) = (nodes[i], nodes[(i + 1) % k]);
+        if !g.has_edge(u, v) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The `d`-dimensional hypercube `Q_d` (`2^d` nodes, girth 4 for `d ≥ 2`,
+/// bipartite, vertex-transitive) — a structured workload for the distance
+/// algorithms.
+#[must_use]
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut g = Graph::undirected(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if v < u {
+                g.add_edge(v, u);
+            }
+        }
+    }
+    g
+}
+
+/// A "caveman" community graph: `communities` cliques of size `size`,
+/// neighbouring cliques joined by a single bridge edge — high clustering
+/// with long inter-community distances, a classic social-network shape.
+///
+/// # Panics
+///
+/// Panics if `communities == 0` or `size < 2`.
+#[must_use]
+pub fn caveman(communities: usize, size: usize) -> Graph {
+    assert!(
+        communities >= 1 && size >= 2,
+        "need communities >= 1 and size >= 2"
+    );
+    let mut g = Graph::undirected(communities * size);
+    for c in 0..communities {
+        let base = c * size;
+        for u in 0..size {
+            for v in (u + 1)..size {
+                g.add_edge(base + u, base + v);
+            }
+        }
+        if c + 1 < communities {
+            g.add_edge(base + size - 1, base + size);
+        }
+    }
+    g
+}
+
+/// A random `d`-regular-ish graph via the configuration model with simple
+/// rejection of loops and duplicates; every node ends with degree at most
+/// `d` and almost all nodes with exactly `d`.
+///
+/// # Panics
+///
+/// Panics if `d ≥ n`.
+#[must_use]
+pub fn near_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(d < n, "degree must be below n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::undirected(n);
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    // Fisher-Yates shuffle, then pair consecutive stubs.
+    for i in (1..stubs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        stubs.swap(i, j);
+    }
+    for pair in stubs.chunks_exact(2) {
+        let (u, v) = (pair[0], pair[1]);
+        if u != v && !g.has_edge(u, v) && g.degree(u) < d && g.degree(v) < d {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Disjoint union of two graphs (nodes of `b` are shifted by `a.n()`).
+///
+/// # Panics
+///
+/// Panics if the graphs do not have the same directedness.
+#[must_use]
+pub fn disjoint_union(a: &Graph, b: &Graph) -> Graph {
+    assert_eq!(a.is_directed(), b.is_directed(), "mixed directedness");
+    let mut g = if a.is_directed() {
+        Graph::directed(a.n() + b.n())
+    } else {
+        Graph::undirected(a.n() + b.n())
+    };
+    for (u, v, w) in a.edges() {
+        g.add_weighted_edge(u, v, w);
+    }
+    for (u, v, w) in b.edges() {
+        g.add_weighted_edge(a.n() + u, a.n() + v, w);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a = gnp(20, 0.3, 7);
+        let b = gnp(20, 0.3, 7);
+        let c = gnp(20, 0.3, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).m(), 0);
+        assert_eq!(gnp(10, 1.0, 1).m(), 45);
+    }
+
+    #[test]
+    fn structured_graphs_have_expected_sizes() {
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(complete(6).m(), 15);
+        assert_eq!(complete_bipartite(3, 4).m(), 12);
+        assert_eq!(grid(3, 4).m(), 17);
+        let p = petersen();
+        assert_eq!((p.n(), p.m()), (10, 15));
+        assert!(p.edges().iter().all(|&(u, v, _)| u != v));
+        for v in 0..10 {
+            assert_eq!(p.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn directed_cycle_structure() {
+        let g = directed_cycle(4);
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn weighted_gnp_respects_bounds() {
+        let g = weighted_gnp(15, 0.5, 9, true, 3);
+        assert!(g.is_directed());
+        for (_, _, w) in g.edges() {
+            assert!((1..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_is_connected_and_heavy_tailed() {
+        let g = preferential_attachment(60, 2, 11);
+        assert!(g.m() >= 2 * 57);
+        let max_deg = (0..60).map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg >= 6, "expected a hub, max degree {max_deg}");
+    }
+
+    #[test]
+    fn planted_cycle_contains_requested_length() {
+        let g = planted_cycle(30, 7, 0.02, 5);
+        assert!(crate::oracle::has_k_cycle(&g, 7));
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let q3 = hypercube(3);
+        assert_eq!((q3.n(), q3.m()), (8, 12));
+        for v in 0..8 {
+            assert_eq!(q3.degree(v), 3);
+        }
+        assert_eq!(crate::oracle::girth(&q3), Some(4));
+        // Antipodal distance is d.
+        let d = crate::oracle::bfs_dist(&q3, 0);
+        assert_eq!(d[7], Some(3));
+    }
+
+    #[test]
+    fn caveman_structure() {
+        let g = caveman(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 6 + 2);
+        assert_eq!(crate::oracle::girth(&g), Some(3));
+        // Bridges keep it connected.
+        assert!(crate::oracle::bfs_dist(&g, 0).iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn near_regular_bounds_degrees() {
+        let g = near_regular(30, 4, 9);
+        let degs: Vec<usize> = (0..30).map(|v| g.degree(v)).collect();
+        assert!(degs.iter().all(|&d| d <= 4));
+        let full = degs.iter().filter(|&&d| d == 4).count();
+        assert!(
+            full >= 20,
+            "most nodes should reach the target degree, got {full}"
+        );
+    }
+
+    #[test]
+    fn disjoint_union_offsets() {
+        let g = disjoint_union(&cycle(3), &cycle(4));
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 7);
+        assert!(g.has_edge(3, 4));
+        assert!(!g.has_edge(2, 3));
+    }
+}

@@ -1,0 +1,287 @@
+//! The [`Graph`] type: directed or undirected, optionally weighted.
+
+use cc_algebra::{Dist, Matrix, INFINITY};
+use std::collections::BTreeMap;
+
+/// A simple graph (no self-loops, no parallel edges) with integer edge
+/// weights, directed or undirected.
+///
+/// Node identifiers are `0..n`. For undirected graphs an edge `{u, v}` is
+/// stored in both adjacency maps; for directed graphs `adj` holds out-edges
+/// and `radj` in-edges. Adjacency uses ordered maps so that all iteration is
+/// deterministic.
+///
+/// # Examples
+///
+/// ```rust
+/// use cc_graph::Graph;
+/// let mut g = Graph::undirected(4);
+/// g.add_edge(0, 1);
+/// g.add_weighted_edge(1, 2, 5);
+/// assert_eq!(g.m(), 2);
+/// assert_eq!(g.weight(1, 0), Some(1));
+/// assert_eq!(g.weight(2, 1), Some(5));
+/// assert_eq!(g.weight(0, 3), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    directed: bool,
+    adj: Vec<BTreeMap<usize, i64>>,
+    radj: Vec<BTreeMap<usize, i64>>,
+    m: usize,
+}
+
+impl Graph {
+    /// An undirected graph on `n` isolated nodes.
+    #[must_use]
+    pub fn undirected(n: usize) -> Self {
+        Self {
+            n,
+            directed: false,
+            adj: vec![BTreeMap::new(); n],
+            radj: vec![BTreeMap::new(); n],
+            m: 0,
+        }
+    }
+
+    /// A directed graph on `n` isolated nodes.
+    #[must_use]
+    pub fn directed(n: usize) -> Self {
+        Self {
+            n,
+            directed: true,
+            adj: vec![BTreeMap::new(); n],
+            radj: vec![BTreeMap::new(); n],
+            m: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (each undirected edge counted once).
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// `true` for directed graphs.
+    #[must_use]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Adds an edge of weight 1. For undirected graphs the edge is symmetric.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, out-of-range endpoints, or duplicate edges.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        self.add_weighted_edge(u, v, 1);
+    }
+
+    /// Adds an edge with an explicit weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, out-of-range endpoints, or duplicate edges.
+    pub fn add_weighted_edge(&mut self, u: usize, v: usize, w: i64) {
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range (n={})",
+            self.n
+        );
+        assert_ne!(u, v, "self-loops are not supported");
+        let fresh = self.adj[u].insert(v, w).is_none();
+        assert!(fresh, "duplicate edge ({u},{v})");
+        self.radj[v].insert(u, w);
+        if !self.directed {
+            self.adj[v].insert(u, w);
+            self.radj[u].insert(v, w);
+        }
+        self.m += 1;
+    }
+
+    /// Whether the edge `u → v` (or `{u, v}` if undirected) exists.
+    #[must_use]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains_key(&v)
+    }
+
+    /// The weight of edge `u → v`, if present.
+    #[must_use]
+    pub fn weight(&self, u: usize, v: usize) -> Option<i64> {
+        self.adj[u].get(&v).copied()
+    }
+
+    /// Out-neighbours of `v` (all neighbours for undirected graphs), in
+    /// increasing order.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[v].keys().copied()
+    }
+
+    /// In-neighbours of `v` (same as [`Graph::neighbors`] for undirected
+    /// graphs), in increasing order.
+    pub fn in_neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.radj[v].keys().copied()
+    }
+
+    /// Out-degree of `v` (degree for undirected graphs).
+    #[must_use]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Number of nodes `u` with edges in **both** directions between `u` and
+    /// `v`; the `δ(v)` of the paper's directed 4-cycle counting formula.
+    /// Equals the degree for undirected graphs.
+    #[must_use]
+    pub fn mutual_degree(&self, v: usize) -> usize {
+        self.adj[v]
+            .keys()
+            .filter(|&&u| self.radj[v].contains_key(&u))
+            .count()
+    }
+
+    /// Edge list; for undirected graphs each edge appears once with
+    /// `u < v`.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(usize, usize, i64)> {
+        let mut out = Vec::with_capacity(self.m);
+        for u in 0..self.n {
+            for (&v, &w) in &self.adj[u] {
+                if self.directed || u < v {
+                    out.push((u, v, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// 0/1 adjacency matrix over the integers (undirected edges oriented
+    /// both ways, as in the paper's Section 3.1).
+    #[must_use]
+    pub fn adjacency_matrix(&self) -> Matrix<i64> {
+        Matrix::from_fn(self.n, self.n, |u, v| i64::from(self.has_edge(u, v)))
+    }
+
+    /// Boolean adjacency matrix.
+    #[must_use]
+    pub fn bool_adjacency(&self) -> Matrix<bool> {
+        Matrix::from_fn(self.n, self.n, |u, v| self.has_edge(u, v))
+    }
+
+    /// The weight matrix `W` of Section 3.3: `0` on the diagonal, the edge
+    /// weight where an edge exists, and `∞` elsewhere.
+    #[must_use]
+    pub fn weight_matrix(&self) -> Matrix<Dist> {
+        Matrix::from_fn(self.n, self.n, |u, v| {
+            if u == v {
+                Dist::zero()
+            } else {
+                match self.weight(u, v) {
+                    Some(w) => Dist::finite(w),
+                    None => INFINITY,
+                }
+            }
+        })
+    }
+
+    /// Largest edge weight, or `None` for an edgeless graph.
+    #[must_use]
+    pub fn max_weight(&self) -> Option<i64> {
+        self.edges().iter().map(|&(_, _, w)| w).max()
+    }
+
+    /// Returns a copy with `extra` additional isolated nodes appended —
+    /// the padding used to reach clique sizes with convenient arithmetic
+    /// structure. Isolated nodes change no cycle counts and no finite
+    /// distances.
+    #[must_use]
+    pub fn padded(&self, extra: usize) -> Self {
+        let mut g = if self.directed {
+            Graph::directed(self.n + extra)
+        } else {
+            Graph::undirected(self.n + extra)
+        };
+        for (u, v, w) in self.edges() {
+            g.add_weighted_edge(u, v, w);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_edges_are_symmetric() {
+        let mut g = Graph::undirected(3);
+        g.add_edge(0, 2);
+        assert!(g.has_edge(2, 0));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.edges(), vec![(0, 2, 1)]);
+    }
+
+    #[test]
+    fn directed_edges_are_one_way() {
+        let mut g = Graph::directed(3);
+        g.add_edge(0, 2);
+        assert!(!g.has_edge(2, 0));
+        assert_eq!(g.in_neighbors(2).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(g.neighbors(2).count(), 0);
+    }
+
+    #[test]
+    fn mutual_degree_counts_bidirectional_pairs() {
+        let mut g = Graph::directed(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(0, 2);
+        assert_eq!(g.mutual_degree(0), 1);
+        assert_eq!(g.mutual_degree(2), 0);
+    }
+
+    #[test]
+    fn weight_matrix_layout() {
+        let mut g = Graph::undirected(3);
+        g.add_weighted_edge(0, 1, 4);
+        let w = g.weight_matrix();
+        assert_eq!(w[(0, 0)], Dist::zero());
+        assert_eq!(w[(0, 1)], Dist::finite(4));
+        assert_eq!(w[(1, 0)], Dist::finite(4));
+        assert_eq!(w[(0, 2)], INFINITY);
+    }
+
+    #[test]
+    fn padding_preserves_structure() {
+        let mut g = Graph::undirected(3);
+        g.add_edge(0, 1);
+        let p = g.padded(2);
+        assert_eq!(p.n(), 5);
+        assert_eq!(p.m(), 1);
+        assert_eq!(p.degree(4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut g = Graph::undirected(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate() {
+        let mut g = Graph::undirected(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # cc-graph: graphs, generators, and reference oracles
+//!
+//! Input graphs for the congested clique algorithms, plus:
+//!
+//! * [`generators`] — deterministic, seedable workload generators
+//!   (Erdős–Rényi, cycles, grids, Petersen, preferential attachment,
+//!   weighted digraphs, planted cycles);
+//! * [`oracle`] — *centralized* reference implementations (brute-force
+//!   cycle counting, BFS girth, Dijkstra/Bellman–Ford APSP) used as trusted
+//!   baselines in tests and experiments. These run on one machine and play
+//!   no role in the distributed algorithms themselves.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use cc_graph::{generators, oracle};
+//!
+//! let g = generators::petersen();
+//! assert_eq!(g.n(), 10);
+//! assert_eq!(oracle::girth(&g), Some(5));
+//! assert_eq!(oracle::count_triangles(&g), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+mod graph;
+pub mod oracle;
+
+pub use crate::graph::Graph;

@@ -1,0 +1,495 @@
+//! Centralized reference implementations ("oracles").
+//!
+//! These are straightforward, trusted, single-machine algorithms used to
+//! validate the distributed implementations in tests and to report ground
+//! truth in experiments. None of them participate in round accounting.
+
+use crate::graph::Graph;
+use cc_algebra::{Dist, Matrix, INFINITY};
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// Counts triangles: unordered `{u,v,w}` triangles for undirected graphs,
+/// directed 3-cycles `u → v → w → u` for directed graphs.
+#[must_use]
+pub fn count_triangles(g: &Graph) -> u64 {
+    let n = g.n();
+    let mut count = 0u64;
+    if g.is_directed() {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !g.has_edge(u, v) {
+                    continue;
+                }
+                for w in (u + 1)..n {
+                    if w != v && g.has_edge(v, w) && g.has_edge(w, u) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+    } else {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !g.has_edge(u, v) {
+                    continue;
+                }
+                for w in (v + 1)..n {
+                    if g.has_edge(u, w) && g.has_edge(v, w) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Counts 4-cycles: unordered `C₄` subgraphs for undirected graphs (via the
+/// co-degree identity `#C₄ = ½ Σ_{u<v} C(codeg(u,v), 2)`), directed
+/// 4-cycles for directed graphs (by enumeration anchored at the minimum
+/// node).
+#[must_use]
+pub fn count_4cycles(g: &Graph) -> u64 {
+    let n = g.n();
+    if g.is_directed() {
+        let mut count = 0u64;
+        for a in 0..n {
+            for b in 0..n {
+                if b == a || !g.has_edge(a, b) || b < a {
+                    continue;
+                }
+                for c in 0..n {
+                    if c == a || c == b || !g.has_edge(b, c) || c < a {
+                        continue;
+                    }
+                    for d in 0..n {
+                        if d == a || d == b || d == c || d < a {
+                            continue;
+                        }
+                        if g.has_edge(c, d) && g.has_edge(d, a) {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        count
+    } else {
+        let mut twice = 0u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let codeg = g
+                    .neighbors(u)
+                    .filter(|&w| w != v && g.has_edge(v, w) && w != u)
+                    .count() as u64;
+                twice += codeg * codeg.saturating_sub(1) / 2;
+            }
+        }
+        twice / 2
+    }
+}
+
+/// Counts 5-cycles in an undirected graph by anchored path enumeration.
+///
+/// # Panics
+///
+/// Panics on directed graphs.
+#[must_use]
+pub fn count_5cycles(g: &Graph) -> u64 {
+    assert!(
+        !g.is_directed(),
+        "count_5cycles expects an undirected graph"
+    );
+    let mut twice = 0u64;
+    let n = g.n();
+    for a in 0..n {
+        // Paths a-b-c-d-e with all nodes distinct, > a except a, and edge e-a.
+        for b in g.neighbors(a).filter(|&b| b > a) {
+            for c in g.neighbors(b).filter(|&c| c > a && c != b) {
+                if c == a {
+                    continue;
+                }
+                for d in g.neighbors(c).filter(|&d| d > a && d != b && d != c) {
+                    for e in g
+                        .neighbors(d)
+                        .filter(|&e| e > a && e != b && e != c && e != d)
+                    {
+                        if g.has_edge(e, a) {
+                            twice += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    twice / 2
+}
+
+/// Whether the graph contains a cycle of length **exactly** `k`
+/// (simple cycle; directed cycles in directed graphs).
+///
+/// # Panics
+///
+/// Panics if `k < 2`, or `k < 3` for undirected graphs.
+#[must_use]
+pub fn has_k_cycle(g: &Graph, k: usize) -> bool {
+    if g.is_directed() {
+        assert!(k >= 2, "directed cycles have length at least 2");
+    } else {
+        assert!(k >= 3, "undirected cycles have length at least 3");
+    }
+    let n = g.n();
+    let mut on_path = vec![false; n];
+    // DFS for a simple path start..x of length k-1 with all nodes > start
+    // (start is the cycle minimum), closed by an edge x -> start.
+    fn dfs(
+        g: &Graph,
+        start: usize,
+        x: usize,
+        depth: usize,
+        k: usize,
+        on_path: &mut [bool],
+    ) -> bool {
+        if depth == k - 1 {
+            return g.has_edge(x, start);
+        }
+        for y in g.neighbors(x) {
+            if y > start && !on_path[y] {
+                on_path[y] = true;
+                if dfs(g, start, y, depth + 1, k, on_path) {
+                    on_path[y] = false;
+                    return true;
+                }
+                on_path[y] = false;
+            }
+        }
+        false
+    }
+    for start in 0..n {
+        on_path[start] = true;
+        if dfs(g, start, start, 0, k, &mut on_path) {
+            return true;
+        }
+        on_path[start] = false;
+    }
+    false
+}
+
+/// The girth of an undirected graph (length of its shortest cycle), or
+/// `None` for forests.
+///
+/// Uses the classic n-fold BFS: any non-tree edge seen from root `r` yields
+/// a closed walk of length `d[x] + d[y] + 1 ≥ girth`, with equality achieved
+/// for roots on a shortest cycle.
+///
+/// # Panics
+///
+/// Panics on directed graphs (use [`directed_girth`]).
+#[must_use]
+pub fn girth(g: &Graph) -> Option<usize> {
+    assert!(
+        !g.is_directed(),
+        "girth expects an undirected graph; use directed_girth"
+    );
+    let n = g.n();
+    let mut best: Option<usize> = None;
+    let mut dist = vec![usize::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    for root in 0..n {
+        dist.fill(usize::MAX);
+        parent.fill(usize::MAX);
+        dist[root] = 0;
+        let mut q = VecDeque::from([root]);
+        while let Some(x) = q.pop_front() {
+            for y in g.neighbors(x) {
+                if dist[y] == usize::MAX {
+                    dist[y] = dist[x] + 1;
+                    parent[y] = x;
+                    q.push_back(y);
+                } else if parent[x] != y {
+                    let cand = dist[x] + dist[y] + 1;
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// The girth of a directed graph (length of its shortest directed cycle,
+/// which may be 2), or `None` if the graph is acyclic.
+///
+/// # Panics
+///
+/// Panics on undirected graphs (use [`girth`]).
+#[must_use]
+pub fn directed_girth(g: &Graph) -> Option<usize> {
+    assert!(g.is_directed(), "directed_girth expects a directed graph");
+    let n = g.n();
+    let mut best: Option<usize> = None;
+    for root in 0..n {
+        // BFS from root; the shortest cycle through root is d(root→u) + 1
+        // over in-edges (u, root).
+        let d = bfs_dist(g, root);
+        for u in g.in_neighbors(root) {
+            if let Some(du) = d[u] {
+                let cand = du + 1;
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Unweighted BFS distances from `src` (hop counts; respects edge
+/// directions in directed graphs). `None` marks unreachable nodes.
+#[must_use]
+pub fn bfs_dist(g: &Graph, src: usize) -> Vec<Option<usize>> {
+    let n = g.n();
+    let mut dist = vec![None; n];
+    dist[src] = Some(0);
+    let mut q = VecDeque::from([src]);
+    while let Some(x) = q.pop_front() {
+        let dx = dist[x].expect("queued nodes have distances");
+        for y in g.neighbors(x) {
+            if dist[y].is_none() {
+                dist[y] = Some(dx + 1);
+                q.push_back(y);
+            }
+        }
+    }
+    dist
+}
+
+/// Exact all-pairs shortest path distances.
+///
+/// Uses Dijkstra from every source for non-negative weights and
+/// Bellman–Ford otherwise.
+///
+/// # Panics
+///
+/// Panics if the graph contains a negative cycle.
+#[must_use]
+pub fn apsp(g: &Graph) -> Matrix<Dist> {
+    let n = g.n();
+    let negative = g.edges().iter().any(|&(_, _, w)| w < 0);
+    let mut out = Matrix::filled(n, n, INFINITY);
+    for src in 0..n {
+        let row = if negative {
+            bellman_ford(g, src)
+        } else {
+            dijkstra(g, src)
+        };
+        for (v, d) in row.into_iter().enumerate() {
+            out[(src, v)] = d;
+        }
+    }
+    out
+}
+
+/// Single-source Dijkstra (non-negative weights).
+///
+/// # Panics
+///
+/// Panics if the graph has a negative edge weight.
+#[must_use]
+pub fn dijkstra(g: &Graph, src: usize) -> Vec<Dist> {
+    let n = g.n();
+    let mut dist = vec![INFINITY; n];
+    dist[src] = Dist::zero();
+    let mut heap: BinaryHeap<(std::cmp::Reverse<i64>, usize)> = BinaryHeap::new();
+    heap.push((std::cmp::Reverse(0), src));
+    while let Some((std::cmp::Reverse(d), x)) = heap.pop() {
+        if Dist::finite(d) > dist[x] {
+            continue;
+        }
+        for y in g.neighbors(x) {
+            let w = g.weight(x, y).expect("neighbor has weight");
+            assert!(w >= 0, "dijkstra requires non-negative weights");
+            let nd = Dist::finite(d + w);
+            if nd < dist[y] {
+                dist[y] = nd;
+                heap.push((std::cmp::Reverse(d + w), y));
+            }
+        }
+    }
+    dist
+}
+
+/// Single-source Bellman–Ford (general integer weights).
+///
+/// # Panics
+///
+/// Panics if a negative cycle is reachable from `src`.
+#[must_use]
+pub fn bellman_ford(g: &Graph, src: usize) -> Vec<Dist> {
+    let n = g.n();
+    let mut dist = vec![INFINITY; n];
+    dist[src] = Dist::zero();
+    let arcs: Vec<(usize, usize, i64)> = if g.is_directed() {
+        g.edges()
+    } else {
+        g.edges()
+            .iter()
+            .flat_map(|&(u, v, w)| [(u, v, w), (v, u, w)])
+            .collect()
+    };
+    for round in 0..n {
+        let mut changed = false;
+        for &(u, v, w) in &arcs {
+            if dist[u].is_finite() {
+                let cand = dist[u] + Dist::finite(w);
+                if cand < dist[v] {
+                    assert!(round + 1 < n, "negative cycle reachable from {src}");
+                    dist[v] = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn triangle_counts_on_known_graphs() {
+        assert_eq!(count_triangles(&generators::complete(4)), 4);
+        assert_eq!(count_triangles(&generators::complete(5)), 10);
+        assert_eq!(count_triangles(&generators::cycle(5)), 0);
+        assert_eq!(count_triangles(&generators::petersen()), 0);
+        assert_eq!(count_triangles(&generators::complete_bipartite(3, 3)), 0);
+    }
+
+    #[test]
+    fn directed_triangles() {
+        let g = generators::directed_cycle(3);
+        assert_eq!(count_triangles(&g), 1);
+        // Both orientations of a triangle: 2 directed triangles.
+        let mut h = Graph::directed(3);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (1, 0), (2, 1), (0, 2)] {
+            h.add_edge(u, v);
+        }
+        assert_eq!(count_triangles(&h), 2);
+    }
+
+    #[test]
+    fn four_cycle_counts_on_known_graphs() {
+        assert_eq!(count_4cycles(&generators::cycle(4)), 1);
+        assert_eq!(count_4cycles(&generators::complete(4)), 3);
+        assert_eq!(count_4cycles(&generators::complete_bipartite(2, 2)), 1);
+        assert_eq!(count_4cycles(&generators::complete_bipartite(3, 3)), 9);
+        assert_eq!(count_4cycles(&generators::petersen()), 0);
+        assert_eq!(count_4cycles(&generators::grid(2, 3)), 2);
+    }
+
+    #[test]
+    fn directed_four_cycles() {
+        assert_eq!(count_4cycles(&generators::directed_cycle(4)), 1);
+        let mut g = Graph::directed(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
+            g.add_edge(u, v);
+        }
+        assert_eq!(count_4cycles(&g), 1);
+    }
+
+    #[test]
+    fn five_cycle_counts() {
+        assert_eq!(count_5cycles(&generators::cycle(5)), 1);
+        assert_eq!(count_5cycles(&generators::petersen()), 12);
+        assert_eq!(count_5cycles(&generators::complete(5)), 12);
+        assert_eq!(count_5cycles(&generators::complete_bipartite(3, 3)), 0);
+    }
+
+    #[test]
+    fn k_cycle_detection() {
+        let g = generators::cycle(6);
+        assert!(has_k_cycle(&g, 6));
+        assert!(!has_k_cycle(&g, 3));
+        assert!(!has_k_cycle(&g, 5));
+        let p = generators::petersen();
+        assert!(has_k_cycle(&p, 5));
+        assert!(has_k_cycle(&p, 6));
+        assert!(!has_k_cycle(&p, 3));
+        assert!(!has_k_cycle(&p, 4));
+    }
+
+    #[test]
+    fn girth_values() {
+        assert_eq!(girth(&generators::cycle(7)), Some(7));
+        assert_eq!(girth(&generators::petersen()), Some(5));
+        assert_eq!(girth(&generators::complete(4)), Some(3));
+        assert_eq!(girth(&generators::grid(3, 3)), Some(4));
+        assert_eq!(girth(&generators::path(6)), None);
+    }
+
+    #[test]
+    fn directed_girth_values() {
+        assert_eq!(directed_girth(&generators::directed_cycle(5)), Some(5));
+        let mut g = Graph::directed(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(directed_girth(&g), Some(2));
+        let mut dag = Graph::directed(3);
+        dag.add_edge(0, 1);
+        dag.add_edge(1, 2);
+        assert_eq!(directed_girth(&dag), None);
+    }
+
+    #[test]
+    fn apsp_on_weighted_path() {
+        let mut g = Graph::undirected(4);
+        g.add_weighted_edge(0, 1, 2);
+        g.add_weighted_edge(1, 2, 3);
+        g.add_weighted_edge(2, 3, 4);
+        let d = apsp(&g);
+        assert_eq!(d[(0, 3)], Dist::finite(9));
+        assert_eq!(d[(3, 0)], Dist::finite(9));
+        assert_eq!(d[(1, 1)], Dist::zero());
+    }
+
+    #[test]
+    fn bellman_ford_handles_negative_edges() {
+        let mut g = Graph::directed(3);
+        g.add_weighted_edge(0, 1, 5);
+        g.add_weighted_edge(1, 2, -3);
+        g.add_weighted_edge(0, 2, 4);
+        let d = bellman_ford(&g, 0);
+        assert_eq!(d[2], Dist::finite(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative cycle")]
+    fn bellman_ford_rejects_negative_cycles() {
+        let mut g = Graph::directed(2);
+        g.add_weighted_edge(0, 1, 1);
+        g.add_weighted_edge(1, 0, -2);
+        let _ = bellman_ford(&g, 0);
+    }
+
+    #[test]
+    fn dijkstra_matches_bellman_ford_on_nonnegative() {
+        let g = generators::weighted_gnp(25, 0.2, 10, true, 17);
+        for src in 0..5 {
+            assert_eq!(dijkstra(&g, src), bellman_ford(&g, src));
+        }
+    }
+
+    #[test]
+    fn bfs_respects_direction() {
+        let g = generators::directed_cycle(4);
+        let d = bfs_dist(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # cc-subgraph: subgraph detection and counting in the congested clique
+//!
+//! Distributed implementations of the paper's Section 3.1–3.2 applications:
+//!
+//! * [`count_triangles`] / [`count_4cycles`] — Corollary 2: trace-formula
+//!   counting in `O(n^ρ)` rounds via fast matrix multiplication;
+//! * [`count_5cycles`] — the 5-cycle trace formula the paper notes in
+//!   passing (Alon–Yuster–Zwick);
+//! * [`colour_coding`] — Lemma 11 and Theorem 3: `k`-cycle detection via
+//!   colour coding in `2^{O(k)} n^ρ log n` rounds;
+//! * [`four_cycle_detection`] — Theorem 4: the novel **O(1)-round**
+//!   combinatorial 4-cycle detector (Lemmas 12–13);
+//! * [`girth`] — Theorem 15 and Corollary 16: girth of undirected and
+//!   directed graphs in `Õ(n^ρ)` rounds.
+//!
+//! Every algorithm takes the input in the model's convention — node `v`
+//! knows its incident edges — and is validated against the centralized
+//! oracles of [`cc_graph::oracle`].
+//!
+//! ## Example
+//!
+//! ```rust
+//! use cc_clique::Clique;
+//! use cc_graph::generators;
+//! use cc_subgraph::{count_triangles, count_4cycles};
+//!
+//! let g = generators::complete(6);
+//! let mut clique = Clique::new(6);
+//! assert_eq!(count_triangles(&mut clique, &g), 20);
+//! let mut clique = Clique::new(6);
+//! assert_eq!(count_4cycles(&mut clique, &g), 45);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod colour_coding;
+pub mod four_cycle_detection;
+mod four_cycles;
+mod girth;
+mod sparse_square;
+pub mod traces;
+mod triangles;
+
+pub use crate::colour_coding::{default_trials, detect_colourful_cycle, detect_k_cycle};
+pub use crate::four_cycle_detection::{detect_4cycle, TilePlan};
+pub use crate::four_cycles::{count_4cycles, count_5cycles};
+pub use crate::girth::{directed_girth, girth, GirthConfig};
+pub use crate::sparse_square::sparse_square;
+pub use crate::triangles::{count_triangles, count_triangles_3d};

@@ -1,0 +1,106 @@
+//! Property tests for the subgraph algorithms: counting formulas and
+//! detectors against the centralized oracles on randomly generated
+//! workloads, including the structured families (hypercubes, caveman
+//! communities, near-regular graphs) that stress different degree
+//! profiles.
+
+use cc_clique::Clique;
+use cc_graph::{generators, oracle, Graph};
+use proptest::prelude::*;
+
+fn arb_sparse() -> impl Strategy<Value = Graph> {
+    (10usize..26, 0u64..500).prop_map(|(n, seed)| generators::gnp(n, 1.8 / n as f64, seed))
+}
+
+fn arb_medium() -> impl Strategy<Value = Graph> {
+    (10usize..22, 0u64..500, 2u32..7)
+        .prop_map(|(n, seed, d)| generators::gnp(n, f64::from(d) / 20.0, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn all_counters_agree_on_the_same_graph(g in arb_medium()) {
+        let n = g.n();
+        let mut c = Clique::new(n);
+        prop_assert_eq!(
+            cc_subgraph::count_triangles(&mut c, &g),
+            oracle::count_triangles(&g)
+        );
+        let mut c = Clique::new(n);
+        prop_assert_eq!(cc_subgraph::count_4cycles(&mut c, &g), oracle::count_4cycles(&g));
+        let mut c = Clique::new(n);
+        prop_assert_eq!(cc_subgraph::count_5cycles(&mut c, &g), oracle::count_5cycles(&g));
+    }
+
+    #[test]
+    fn detection_and_counting_are_consistent(g in arb_sparse()) {
+        // detect_4cycle must say "yes" exactly when count_4cycles > 0.
+        let mut c1 = Clique::new(g.n());
+        let count = cc_subgraph::count_4cycles(&mut c1, &g);
+        let mut c2 = Clique::new(g.n());
+        let detected = cc_subgraph::detect_4cycle(&mut c2, &g);
+        prop_assert_eq!(detected, count > 0);
+    }
+
+    #[test]
+    fn sparse_square_matches_fast_square(g in arb_sparse()) {
+        use cc_algebra::IntRing;
+        use cc_core::{fast_mm, RowMatrix};
+        let n = g.n();
+        let mut c1 = Clique::new(n);
+        if let Some(sq) = cc_subgraph::sparse_square(&mut c1, &g) {
+            let a = RowMatrix::from_fn(n, |u, v| i64::from(g.has_edge(u, v)));
+            let mut c2 = Clique::new(n);
+            let full = fast_mm::multiply_auto(&mut c2, &IntRing, &a, &a);
+            prop_assert_eq!(sq.to_matrix(), full.to_matrix());
+        }
+    }
+
+    #[test]
+    fn girth_matches_oracle_on_random_graphs(g in arb_medium()) {
+        let mut c = Clique::new(g.n());
+        prop_assert_eq!(
+            cc_subgraph::girth(&mut c, &g, cc_subgraph::GirthConfig::default()),
+            oracle::girth(&g)
+        );
+    }
+}
+
+#[test]
+fn structured_families_end_to_end() {
+    let families: Vec<(&str, Graph)> = vec![
+        ("hypercube Q4", generators::hypercube(4)),
+        ("caveman 4x5", generators::caveman(4, 5)),
+        ("near-regular 24/4", generators::near_regular(24, 4, 3)),
+        ("grid 5x5", generators::grid(5, 5)),
+    ];
+    for (name, g) in families {
+        let n = g.n();
+        let mut c = Clique::new(n);
+        assert_eq!(
+            cc_subgraph::count_triangles(&mut c, &g),
+            oracle::count_triangles(&g),
+            "{name}: triangles"
+        );
+        let mut c = Clique::new(n);
+        assert_eq!(
+            cc_subgraph::count_4cycles(&mut c, &g),
+            oracle::count_4cycles(&g),
+            "{name}: 4-cycles"
+        );
+        let mut c = Clique::new(n);
+        assert_eq!(
+            cc_subgraph::girth(&mut c, &g, cc_subgraph::GirthConfig::default()),
+            oracle::girth(&g),
+            "{name}: girth"
+        );
+        let mut c = Clique::new(n);
+        assert_eq!(
+            cc_subgraph::detect_4cycle(&mut c, &g),
+            oracle::has_k_cycle(&g, 4),
+            "{name}: C4 detection"
+        );
+    }
+}

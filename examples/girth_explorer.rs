@@ -1,0 +1,72 @@
+//! Girth computation across graph families, undirected (Theorem 15) and
+//! directed (Corollary 16), showing which code path each instance takes.
+//!
+//! Run with: `cargo run --release --example girth_explorer`
+
+use congested_clique::clique::Clique;
+use congested_clique::graph::{generators, oracle, Graph};
+use congested_clique::subgraph::{directed_girth, girth, GirthConfig};
+
+fn report(name: &str, g: &Graph) {
+    let mut clique = Clique::new(g.n());
+    let got = girth(&mut clique, g, GirthConfig::default());
+    let expect = oracle::girth(g);
+    assert_eq!(got, expect, "{name}");
+    println!(
+        "{name:<28} n={:<4} m={:<5} girth={got:?} rounds={}",
+        g.n(),
+        g.m(),
+        clique.rounds()
+    );
+}
+
+fn report_directed(name: &str, g: &Graph) {
+    let mut clique = Clique::new(g.n());
+    let got = directed_girth(&mut clique, g);
+    assert_eq!(got, oracle::directed_girth(g), "{name}");
+    println!(
+        "{name:<28} n={:<4} m={:<5} girth={got:?} rounds={}",
+        g.n(),
+        g.m(),
+        clique.rounds()
+    );
+}
+
+fn main() {
+    println!("== undirected girth (Theorem 15) ==");
+    report("cycle C_17 (sparse→gather)", &generators::cycle(17));
+    report("Petersen graph", &generators::petersen());
+    report("grid 6x6", &generators::grid(6, 6));
+    report("K_16 (dense→detect)", &generators::complete(16));
+    report(
+        "K_{16,16} (dense, C4)",
+        &generators::complete_bipartite(16, 16),
+    );
+    report("G(64, 0.5)", &generators::gnp(64, 0.5, 3));
+    report("forest (no cycle)", &generators::path(20));
+
+    println!("\n== directed girth (Corollary 16, Itai–Rodeh doubling) ==");
+    report_directed("directed C_2", &generators::directed_cycle(2));
+    report_directed("directed C_9", &generators::directed_cycle(9));
+    report_directed(
+        "two cycles C_7 ⊎ C_4",
+        &generators::disjoint_union(
+            &generators::directed_cycle(7),
+            &generators::directed_cycle(4),
+        ),
+    );
+    report_directed(
+        "random digraph G(24, .15)",
+        &generators::gnp_directed(24, 0.15, 5),
+    );
+
+    let mut dag = Graph::directed(16);
+    for u in 0..16 {
+        for v in (u + 1)..16 {
+            if (u * v) % 5 == 0 {
+                dag.add_edge(u, v);
+            }
+        }
+    }
+    report_directed("DAG (acyclic)", &dag);
+}

@@ -1,0 +1,100 @@
+//! Matrix-multiplication playground: the same product computed by every
+//! path in the library — semiring 3D, fast bilinear over ℤ and over a
+//! prime field, the O(1)-round sparse square, the naive baseline, and the
+//! broadcast-clique regime — with round costs side by side.
+//!
+//! Run with: `cargo run --release --example mm_playground`
+
+use congested_clique::algebra::{IntRing, Matrix, ModRing};
+use congested_clique::baselines;
+use congested_clique::clique::{Clique, CliqueConfig, Mode};
+use congested_clique::core::{fast_mm, semiring_mm, RowMatrix};
+use congested_clique::graph::generators;
+use congested_clique::subgraph::sparse_square;
+
+fn rand_matrix(n: usize, seed: u64) -> Matrix<i64> {
+    let mut st = seed;
+    Matrix::from_fn(n, n, |_, _| {
+        st = st
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((st >> 33) % 9) as i64 - 4
+    })
+}
+
+fn main() {
+    let n = 64;
+    let a = rand_matrix(n, 1);
+    let b = rand_matrix(n, 2);
+    let (ra, rb) = (RowMatrix::from_matrix(&a), RowMatrix::from_matrix(&b));
+    let reference = Matrix::mul(&IntRing, &a, &b);
+    println!("multiplying two {n}×{n} integer matrices on a {n}-node clique\n");
+
+    // 1. Semiring 3D algorithm (Theorem 1, first part).
+    let mut clique = Clique::new(n);
+    let p = semiring_mm::multiply(&mut clique, &IntRing, &ra, &rb);
+    assert_eq!(p.to_matrix(), reference);
+    println!(
+        "semiring 3D (O(n^1/3))        : {:>4} rounds",
+        clique.rounds()
+    );
+
+    // 2. Fast bilinear algorithm with Strassen (Theorem 1, second part).
+    let mut clique = Clique::new(n);
+    let p = fast_mm::multiply_auto(&mut clique, &IntRing, &ra, &rb);
+    assert_eq!(p.to_matrix(), reference);
+    println!(
+        "fast bilinear (O(n^0.288))    : {:>4} rounds",
+        clique.rounds()
+    );
+
+    // 3. The same fast path over the prime field F_101.
+    let f = ModRing::new(101);
+    let (ma, mb) = (ra.map(|&x| f.reduce(x)), rb.map(|&x| f.reduce(x)));
+    let mut clique = Clique::new(n);
+    let pm = fast_mm::multiply_auto(&mut clique, &f, &ma, &mb);
+    assert_eq!(pm.to_matrix(), reference.map(|&x| f.reduce(x)));
+    println!(
+        "fast bilinear over F_101      : {:>4} rounds",
+        clique.rounds()
+    );
+
+    // 4. Naive baseline: gather all of B everywhere.
+    let mut clique = Clique::new(n);
+    let p = baselines::naive::row_gather_mm(&mut clique, &ra, &rb);
+    assert_eq!(p.to_matrix(), reference);
+    println!(
+        "naive row-gather (Θ(n))       : {:>4} rounds",
+        clique.rounds()
+    );
+
+    // 5. Broadcast congested clique (Corollary 24's regime).
+    let cfg = CliqueConfig {
+        mode: Mode::Broadcast,
+        ..CliqueConfig::default()
+    };
+    let mut clique = Clique::with_config(n, cfg);
+    let p = baselines::broadcast_mm::multiply(&mut clique, &ra, &rb);
+    assert_eq!(p.to_matrix(), reference);
+    println!(
+        "broadcast clique (Θ(n))       : {:>4} rounds",
+        clique.rounds()
+    );
+
+    // 6. Sparse squares in O(1) rounds (the Theorem 4 remark): works when
+    //    the graph's 2-walk counts are small.
+    let g = generators::gnp(n, 1.5 / n as f64, 7);
+    let adj = g.adjacency_matrix();
+    let mut clique = Clique::new(n);
+    match sparse_square(&mut clique, &g) {
+        Some(sq) => {
+            assert_eq!(sq.to_matrix(), Matrix::mul(&IntRing, &adj, &adj));
+            println!(
+                "sparse A² (O(1), Thm 4 remark): {:>4} rounds  (G(n, 1.5/n), m = {})",
+                clique.rounds(),
+                g.m()
+            );
+        }
+        None => println!("sparse A²: instance too dense, would fall back to Theorem 1"),
+    }
+}

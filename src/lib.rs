@@ -1,0 +1,41 @@
+//! # congested-clique
+//!
+//! A reproduction of *"Algebraic Methods in the Congested Clique"*
+//! (Censor-Hillel, Kaski, Korhonen, Lenzen, Paz, Suomela — PODC 2015) as a
+//! Rust library suite. This facade crate re-exports the workspace crates:
+//!
+//! * [`clique`] — the congested clique simulator (rounds, links, routing).
+//! * [`algebra`] — semirings, rings, matrices, bilinear (Strassen) algorithms.
+//! * [`graph`] — graph types, generators, and centralized reference oracles.
+//! * [`core`] — distributed matrix multiplication and distance products
+//!   (the paper's primary contribution).
+//! * [`subgraph`] — triangle/4-cycle counting, k-cycle detection, girth.
+//! * [`apsp`] — all-pairs shortest path algorithms and routing tables.
+//! * [`baselines`] — prior-work baselines (Dolev et al., naive algorithms).
+//! * [`congest`] — the CONGEST model substrate (the paper's §5 future-work
+//!   direction) with classical comparison algorithms.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use congested_clique::clique::Clique;
+//! use congested_clique::graph::Graph;
+//! use congested_clique::subgraph::count_triangles;
+//!
+//! // A 5-cycle plus a chord has exactly one triangle.
+//! let mut g = Graph::undirected(5);
+//! for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)] {
+//!     g.add_edge(u, v);
+//! }
+//! let mut clique = Clique::new(5);
+//! assert_eq!(count_triangles(&mut clique, &g), 1);
+//! ```
+
+pub use cc_algebra as algebra;
+pub use cc_apsp as apsp;
+pub use cc_baselines as baselines;
+pub use cc_clique as clique;
+pub use cc_congest as congest;
+pub use cc_core as core;
+pub use cc_graph as graph;
+pub use cc_subgraph as subgraph;

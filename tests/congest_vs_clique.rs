@@ -1,0 +1,78 @@
+//! The paper's §1 motivation, measured: the congested clique "masks away
+//! the effect of distances" while CONGEST pays for them, and the clique's
+//! algebraic algorithms remove the degree dependence of folklore CONGEST
+//! subgraph detection.
+
+use congested_clique::apsp::apsp_seidel;
+use congested_clique::clique::Clique;
+use congested_clique::congest::{bfs, triangle_detect, Congest};
+use congested_clique::graph::{generators, oracle, Graph};
+use congested_clique::subgraph::count_triangles;
+
+#[test]
+fn clique_apsp_beats_congest_apsp_on_long_paths() {
+    // All-pairs distances on a path: CONGEST needs one BFS per source and
+    // every BFS pays the eccentricity, Θ(n²) rounds in total; Seidel on
+    // the clique computes the same table in Õ(n^ρ) rounds.
+    let n = 64;
+    let g = generators::path(n);
+    let mut net = Congest::new(&g);
+    let mut congest_table = Vec::with_capacity(n);
+    for root in 0..n {
+        congest_table.push(bfs(&mut net, root));
+    }
+    let congest_rounds = net.rounds();
+
+    let mut clique = Clique::new(n);
+    let dist = apsp_seidel(&mut clique, &g);
+    let expected = oracle::apsp(&g);
+    assert_eq!(dist.to_matrix(), expected);
+    for (root, row) in congest_table.iter().enumerate() {
+        for (v, d) in row.iter().enumerate() {
+            assert_eq!(
+                d.map(|x| x as i64),
+                expected[(root, v)].value(),
+                "({root},{v})"
+            );
+        }
+    }
+    assert!(
+        clique.rounds() * 3 < congest_rounds,
+        "clique APSP ({}) should be far below CONGEST's n BFS runs ({congest_rounds})",
+        clique.rounds()
+    );
+}
+
+#[test]
+fn clique_triangles_beat_congest_on_hub_graphs() {
+    // A hub of degree n-1 forces the folklore CONGEST detector to ship
+    // Θ(n) words over one edge; the clique's trace counting does not care.
+    let mut g = Graph::undirected(64);
+    for v in 1..64 {
+        g.add_edge(0, v);
+    }
+    g.add_edge(1, 2); // one triangle through the hub
+
+    let mut net = Congest::new(&g);
+    assert!(triangle_detect(&mut net));
+    let congest_rounds = net.rounds();
+
+    let mut clique = Clique::new(64);
+    assert_eq!(count_triangles(&mut clique, &g), 1);
+    assert!(
+        congest_rounds >= 60,
+        "CONGEST pays the hub degree, got {congest_rounds}"
+    );
+}
+
+#[test]
+fn congest_and_clique_agree_on_answers() {
+    for seed in 0..4 {
+        let g = generators::gnp(20, 0.15, seed);
+        let mut net = Congest::new(&g);
+        let congest_answer = triangle_detect(&mut net);
+        let mut clique = Clique::new(20);
+        let clique_count = count_triangles(&mut clique, &g);
+        assert_eq!(congest_answer, clique_count > 0, "seed={seed}");
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end integration: the full public API exercised across crates on
+//! shared workloads, with every distributed result checked against the
+//! centralized oracles.
+
+use congested_clique::apsp::{apsp_exact, apsp_seidel, apsp_small_weights};
+use congested_clique::clique::Clique;
+use congested_clique::graph::{generators, oracle};
+use congested_clique::subgraph::{
+    count_4cycles, count_5cycles, count_triangles, detect_4cycle, girth, GirthConfig,
+};
+
+#[test]
+fn social_graph_full_pipeline() {
+    let n = 48;
+    let g = generators::preferential_attachment(n, 2, 99);
+
+    let mut clique = Clique::new(n);
+    assert_eq!(
+        count_triangles(&mut clique, &g),
+        oracle::count_triangles(&g)
+    );
+
+    let mut clique = Clique::new(n);
+    assert_eq!(count_4cycles(&mut clique, &g), oracle::count_4cycles(&g));
+
+    let mut clique = Clique::new(n);
+    assert_eq!(count_5cycles(&mut clique, &g), oracle::count_5cycles(&g));
+
+    let mut clique = Clique::new(n);
+    assert_eq!(detect_4cycle(&mut clique, &g), oracle::has_k_cycle(&g, 4));
+
+    let mut clique = Clique::new(n);
+    assert_eq!(
+        girth(&mut clique, &g, GirthConfig::default()),
+        oracle::girth(&g)
+    );
+}
+
+#[test]
+fn weighted_network_apsp_consistency() {
+    // Exact squaring, Seidel (on the unweighted skeleton) and small-weights
+    // doubling must all agree with the oracle — and with each other where
+    // their domains overlap.
+    let n = 24;
+    let weighted = generators::weighted_gnp(n, 0.25, 6, true, 5);
+    let expected = oracle::apsp(&weighted);
+
+    let mut clique = Clique::new(n);
+    let exact = apsp_exact(&mut clique, &weighted);
+    assert_eq!(exact.dist.to_matrix(), expected);
+
+    let mut clique = Clique::new(n);
+    let small = apsp_small_weights(&mut clique, &weighted, None);
+    assert_eq!(small.to_matrix(), expected);
+
+    // Unweighted undirected instance for Seidel.
+    let skeleton = generators::gnp(n, 0.2, 6);
+    let mut clique = Clique::new(n);
+    let seidel = apsp_seidel(&mut clique, &skeleton);
+    assert_eq!(seidel.to_matrix(), oracle::apsp(&skeleton));
+}
+
+#[test]
+fn routing_tables_route_along_shortest_paths() {
+    let n = 20;
+    let g = generators::weighted_gnp(n, 0.3, 9, true, 11);
+    let mut clique = Clique::new(n);
+    let tables = apsp_exact(&mut clique, &g);
+    for u in 0..n {
+        for v in 0..n {
+            if u == v || !tables.dist.row(u)[v].is_finite() {
+                assert!(tables.path(u, v).is_none_or(|p| p == vec![u]));
+                continue;
+            }
+            let path = tables.path(u, v).expect("reachable");
+            let mut weight = 0;
+            for hop in path.windows(2) {
+                weight += g
+                    .weight(hop[0], hop[1])
+                    .expect("routing follows real edges");
+            }
+            assert_eq!(weight, tables.dist.row(u)[v].unwrap(), "({u},{v})");
+        }
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable_together() {
+    // The facade's modules interoperate on the same types.
+    use congested_clique::algebra::{IntRing, Matrix};
+    use congested_clique::core::{fast_mm, semiring_mm, RowMatrix};
+
+    let n = 16;
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 5 + j) % 7) as i64 - 3);
+    let b = Matrix::from_fn(n, n, |i, j| ((i + 3 * j) % 5) as i64 - 2);
+    let (ra, rb) = (RowMatrix::from_matrix(&a), RowMatrix::from_matrix(&b));
+
+    let mut c1 = Clique::new(n);
+    let p1 = semiring_mm::multiply(&mut c1, &IntRing, &ra, &rb);
+    let mut c2 = Clique::new(n);
+    let p2 = fast_mm::multiply_auto(&mut c2, &IntRing, &ra, &rb);
+    assert_eq!(p1.to_matrix(), p2.to_matrix());
+    assert_eq!(p1.to_matrix(), Matrix::mul(&IntRing, &a, &b));
+}

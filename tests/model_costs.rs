@@ -1,0 +1,125 @@
+//! Round-complexity shape tests: the asymptotic claims of Table 1, checked
+//! as orderings and growth rates on the executed simulator (coarse bounds —
+//! the precise exponent fits live in the `table1` experiment binary).
+
+use congested_clique::algebra::{IntRing, Matrix};
+use congested_clique::baselines;
+use congested_clique::clique::{Clique, CliqueConfig, Mode};
+use congested_clique::core::{fast_mm, semiring_mm, RowMatrix};
+use congested_clique::graph::generators;
+
+fn rand_matrix(n: usize, seed: u64) -> Matrix<i64> {
+    let mut st = seed;
+    Matrix::from_fn(n, n, |_, _| {
+        st = st
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((st >> 33) % 9) as i64 - 4
+    })
+}
+
+fn mm_rounds(n: usize, fast: bool) -> u64 {
+    let a = RowMatrix::from_matrix(&rand_matrix(n, 1));
+    let b = RowMatrix::from_matrix(&rand_matrix(n, 2));
+    let mut clique = Clique::new(n);
+    if fast {
+        fast_mm::multiply_auto(&mut clique, &IntRing, &a, &b);
+    } else {
+        semiring_mm::multiply(&mut clique, &IntRing, &a, &b);
+    }
+    clique.rounds()
+}
+
+#[test]
+fn semiring_mm_grows_sublinearly() {
+    // n grows 27/8 ≈ 3.4x; O(n^{1/3}) rounds should grow ≈ 1.5x, and far
+    // less than linearly.
+    let (r64, r216) = (mm_rounds(64, false), mm_rounds(216, false));
+    let ratio = r216 as f64 / r64 as f64;
+    assert!(
+        ratio < 2.3,
+        "3D rounds grew {ratio:.2}x ({r64} → {r216}); expected ≈ 1.5x"
+    );
+}
+
+#[test]
+fn fast_mm_grows_sublinearly() {
+    // O(n^{0.288}) rounds should grow ≈ 1.4x over a 3.4x size increase.
+    let (r64, r216) = (mm_rounds(64, true), mm_rounds(216, true));
+    let ratio = r216 as f64 / r64 as f64;
+    assert!(
+        ratio < 2.3,
+        "fast rounds grew {ratio:.2}x ({r64} → {r216}); expected ≈ 1.4x"
+    );
+}
+
+#[test]
+fn broadcast_clique_mm_is_linear() {
+    // Corollary 24's regime: the broadcast clique cannot go sublinear, and
+    // our broadcast upper bound is exactly n rounds.
+    let n = 64;
+    let a = RowMatrix::from_matrix(&rand_matrix(n, 3));
+    let cfg = CliqueConfig {
+        mode: Mode::Broadcast,
+        ..CliqueConfig::default()
+    };
+    let mut clique = Clique::with_config(n, cfg);
+    baselines::broadcast_mm::multiply(&mut clique, &a, &a);
+    assert_eq!(clique.rounds(), n as u64);
+    assert!(
+        clique.rounds() > mm_rounds(n, true),
+        "unicast fast MM must win"
+    );
+}
+
+#[test]
+fn theorem4_rounds_do_not_grow() {
+    let rounds = |n: usize| {
+        let g = generators::gnp(n, 1.2 / n as f64, 9);
+        let mut clique = Clique::new(n);
+        congested_clique::subgraph::detect_4cycle(&mut clique, &g);
+        clique.rounds()
+    };
+    let small = rounds(32);
+    let large = rounds(512);
+    assert!(
+        large <= small + 16,
+        "Theorem 4 is O(1) rounds: n=32 took {small}, n=512 took {large}"
+    );
+}
+
+#[test]
+fn gather_baseline_scales_with_edges() {
+    // The naive baseline pays ~m/n rounds; dense graphs cost ~n.
+    let n = 64;
+    let dense = generators::gnp(n, 0.9, 1);
+    let mut clique = Clique::new(n);
+    baselines::naive::gather_graph(&mut clique, &dense);
+    let dense_rounds = clique.rounds();
+    assert!(
+        dense_rounds as usize >= n / 4,
+        "gathering ~n²/2 edges should cost Ω(n) rounds, got {dense_rounds}"
+    );
+}
+
+#[test]
+fn capped_products_price_wide_entries() {
+    // Lemma 18's M-factor: doubling the weight cap must not be free.
+    use congested_clique::algebra::Dist;
+    use congested_clique::core::{distance, FastPlan};
+    let n = 27;
+    let f = |x: usize| Dist::finite((x % 3) as i64);
+    let a = RowMatrix::from_fn(n, |i, j| f(i + j));
+    let alg = FastPlan::best_strassen(n);
+    let rounds = |cap: i64| {
+        let mut clique = Clique::new(n);
+        distance::capped_distance_product(&mut clique, &alg, &a, &a, cap);
+        clique.rounds()
+    };
+    let narrow = rounds(2);
+    let wide = rounds(16);
+    assert!(
+        wide >= 2 * narrow,
+        "cap 16 ({wide}) should dwarf cap 2 ({narrow})"
+    );
+}

@@ -1,0 +1,94 @@
+//! Property tests: on random graphs, every distributed algorithm agrees
+//! with its centralized oracle. Sizes are kept small so the whole suite
+//! runs in debug mode; the deterministic seeds make failures reproducible.
+
+use congested_clique::clique::Clique;
+use congested_clique::graph::{generators, oracle};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = cc_graph::Graph> {
+    (6usize..20, 0u64..1000, 1u32..8)
+        .prop_map(|(n, seed, density)| generators::gnp(n, f64::from(density) / 20.0, seed))
+}
+
+fn arb_digraph() -> impl Strategy<Value = cc_graph::Graph> {
+    (6usize..16, 0u64..1000, 1u32..6)
+        .prop_map(|(n, seed, density)| generators::gnp_directed(n, f64::from(density) / 20.0, seed))
+}
+
+fn arb_weighted() -> impl Strategy<Value = cc_graph::Graph> {
+    (6usize..14, 0u64..1000, 1i64..10)
+        .prop_map(|(n, seed, maxw)| generators::weighted_gnp(n, 0.3, maxw, true, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn triangles_agree(g in arb_graph()) {
+        let mut clique = Clique::new(g.n());
+        prop_assert_eq!(
+            congested_clique::subgraph::count_triangles(&mut clique, &g),
+            oracle::count_triangles(&g)
+        );
+    }
+
+    #[test]
+    fn four_cycle_counts_agree(g in arb_graph()) {
+        let mut clique = Clique::new(g.n());
+        prop_assert_eq!(
+            congested_clique::subgraph::count_4cycles(&mut clique, &g),
+            oracle::count_4cycles(&g)
+        );
+    }
+
+    #[test]
+    fn four_cycle_detection_agrees(g in arb_graph()) {
+        let mut clique = Clique::new(g.n());
+        prop_assert_eq!(
+            congested_clique::subgraph::detect_4cycle(&mut clique, &g),
+            oracle::has_k_cycle(&g, 4)
+        );
+    }
+
+    #[test]
+    fn directed_triangles_agree(g in arb_digraph()) {
+        let mut clique = Clique::new(g.n());
+        prop_assert_eq!(
+            congested_clique::subgraph::count_triangles(&mut clique, &g),
+            oracle::count_triangles(&g)
+        );
+    }
+
+    #[test]
+    fn directed_girth_agrees(g in arb_digraph()) {
+        let mut clique = Clique::new(g.n());
+        prop_assert_eq!(
+            congested_clique::subgraph::directed_girth(&mut clique, &g),
+            oracle::directed_girth(&g)
+        );
+    }
+
+    #[test]
+    fn seidel_agrees(g in arb_graph()) {
+        let mut clique = Clique::new(g.n());
+        let d = congested_clique::apsp::apsp_seidel(&mut clique, &g);
+        prop_assert_eq!(d.to_matrix(), oracle::apsp(&g));
+    }
+
+    #[test]
+    fn exact_apsp_agrees(g in arb_weighted()) {
+        let mut clique = Clique::new(g.n());
+        let t = congested_clique::apsp::apsp_exact(&mut clique, &g);
+        prop_assert_eq!(t.dist.to_matrix(), oracle::apsp(&g));
+    }
+
+    #[test]
+    fn dolev_baseline_agrees(g in arb_graph()) {
+        let mut clique = Clique::new(g.n());
+        prop_assert_eq!(
+            congested_clique::baselines::dolev::triangle_count(&mut clique, &g),
+            oracle::count_triangles(&g)
+        );
+    }
+}
