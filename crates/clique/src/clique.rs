@@ -1,9 +1,10 @@
 //! The [`Clique`] engine: primitives, routing, and accounting.
 
 use crate::inbox::Inboxes;
-use crate::network::{LinkLoads, Network};
+use crate::network::Network;
 use crate::stats::Stats;
 use crate::word::Word;
+use cc_runtime::{Engine, Executor, ExecutorKind, LinkLoads, NodeProgram};
 
 /// Communication regime of the simulated clique.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +48,11 @@ pub struct CliqueConfig {
     pub record_patterns: bool,
     /// Relay selection policy for balanced routing.
     pub relay_policy: RelayPolicy,
+    /// Execution backend for node-local computation and message delivery
+    /// (see [`ExecutorKind`]). [`ExecutorKind::Parallel`] runs the
+    /// simulation across OS threads with results, round counts, and pattern
+    /// fingerprints bit-identical to [`ExecutorKind::Sequential`].
+    pub executor: ExecutorKind,
 }
 
 impl Default for CliqueConfig {
@@ -56,6 +62,19 @@ impl Default for CliqueConfig {
             route_seed: 0x5eed_c11e,
             record_patterns: false,
             relay_policy: RelayPolicy::TwoChoice,
+            executor: ExecutorKind::Sequential,
+        }
+    }
+}
+
+impl CliqueConfig {
+    /// The default configuration with a parallel executor sized to the
+    /// machine.
+    #[must_use]
+    pub fn parallel() -> Self {
+        Self {
+            executor: ExecutorKind::parallel(),
+            ..Self::default()
         }
     }
 }
@@ -86,6 +105,7 @@ pub struct Clique {
     net: Network,
     stats: Stats,
     cfg: CliqueConfig,
+    exec: Executor,
 }
 
 impl Clique {
@@ -114,8 +134,21 @@ impl Clique {
             n,
             net: Network::new(n),
             stats: Stats::new(cfg.record_patterns),
+            exec: Executor::new(cfg.executor),
             cfg,
         }
+    }
+
+    /// Creates a clique of `n` nodes executing on a parallel backend sized
+    /// to the machine. Results are bit-identical to [`Clique::new`]; only
+    /// wall-clock changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn parallel(n: usize) -> Self {
+        Self::with_config(n, CliqueConfig::parallel())
     }
 
     /// Number of nodes.
@@ -140,6 +173,15 @@ impl Clique {
     #[must_use]
     pub fn config(&self) -> &CliqueConfig {
         &self.cfg
+    }
+
+    /// The execution backend handle. Algorithms use this to fan node-local
+    /// computation out over the configured backend
+    /// (`clique.executor().map(n, |v| …)`), keeping the parallelism decision
+    /// in one place — the [`CliqueConfig`].
+    #[must_use]
+    pub fn executor(&self) -> Executor {
+        self.exec
     }
 
     /// Runs `f` inside a named accounting phase; rounds and words charged
@@ -181,9 +223,26 @@ impl Clique {
                 self.net.enqueue(v, dst, &words);
             }
         }
-        let (inboxes, loads) = self.net.flush();
+        let (inboxes, loads) = self.net.flush(&self.exec);
         self.charge_loads(&loads);
         inboxes
+    }
+
+    /// [`Clique::exchange`] with the per-node generator evaluated on the
+    /// configured executor. Requires a `Fn + Sync` generator (each node's
+    /// messages may be computed on any worker thread); semantics, costs,
+    /// and results are identical to the sequential primitive.
+    pub fn exchange_par<F>(&mut self, messages: F) -> Inboxes
+    where
+        F: Fn(usize) -> Vec<(usize, Vec<Word>)> + Sync,
+    {
+        // Fail fast before any generator fan-out, like `exchange` does.
+        self.require_unicast("exchange");
+        // Fan the generator out, then replay the results through the
+        // sequential primitive (map returns them in node order), so the
+        // enqueue/validation logic exists once.
+        let mut per_node = self.exec.map(self.n, &messages).into_iter();
+        self.exchange(|_| per_node.next().expect("one result per node"))
     }
 
     /// Balanced two-phase routing (Lenzen-style): every word is sent to a
@@ -213,6 +272,24 @@ impl Clique {
         self.route_inner(messages, true)
     }
 
+    /// [`Clique::route`] with the per-node generator evaluated on the
+    /// configured executor. Requires a `Fn + Sync` generator; relay
+    /// assignment, round costs, and delivered inboxes are identical to the
+    /// sequential primitive (messages are merged back in node order before
+    /// relays are drawn).
+    pub fn route_par<F>(&mut self, messages: F) -> Inboxes
+    where
+        F: Fn(usize) -> Vec<(usize, Vec<Word>)> + Sync,
+    {
+        // Fail fast before any generator fan-out, like `route` does.
+        self.require_unicast("route");
+        // Fan the generator out, then replay the results through the
+        // sequential primitive (map returns them in node order), so the
+        // validation/collection logic exists once.
+        let mut per_node = self.exec.map(self.n, &messages).into_iter();
+        self.route_inner(|_| per_node.next().expect("one result per node"), false)
+    }
+
     fn route_inner<F>(&mut self, mut messages: F, charge_headers: bool) -> Inboxes
     where
         F: FnMut(usize) -> Vec<(usize, Vec<Word>)>,
@@ -229,7 +306,6 @@ impl Clique {
                 }
             }
         }
-
         // Assign each word a relay, balancing both the (src -> relay) and
         // (relay -> dst) phases. Relays are drawn by a deterministic hash
         // with power-of-two-choices (the less loaded of two candidates),
@@ -239,10 +315,8 @@ impl Clique {
         let mut phase_b = LinkLoads::new();
         let mut a_out = vec![0usize; n * n];
         let mut b_out = vec![0usize; n * n];
-        // Remember original src so the simulator can build the final inboxes.
-        let mut deliveries: Vec<(usize, usize, Word)> = Vec::new(); // (src, dst, word)
         for (src, dst, words) in &msgs {
-            for (j, &w) in words.iter().enumerate() {
+            for (j, _w) in words.iter().enumerate() {
                 let h = splitmix(
                     self.cfg.route_seed ^ ((*src as u64) << 42) ^ ((*dst as u64) << 21) ^ j as u64,
                 );
@@ -262,7 +336,6 @@ impl Clique {
                 let payload = if charge_headers { 2 } else { 1 };
                 a_out[src * n + relay] += payload;
                 b_out[relay * n + dst] += payload;
-                deliveries.push((*src, *dst, w));
             }
         }
         for s in 0..n {
@@ -274,11 +347,39 @@ impl Clique {
         self.charge_loads(&phase_a);
         self.charge_loads(&phase_b);
 
+        // Deliver whole messages in collection order: the concatenation per
+        // (dst, src) pair is identical to the historical word-by-word push.
         let mut inboxes = Inboxes::new(n);
-        for (src, dst, w) in deliveries {
-            inboxes.push(dst, src, [w]);
+        for (src, dst, words) in msgs {
+            inboxes.push(dst, src, words);
         }
         inboxes
+    }
+
+    /// Runs one [`NodeProgram`] per node on the runtime engine, charging the
+    /// executed link-level rounds and words to this clique's accounting (and
+    /// pattern fingerprints, when recording is enabled). Returns the final
+    /// program states in node order.
+    ///
+    /// This is the opt-in alternative to the closure primitives: algorithms
+    /// expressed as per-node state machines are driven round-by-round by
+    /// [`cc_runtime::Engine`] on the configured executor, with results
+    /// bit-identical across backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != self.n()`, or in the broadcast clique
+    /// (the engine's unicast sends would violate [`Mode::Broadcast`]).
+    pub fn run_programs<P: NodeProgram>(&mut self, programs: Vec<P>) -> Vec<P> {
+        self.require_unicast("run_programs");
+        assert_eq!(programs.len(), self.n, "need exactly one program per node");
+        let engine = Engine::with_executor(self.exec);
+        let stats = &mut self.stats;
+        let report = engine.run_traced(programs, |loads| {
+            stats.record_fingerprint(loads.iter());
+        });
+        stats.charge(report.rounds, report.words);
+        report.programs
     }
 
     /// One-to-all broadcast: every node sends the *same* word to all others.

@@ -27,6 +27,14 @@ impl Inboxes {
         self.data[dst][src].extend(words);
     }
 
+    /// Builds inboxes from per-destination rows (used by the sharded flush,
+    /// where each worker assembles one destination's deliveries wholesale).
+    pub(crate) fn from_rows(rows: Vec<Vec<Vec<Word>>>) -> Self {
+        let n = rows.len();
+        debug_assert!(rows.iter().all(|r| r.len() == n), "rows must be square");
+        Self { n, data: rows }
+    }
+
     /// Number of nodes in the clique this inbox set belongs to.
     #[must_use]
     pub fn n(&self) -> usize {

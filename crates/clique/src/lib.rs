@@ -25,6 +25,17 @@
 //! * Reducers ([`Clique::sum_all`], [`Clique::or_all`], [`Clique::max_all`],
 //!   [`Clique::min_all`]) — single-round aggregate + local fold.
 //!
+//! ## Execution backends
+//!
+//! Simulations run on a pluggable executor selected through
+//! [`CliqueConfig::executor`]: [`ExecutorKind::Sequential`] (the default) or
+//! [`ExecutorKind::Parallel`], which shards node-local computation and
+//! message delivery over OS threads via the [`cc_runtime`] engine while
+//! keeping results, round counts, and pattern fingerprints bit-identical.
+//! [`Clique::exchange_par`] / [`Clique::route_par`] accept `Fn + Sync`
+//! generators evaluated on the backend, and [`Clique::run_programs`] drives
+//! per-node [`NodeProgram`] state machines round by round.
+//!
 //! ## Example
 //!
 //! ```rust
@@ -48,8 +59,12 @@ mod word;
 
 pub use crate::clique::{Clique, CliqueConfig, Mode, RelayPolicy};
 pub use crate::inbox::Inboxes;
-pub use crate::network::LinkLoads;
 pub use crate::stats::{PhaseStats, Stats};
 pub use crate::word::{
     pack_pair, read_exact, unpack_pair, write_all, AsWords, Word, WordReader, WordWriter,
 };
+// Runtime surface, re-exported so algorithm crates need no direct
+// `cc_runtime` dependency to opt in. `LinkLoads` — the link-level cost
+// model — lives in `cc_runtime` so engine- and flush-driven accounting
+// share one definition.
+pub use cc_runtime::{Control, Executor, ExecutorKind, LinkLoads, NodeProgram, RoundCtx};

@@ -2,69 +2,10 @@
 
 use crate::inbox::Inboxes;
 use crate::word::Word;
-
-/// Per-link word counts of one communication step, in deterministic
-/// `(src, dst)` order. Used for round accounting and obliviousness
-/// fingerprints.
-#[derive(Debug, Clone, Default)]
-pub struct LinkLoads {
-    loads: Vec<(usize, usize, usize)>,
-}
-
-impl LinkLoads {
-    pub(crate) fn new() -> Self {
-        Self::default()
-    }
-
-    pub(crate) fn add(&mut self, src: usize, dst: usize, words: usize) {
-        if words > 0 && src != dst {
-            self.loads.push((src, dst, words));
-        }
-    }
-
-    /// The number of synchronous rounds needed to drain these loads: the
-    /// maximum over directed links of the number of words on that link
-    /// (each link carries one word per round).
-    #[must_use]
-    pub fn rounds(&self) -> u64 {
-        self.loads
-            .iter()
-            .map(|&(_, _, w)| w as u64)
-            .max()
-            .unwrap_or(0)
-    }
-
-    /// Total words crossing links.
-    #[must_use]
-    pub fn words(&self) -> u64 {
-        self.loads.iter().map(|&(_, _, w)| w as u64).sum()
-    }
-
-    /// Iterates over `(src, dst, words)` entries.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
-        self.loads.iter().copied()
-    }
-
-    /// Maximum number of words sent by any single node in this step.
-    #[must_use]
-    pub fn max_out(&self, n: usize) -> usize {
-        let mut out = vec![0usize; n];
-        for &(s, _, w) in &self.loads {
-            out[s] += w;
-        }
-        out.into_iter().max().unwrap_or(0)
-    }
-
-    /// Maximum number of words received by any single node in this step.
-    #[must_use]
-    pub fn max_in(&self, n: usize) -> usize {
-        let mut inc = vec![0usize; n];
-        for &(_, d, w) in &self.loads {
-            inc[d] += w;
-        }
-        inc.into_iter().max().unwrap_or(0)
-    }
-}
+// The cost model (`LinkLoads`) lives in `cc_runtime` so that engine-driven
+// and flush-driven accounting share one source of truth; this crate
+// re-exports it from `lib.rs`.
+use cc_runtime::{Executor, LinkLoads};
 
 /// The physical network: a queue of words per directed link.
 ///
@@ -73,10 +14,17 @@ impl LinkLoads {
 /// maximum queue length. Self-addressed words (`src == dst`) are local memory
 /// moves and cost nothing, matching the model (a node need not use the
 /// network to talk to itself).
+///
+/// Queues are laid out destination-major so that one destination's incoming
+/// links occupy a contiguous block: under a parallel executor, `flush` shards
+/// the drain by destination and each worker owns a disjoint block, replacing
+/// the historical `O(n²)` serial queue walk. Loads are merged back into
+/// canonical `(src, dst)` order, so round counts and pattern fingerprints are
+/// identical to sequential execution.
 #[derive(Debug)]
 pub struct Network {
     n: usize,
-    /// `queues[src * n + dst]`.
+    /// `queues[dst * n + src]` (destination-major; see struct docs).
     queues: Vec<Vec<Word>>,
 }
 
@@ -94,24 +42,47 @@ impl Network {
             "node index out of range (n={})",
             self.n
         );
-        self.queues[src * self.n + dst].extend_from_slice(words);
+        self.queues[dst * self.n + src].extend_from_slice(words);
     }
 
     /// Drains all queues, returning the delivered messages and the loads that
-    /// determine the round cost.
-    pub(crate) fn flush(&mut self) -> (Inboxes, LinkLoads) {
+    /// determine the round cost. The drain is sharded by destination — each
+    /// piece of `map_chunks_mut` is one destination's contiguous block of
+    /// `n` per-source queues, owned by exactly one worker — and runs the
+    /// same code on both backends (a sequential executor processes the
+    /// pieces in order inline), so results are bit-identical by
+    /// construction.
+    pub(crate) fn flush(&mut self, exec: &Executor) -> (Inboxes, LinkLoads) {
         let n = self.n;
-        let mut inboxes = Inboxes::new(n);
-        let mut loads = LinkLoads::new();
-        for src in 0..n {
-            for dst in 0..n {
-                let q = &mut self.queues[src * n + dst];
-                if q.is_empty() {
-                    continue;
+        /// One destination's flush result: its link loads and its
+        /// per-source delivery row.
+        type DstFlush = (Vec<(usize, usize, usize)>, Vec<Vec<Word>>);
+
+        let per_dst: Vec<DstFlush> = exec.map_chunks_mut(&mut self.queues, n, |dst, block| {
+            let mut loads = Vec::new();
+            let mut row = Vec::with_capacity(n);
+            for (src, q) in block.iter_mut().enumerate() {
+                let words = std::mem::take(q);
+                if !words.is_empty() && src != dst {
+                    loads.push((src, dst, words.len()));
                 }
-                loads.add(src, dst, q.len());
-                inboxes.push(dst, src, q.drain(..));
+                row.push(words);
             }
+            (loads, row)
+        });
+        let mut all_loads = Vec::new();
+        let mut rows = Vec::with_capacity(n);
+        for (loads, row) in per_dst {
+            all_loads.extend(loads);
+            rows.push(row);
+        }
+        let inboxes = Inboxes::from_rows(rows);
+        // Canonical (src, dst) order — the historical serial walk's order —
+        // so fingerprints and load traces never depend on the executor.
+        all_loads.sort_unstable();
+        let mut loads = LinkLoads::new();
+        for (src, dst, words) in all_loads {
+            loads.add(src, dst, words);
         }
         (inboxes, loads)
     }
@@ -120,6 +91,11 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cc_runtime::ExecutorKind;
+
+    fn seq() -> Executor {
+        Executor::new(ExecutorKind::Sequential)
+    }
 
     #[test]
     fn flush_counts_max_queue_as_rounds() {
@@ -127,14 +103,14 @@ mod tests {
         net.enqueue(0, 1, &[1, 2, 3]);
         net.enqueue(1, 2, &[4]);
         net.enqueue(2, 0, &[5, 6]);
-        let (ib, loads) = net.flush();
+        let (ib, loads) = net.flush(&seq());
         assert_eq!(loads.rounds(), 3);
         assert_eq!(loads.words(), 6);
         assert_eq!(ib.received(1, 0), &[1, 2, 3]);
         assert_eq!(ib.received(2, 1), &[4]);
         assert_eq!(ib.received(0, 2), &[5, 6]);
         // Queues are drained.
-        let (_, loads2) = net.flush();
+        let (_, loads2) = net.flush(&seq());
         assert_eq!(loads2.rounds(), 0);
     }
 
@@ -143,20 +119,47 @@ mod tests {
         let mut net = Network::new(2);
         net.enqueue(0, 0, &[7, 8, 9]);
         net.enqueue(0, 1, &[1]);
-        let (ib, loads) = net.flush();
+        let (ib, loads) = net.flush(&seq());
         assert_eq!(loads.rounds(), 1);
         assert_eq!(loads.words(), 1);
         assert_eq!(ib.received(0, 0), &[7, 8, 9]);
     }
 
     #[test]
-    fn in_out_maxima() {
-        let mut loads = LinkLoads::new();
-        loads.add(0, 1, 5);
-        loads.add(0, 2, 3);
-        loads.add(2, 1, 4);
-        assert_eq!(loads.max_out(3), 8);
-        assert_eq!(loads.max_in(3), 9);
+    fn sharded_flush_matches_serial() {
+        let fill = |net: &mut Network| {
+            // A mix of hot links, self messages, and empty queues.
+            for src in 0..7 {
+                for dst in 0..7 {
+                    if (src + 2 * dst) % 3 == 0 {
+                        let words: Vec<Word> = (0..(src + dst) as u64 % 5)
+                            .map(|w| w + 10 * src as u64)
+                            .collect();
+                        net.enqueue(src, dst, &words);
+                    }
+                }
+            }
+            net.enqueue(0, 1, &[99, 98, 97]);
+        };
+        let mut a = Network::new(7);
+        fill(&mut a);
+        let (ib_a, loads_a) = a.flush(&seq());
+        let mut b = Network::new(7);
+        fill(&mut b);
+        let (ib_b, loads_b) = b.flush(&Executor::new(ExecutorKind::Parallel { threads: 3 }));
+        assert_eq!(loads_a.rounds(), loads_b.rounds());
+        assert_eq!(loads_a.words(), loads_b.words());
+        let la: Vec<_> = loads_a.iter().collect();
+        let lb: Vec<_> = loads_b.iter().collect();
+        assert_eq!(la, lb, "load order must match the serial walk");
+        for dst in 0..7 {
+            for src in 0..7 {
+                assert_eq!(ib_a.received(dst, src), ib_b.received(dst, src));
+            }
+        }
+        // Parallel flush drains queues too.
+        let (_, after) = b.flush(&seq());
+        assert_eq!(after.rounds(), 0);
     }
 
     #[test]

@@ -61,13 +61,16 @@ where
 /// );
 /// assert_eq!(p.to_matrix(), Matrix::mul(&IntRing, &a, &b));
 /// ```
-pub fn multiply<R: Ring>(
+pub fn multiply<R: Ring + Sync>(
     clique: &mut Clique,
     ring: &R,
     alg: &BilinearAlgorithm,
     a: &RowMatrix<R::Elem>,
     b: &RowMatrix<R::Elem>,
-) -> RowMatrix<R::Elem> {
+) -> RowMatrix<R::Elem>
+where
+    R::Elem: Send + Sync,
+{
     let plan = FastPlan::new(clique.n(), alg);
     multiply_with_plan(clique, ring, alg, &plan, a, b)
 }
@@ -78,14 +81,17 @@ pub fn multiply<R: Ring>(
 /// # Panics
 ///
 /// Panics if the plan's dimensions do not match the algorithm or clique.
-pub fn multiply_with_plan<R: Ring>(
+pub fn multiply_with_plan<R: Ring + Sync>(
     clique: &mut Clique,
     ring: &R,
     alg: &BilinearAlgorithm,
     plan: &FastPlan,
     a: &RowMatrix<R::Elem>,
     b: &RowMatrix<R::Elem>,
-) -> RowMatrix<R::Elem> {
+) -> RowMatrix<R::Elem>
+where
+    R::Elem: Send + Sync,
+{
     let n = clique.n();
     assert_eq!(a.n(), n, "operand A dimension must equal clique size");
     assert_eq!(b.n(), n, "operand B dimension must equal clique size");
@@ -104,9 +110,15 @@ pub fn multiply_with_plan<R: Ring>(
     let side = d * sub; // cell-local matrix side
 
     clique.phase("fastmm", |clique| {
+        // Node-local steps (2, 4, 6, and the row assemblies) are
+        // independent per node and fan out on the configured executor; the
+        // communication steps use the `_par` primitives, whose costs and
+        // delivered inboxes are identical to the sequential ones.
+        let exec = clique.executor();
+
         // ---- Step 1: row owners scatter row slices to cell owners. ----
         let inbox1 = clique.phase("fastmm.scatter", |c| {
-            c.route(|v| {
+            c.route_par(|v| {
                 let x1 = plan.label_of(v);
                 (0..q)
                     .map(|x2| {
@@ -126,9 +138,7 @@ pub fn multiply_with_plan<R: Ring>(
         // ---- Step 2: cell owners assemble cells and form Ŝ⁽ʷ⁾, T̂⁽ʷ⁾. ----
         // hats[v] = per owned cell, per term w: (Ŝ⁽ʷ⁾, T̂⁽ʷ⁾) sub-blocks.
         type HatPairs<E> = Vec<Vec<(Matrix<E>, Matrix<E>)>>;
-        let mut hats: Vec<HatPairs<R::Elem>> = Vec::with_capacity(n);
-        #[allow(clippy::needless_range_loop)] // u is a node id, not a slice index
-        for u in 0..n {
+        let hats: Vec<HatPairs<R::Elem>> = exec.map(n, |u| {
             let mut per_cell = Vec::new();
             for &(x1, x2) in &plan.cells_of(u) {
                 let mut s_cell = Matrix::filled(side, side, ring.zero());
@@ -187,12 +197,12 @@ pub fn multiply_with_plan<R: Ring>(
                 }
                 per_cell.push(per_w);
             }
-            hats.push(per_cell);
-        }
+            per_cell
+        });
 
         // ---- Step 3: cells send Ŝ⁽ʷ⁾, T̂⁽ʷ⁾ sub-blocks to term owners. ----
         let inbox3 = clique.phase("fastmm.to_terms", |c| {
-            c.route(|u| {
+            c.route_par(|u| {
                 let mut out = Vec::new();
                 for per_w in &hats[u] {
                     for (w, (s_hat, t_hat)) in per_w.iter().enumerate() {
@@ -211,9 +221,11 @@ pub fn multiply_with_plan<R: Ring>(
         drop(hats);
 
         // ---- Step 4: term owners assemble Ŝ⁽ʷ⁾, T̂⁽ʷ⁾ and multiply. ----
+        // The dominant local work of the whole algorithm (one dense product
+        // per owned term); work stealing keeps skewed term ownership
+        // balanced across workers.
         let full = q * sub;
-        let mut phat: Vec<Vec<Matrix<R::Elem>>> = Vec::with_capacity(n);
-        for t in 0..n {
+        let phat: Vec<Vec<Matrix<R::Elem>>> = exec.map(n, |t| {
             let my_terms = plan.terms_of(t);
             let mut s_full: Vec<Matrix<R::Elem>> = my_terms
                 .iter()
@@ -245,18 +257,16 @@ pub fn multiply_with_plan<R: Ring>(
                 }
                 assert!(rd.is_exhausted(), "step-4 payload length mismatch");
             }
-            phat.push(
-                s_full
-                    .iter()
-                    .zip(&t_full)
-                    .map(|(sf, tf)| Matrix::mul(ring, sf, tf))
-                    .collect(),
-            );
-        }
+            s_full
+                .iter()
+                .zip(&t_full)
+                .map(|(sf, tf)| Matrix::mul(ring, sf, tf))
+                .collect()
+        });
 
         // ---- Step 5: term owners return P̂⁽ʷ⁾ sub-blocks to cell owners. ----
         let inbox5 = clique.phase("fastmm.from_terms", |c| {
-            c.route(|t| {
+            c.route_par(|t| {
                 let mut out = Vec::new();
                 for (slot, &_w) in plan.terms_of(t).iter().enumerate() {
                     for x1 in 0..q {
@@ -278,8 +288,7 @@ pub fn multiply_with_plan<R: Ring>(
 
         // ---- Step 6: cell owners decode P̂⁽ʷ⁾ and evaluate λ. ----
         // p_cell[v] = per owned cell: the (d·sub)² block P[∗x₁∗, ∗x₂∗].
-        let mut p_cells: Vec<Vec<Matrix<R::Elem>>> = Vec::with_capacity(n);
-        for u in 0..n {
+        let p_cells: Vec<Vec<Matrix<R::Elem>>> = exec.map(n, |u| {
             let cells = plan.cells_of(u);
             // Gather P̂⁽ʷ⁾ sub-blocks for every term, per owned cell.
             let mut phat_blocks: Vec<Vec<Matrix<R::Elem>>> =
@@ -334,12 +343,12 @@ pub fn multiply_with_plan<R: Ring>(
                 }
                 per_cell.push(p_cell);
             }
-            p_cells.push(per_cell);
-        }
+            per_cell
+        });
 
         // ---- Step 7: cells return product rows to row owners. ----
         let inbox7 = clique.phase("fastmm.assemble", |c| {
-            c.route(|u| {
+            c.route_par(|u| {
                 let mut out = Vec::new();
                 for (idx, &(x1, x2)) in plan.cells_of(u).iter().enumerate() {
                     let cols = plan.real_indices_with_label(x2);
@@ -361,42 +370,41 @@ pub fn multiply_with_plan<R: Ring>(
         });
 
         // Row owners assemble their final rows.
-        RowMatrix::from_rows(
-            (0..n)
-                .map(|rho| {
-                    let x1 = plan.label_of(rho);
-                    let mut row = vec![ring.zero(); n];
-                    for src in 0..n {
-                        let words = inbox7.received(rho, src);
-                        if words.is_empty() {
-                            continue;
-                        }
-                        let mut rd = WordReader::new(words);
-                        for &(cx1, cx2) in &plan.cells_of(src) {
-                            if cx1 != x1 {
-                                continue;
-                            }
-                            for col in plan.real_indices_with_label(cx2) {
-                                row[col] = ring.read_elem(&mut rd);
-                            }
-                        }
-                        assert!(rd.is_exhausted(), "step-7 payload length mismatch");
+        RowMatrix::from_rows(exec.map(n, |rho| {
+            let x1 = plan.label_of(rho);
+            let mut row = vec![ring.zero(); n];
+            for src in 0..n {
+                let words = inbox7.received(rho, src);
+                if words.is_empty() {
+                    continue;
+                }
+                let mut rd = WordReader::new(words);
+                for &(cx1, cx2) in &plan.cells_of(src) {
+                    if cx1 != x1 {
+                        continue;
                     }
-                    row
-                })
-                .collect(),
-        )
+                    for col in plan.real_indices_with_label(cx2) {
+                        row[col] = ring.read_elem(&mut rd);
+                    }
+                }
+                assert!(rd.is_exhausted(), "step-7 payload length mismatch");
+            }
+            row
+        }))
     })
 }
 
 /// [`multiply`] with the Strassen tensor power best suited to the clique
 /// size (`m = 7^k ≤ n`).
-pub fn multiply_auto<R: Ring>(
+pub fn multiply_auto<R: Ring + Sync>(
     clique: &mut Clique,
     ring: &R,
     a: &RowMatrix<R::Elem>,
     b: &RowMatrix<R::Elem>,
-) -> RowMatrix<R::Elem> {
+) -> RowMatrix<R::Elem>
+where
+    R::Elem: Send + Sync,
+{
     let alg = FastPlan::best_strassen(clique.n());
     multiply(clique, ring, &alg, a, b)
 }

@@ -56,12 +56,15 @@ fn decode_slice<S: Semiring>(s: &S, words: &[u64], count: usize) -> Vec<S::Elem>
 /// assert!(a2.to_matrix()[(0, 2)]);
 /// assert!(!a2.to_matrix()[(0, 1)]);
 /// ```
-pub fn multiply<S: Semiring>(
+pub fn multiply<S: Semiring + Sync>(
     clique: &mut Clique,
     s: &S,
     a: &RowMatrix<S::Elem>,
     b: &RowMatrix<S::Elem>,
-) -> RowMatrix<S::Elem> {
+) -> RowMatrix<S::Elem>
+where
+    S::Elem: Send + Sync,
+{
     let n = clique.n();
     assert_eq!(a.n(), n, "operand A dimension must equal clique size");
     assert_eq!(b.n(), n, "operand B dimension must equal clique size");
@@ -69,9 +72,14 @@ pub fn multiply<S: Semiring>(
     let p = plan.p();
 
     clique.phase("mm3d", |clique| {
+        // Per-node local steps fan out on the configured executor; the
+        // `_par` routing primitives have costs identical to the sequential
+        // ones.
+        let exec = clique.executor();
+
         // Step 1: row owners scatter row slices to the active subcube nodes.
         let inbox = clique.phase("mm3d.scatter", |c| {
-            c.route(|v| {
+            c.route_par(|v| {
                 let rb = plan.block_of_row(v);
                 let mut out = Vec::new();
                 // S[v, u₂∗∗] to every active u = (rb, u₂, u₃).
@@ -94,10 +102,9 @@ pub fn multiply<S: Semiring>(
             })
         });
 
-        // Step 2: each active node multiplies its blocks locally.
-        let mut partials: Vec<Option<Matrix<S::Elem>>> = vec![None; plan.active()];
-        #[allow(clippy::needless_range_loop)] // u is a node id, not a slice index
-        for u in 0..plan.active() {
+        // Step 2: each active node multiplies its blocks locally — the
+        // dominant local work, fanned out over the executor.
+        let partials: Vec<Matrix<S::Elem>> = exec.map(plan.active(), |u| {
             let (u1, u2, u3) = plan.digits(u);
             let (r1, r2, r3) = (
                 plan.block_range(u1),
@@ -128,17 +135,17 @@ pub fn multiply<S: Semiring>(
                     t_blk[(idx, j)] = e.clone();
                 }
             }
-            partials[u] = Some(Matrix::mul(s, &s_blk, &t_blk));
-        }
+            Matrix::mul(s, &s_blk, &t_blk)
+        });
 
         // Step 3: active nodes return product row slices to the row owners.
         let inbox2 = clique.phase("mm3d.gather", |c| {
-            c.route(|u| {
+            c.route_par(|u| {
                 if u >= plan.active() {
                     return Vec::new();
                 }
                 let (u1, _, _) = plan.digits(u);
-                let part = partials[u].as_ref().expect("active node has a partial");
+                let part = &partials[u];
                 plan.block_range(u1)
                     .enumerate()
                     .map(|(idx, r)| (r, encode_slice(s, part.row(idx))))
@@ -147,25 +154,21 @@ pub fn multiply<S: Semiring>(
         });
 
         // Step 4: row owners sum the p partial products per column block.
-        RowMatrix::from_rows(
-            (0..n)
-                .map(|r| {
-                    let rb = plan.block_of_row(r);
-                    let mut row = vec![s.zero(); n];
-                    for u2 in 0..p {
-                        for u3 in 0..p {
-                            let u = plan.node_of(rb, u2, u3);
-                            let cols = plan.block_range(u3);
-                            let vals = decode_slice(s, inbox2.received(r, u), cols.len());
-                            for (j, e) in cols.zip(vals) {
-                                row[j] = s.add(&row[j], &e);
-                            }
-                        }
+        RowMatrix::from_rows(exec.map(n, |r| {
+            let rb = plan.block_of_row(r);
+            let mut row = vec![s.zero(); n];
+            for u2 in 0..p {
+                for u3 in 0..p {
+                    let u = plan.node_of(rb, u2, u3);
+                    let cols = plan.block_range(u3);
+                    let vals = decode_slice(s, inbox2.received(r, u), cols.len());
+                    for (j, e) in cols.zip(vals) {
+                        row[j] = s.add(&row[j], &e);
                     }
-                    row
-                })
-                .collect(),
-        )
+                }
+            }
+            row
+        }))
     })
 }
 
@@ -196,9 +199,11 @@ pub fn distance_product_with_witness(
     let s = MinPlus;
 
     clique.phase("mm3d.witness", |clique| {
+        let exec = clique.executor();
+
         // Step 1 is identical to `multiply` over MinPlus.
         let inbox = clique.phase("mm3d.scatter", |c| {
-            c.route(|v| {
+            c.route_par(|v| {
                 let rb = plan.block_of_row(v);
                 let mut out = Vec::new();
                 for u2 in 0..p {
@@ -221,9 +226,7 @@ pub fn distance_product_with_witness(
 
         // Step 2: local min-plus block products tracking the arg-min inner
         // index (a *global* column index, offset by the block start).
-        let mut partials: Vec<Option<Matrix<(Dist, usize)>>> = vec![None; plan.active()];
-        #[allow(clippy::needless_range_loop)] // u is a node id, not a slice index
-        for u in 0..plan.active() {
+        let partials: Vec<Matrix<(Dist, usize)>> = exec.map(plan.active(), |u| {
             let (u1, u2, u3) = plan.digits(u);
             let (r1, r2, r3) = (
                 plan.block_range(u1),
@@ -268,17 +271,17 @@ pub fn distance_product_with_witness(
                     }
                 }
             }
-            partials[u] = Some(prod);
-        }
+            prod
+        });
 
         // Step 3: return (distance, witness) pairs — two words per entry.
         let inbox2 = clique.phase("mm3d.gather", |c| {
-            c.route(|u| {
+            c.route_par(|u| {
                 if u >= plan.active() {
                     return Vec::new();
                 }
                 let (u1, _, _) = plan.digits(u);
-                let part = partials[u].as_ref().expect("active node has a partial");
+                let part = &partials[u];
                 plan.block_range(u1)
                     .enumerate()
                     .map(|(idx, r)| {
@@ -294,9 +297,7 @@ pub fn distance_product_with_witness(
         });
 
         // Step 4: min-reduce partials, carrying witnesses.
-        let mut dist_rows = Vec::with_capacity(n);
-        let mut wit_rows = Vec::with_capacity(n);
-        for r in 0..n {
+        let rows: Vec<(Vec<Dist>, Vec<usize>)> = exec.map(n, |r| {
             let rb = plan.block_of_row(r);
             let mut drow = vec![s.zero(); n];
             let mut qrow = vec![usize::MAX; n];
@@ -317,9 +318,9 @@ pub fn distance_product_with_witness(
                     assert!(rd.is_exhausted(), "payload length mismatch");
                 }
             }
-            dist_rows.push(drow);
-            wit_rows.push(qrow);
-        }
+            (drow, qrow)
+        });
+        let (dist_rows, wit_rows) = rows.into_iter().unzip();
         (
             RowMatrix::from_rows(dist_rows),
             RowMatrix::from_rows(wit_rows),

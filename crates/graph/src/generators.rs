@@ -288,16 +288,31 @@ pub fn near_regular(n: usize, d: usize, seed: u64) -> Graph {
     assert!(d < n, "degree must be below n");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Graph::undirected(n);
-    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
-    // Fisher-Yates shuffle, then pair consecutive stubs.
-    for i in (1..stubs.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        stubs.swap(i, j);
-    }
-    for pair in stubs.chunks_exact(2) {
-        let (u, v) = (pair[0], pair[1]);
-        if u != v && !g.has_edge(u, v) && g.degree(u) < d && g.degree(v) < d {
-            g.add_edge(u, v);
+    // Configuration model with rejection of loops/duplicates, plus repair
+    // passes: stubs of still-unsaturated nodes are re-shuffled and re-paired
+    // until no pass makes progress, so almost every node reaches degree `d`.
+    loop {
+        let mut stubs: Vec<usize> = (0..n)
+            .flat_map(|v| std::iter::repeat_n(v, d - g.degree(v)))
+            .collect();
+        if stubs.len() < 2 {
+            break;
+        }
+        // Fisher-Yates shuffle, then pair consecutive stubs.
+        for i in (1..stubs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            stubs.swap(i, j);
+        }
+        let mut progressed = false;
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u != v && !g.has_edge(u, v) && g.degree(u) < d && g.degree(v) < d {
+                g.add_edge(u, v);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
         }
     }
     g

@@ -1,0 +1,359 @@
+//! The synchronous-round driver.
+
+use crate::executor::{Executor, ExecutorKind};
+use crate::loads::LinkLoads;
+use crate::program::{Control, NodeInbox, NodeOutbox, NodeProgram, RoundCtx};
+use crate::Word;
+use std::sync::Arc;
+
+/// Result of [`Engine::run`].
+#[derive(Debug)]
+pub struct RunReport<P> {
+    /// Final program states, in node order.
+    pub programs: Vec<P>,
+    /// Link-level rounds charged: per engine round, the maximum per-link
+    /// word count (the wire simulator's cost model).
+    pub rounds: u64,
+    /// Number of synchronous barriers executed.
+    pub engine_rounds: u64,
+    /// Total words that crossed links (self-addressed messages are free).
+    pub words: u64,
+}
+
+/// Drives a set of [`NodeProgram`]s through synchronous rounds.
+///
+/// Per round the engine: (1) steps every live node — in parallel shards
+/// under [`ExecutorKind::Parallel`] — each into its own outbox; (2) merges
+/// outboxes at the barrier in node order, computing per-link loads in the
+/// canonical `(src, dst)` order; (3) charges rounds equal to the maximum
+/// per-link load; (4) builds the next inboxes sharded by destination. Steps
+/// 2–4 are deterministic by construction, so the executor choice never
+/// changes results.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Engine {
+    exec: Executor,
+}
+
+impl Engine {
+    /// Creates an engine running on the given backend.
+    #[must_use]
+    pub fn new(kind: ExecutorKind) -> Self {
+        Self {
+            exec: Executor::new(kind),
+        }
+    }
+
+    /// Creates an engine from an existing executor handle.
+    #[must_use]
+    pub fn with_executor(exec: Executor) -> Self {
+        Self { exec }
+    }
+
+    /// The engine's executor handle.
+    #[must_use]
+    pub fn executor(&self) -> Executor {
+        self.exec
+    }
+
+    /// Runs the programs to completion (every node returned
+    /// [`Control::Halt`]). See [`Engine::run_traced`] for load tracing.
+    pub fn run<P: NodeProgram>(&self, programs: Vec<P>) -> RunReport<P> {
+        self.run_traced(programs, |_| {})
+    }
+
+    /// Like [`Engine::run`], invoking `on_loads` once per engine round with
+    /// that round's [`LinkLoads`] (entries in canonical `(src, dst)` order)
+    /// so callers can record pattern fingerprints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty.
+    pub fn run_traced<P: NodeProgram>(
+        &self,
+        mut programs: Vec<P>,
+        mut on_loads: impl FnMut(&LinkLoads),
+    ) -> RunReport<P> {
+        let n = programs.len();
+        assert!(n > 0, "cannot run an empty program set");
+        let mut inboxes: Vec<NodeInbox> = (0..n).map(|_| NodeInbox::empty(n)).collect();
+        let mut halted = vec![false; n];
+        let mut live = n;
+        let mut rounds = 0u64;
+        let mut words = 0u64;
+        let mut engine_rounds = 0u64;
+
+        while live > 0 {
+            let outboxes = self.step_all(&mut programs, &inboxes, &mut halted, engine_rounds);
+            live = halted.iter().filter(|&&h| !h).count();
+            engine_rounds += 1;
+
+            let loads = link_loads(n, &outboxes);
+            on_loads(&loads);
+            rounds += loads.rounds();
+            words += loads.words();
+
+            inboxes = self.deliver(n, outboxes);
+        }
+
+        RunReport {
+            programs,
+            rounds,
+            engine_rounds,
+            words,
+        }
+    }
+
+    /// Steps every live node once, returning outboxes in node order.
+    fn step_all<P: NodeProgram>(
+        &self,
+        programs: &mut [P],
+        inboxes: &[NodeInbox],
+        halted: &mut [bool],
+        round: u64,
+    ) -> Vec<NodeOutbox> {
+        let n = programs.len();
+        let threads = self.exec.threads_for(n);
+        let step_chunk = |base: usize, progs: &mut [P], halts: &mut [bool]| -> Vec<NodeOutbox> {
+            progs
+                .iter_mut()
+                .zip(halts.iter_mut())
+                .enumerate()
+                .map(|(off, (p, h))| {
+                    let node = base + off;
+                    let mut outbox = NodeOutbox::default();
+                    if !*h {
+                        let mut ctx = RoundCtx {
+                            node,
+                            n,
+                            round,
+                            inbox: &inboxes[node],
+                            outbox: &mut outbox,
+                        };
+                        if p.round(&mut ctx) == Control::Halt {
+                            *h = true;
+                        }
+                    }
+                    outbox
+                })
+                .collect()
+        };
+
+        if threads <= 1 {
+            return step_chunk(0, programs, halted);
+        }
+        let chunk = n.div_ceil(threads);
+        let chunked: Vec<Vec<NodeOutbox>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = programs
+                .chunks_mut(chunk)
+                .zip(halted.chunks_mut(chunk))
+                .enumerate()
+                .map(|(ci, (progs, halts))| {
+                    let step_chunk = &step_chunk;
+                    scope.spawn(move || step_chunk(ci * chunk, progs, halts))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
+                .collect()
+        });
+        // Deterministic merge: chunks are contiguous node ranges in order.
+        chunked.into_iter().flatten().collect()
+    }
+
+    /// Builds the next round's inboxes, sharded by destination.
+    fn deliver(&self, n: usize, mut outboxes: Vec<NodeOutbox>) -> Vec<NodeInbox> {
+        /// One destination's pending `(src, payload)` deliveries.
+        type Bucket = Vec<(usize, Vec<Word>)>;
+
+        // Shard step: bucket unicast payloads by destination. Entries land
+        // in (src, send-order) order because sources are drained in index
+        // order — the per-destination assembly below is order-preserving.
+        let mut buckets: Vec<Bucket> = (0..n).map(|_| Vec::new()).collect();
+        for (src, outbox) in outboxes.iter_mut().enumerate() {
+            for (dst, payload) in outbox.unicast.drain(..) {
+                buckets[dst].push((src, payload));
+            }
+        }
+        let broadcasts: Vec<Vec<Arc<[Word]>>> = outboxes
+            .iter_mut()
+            .map(|o| std::mem::take(&mut o.broadcast))
+            .collect();
+
+        // Per-destination assembly runs on the executor; `map_chunks_mut`
+        // hands each worker exclusive ownership of its bucket.
+        self.exec.map_chunks_mut(&mut buckets, 1, |_dst, piece| {
+            let entries = std::mem::take(&mut piece[0]);
+            let mut inbox = NodeInbox::empty(n);
+            for (src, payload) in entries {
+                if inbox.unicast[src].is_empty() {
+                    inbox.unicast[src] = payload;
+                } else {
+                    inbox.unicast[src].extend(payload);
+                }
+            }
+            for (src, slabs) in broadcasts.iter().enumerate() {
+                if !slabs.is_empty() {
+                    // Zero-copy: recipients share the sender's slabs.
+                    inbox.broadcast[src] = slabs.clone();
+                }
+            }
+            inbox
+        })
+    }
+}
+
+/// Per-link loads of one engine round in canonical `(src, dst)` order.
+/// Self-addressed messages are local moves and carry no load.
+fn link_loads(n: usize, outboxes: &[NodeOutbox]) -> LinkLoads {
+    let mut loads = LinkLoads::new();
+    let mut counts = vec![0usize; n];
+    let mut touched = Vec::new();
+    for (src, outbox) in outboxes.iter().enumerate() {
+        if outbox.is_empty() {
+            continue;
+        }
+        for (dst, payload) in &outbox.unicast {
+            if *dst != src {
+                if counts[*dst] == 0 {
+                    touched.push(*dst);
+                }
+                counts[*dst] += payload.len();
+            }
+        }
+        let bcast: usize = outbox.broadcast.iter().map(|s| s.len()).sum();
+        if bcast > 0 {
+            for (dst, count) in counts.iter_mut().enumerate() {
+                if dst != src {
+                    if *count == 0 {
+                        touched.push(dst);
+                    }
+                    *count += bcast;
+                }
+            }
+        }
+        touched.sort_unstable();
+        for &dst in &touched {
+            loads.add(src, dst, counts[dst]);
+            counts[dst] = 0;
+        }
+        touched.clear();
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sends `round * 10 + node` to the next node for `k` rounds, recording
+    /// everything received.
+    struct RingProgram {
+        k: u64,
+        log: Vec<Word>,
+    }
+
+    impl NodeProgram for RingProgram {
+        fn round(&mut self, ctx: &mut RoundCtx<'_>) -> Control {
+            let prev = (ctx.node() + ctx.n() - 1) % ctx.n();
+            self.log.extend_from_slice(ctx.received(prev));
+            if ctx.round() < self.k {
+                let next = (ctx.node() + 1) % ctx.n();
+                ctx.send(next, vec![ctx.round() * 10 + ctx.node() as Word]);
+                Control::Continue
+            } else {
+                Control::Halt
+            }
+        }
+    }
+
+    fn ring(n: usize, k: u64) -> Vec<RingProgram> {
+        (0..n).map(|_| RingProgram { k, log: Vec::new() }).collect()
+    }
+
+    #[test]
+    fn ring_messages_arrive_in_order() {
+        let report = Engine::new(ExecutorKind::Sequential).run(ring(4, 3));
+        // Node 1 hears from node 0 in rounds 1..=3: 0, 10, 20.
+        assert_eq!(report.programs[1].log, vec![0, 10, 20]);
+        assert_eq!(report.engine_rounds, 4);
+        assert_eq!(report.rounds, 3); // one word per link per sending round
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_the_ring() {
+        let seq = Engine::new(ExecutorKind::Sequential).run(ring(16, 5));
+        let par = Engine::new(ExecutorKind::Parallel { threads: 4 }).run(ring(16, 5));
+        assert_eq!(seq.rounds, par.rounds);
+        assert_eq!(seq.engine_rounds, par.engine_rounds);
+        assert_eq!(seq.words, par.words);
+        for (a, b) in seq.programs.iter().zip(&par.programs) {
+            assert_eq!(a.log, b.log);
+        }
+    }
+
+    #[test]
+    fn broadcast_slabs_are_shared_not_cloned() {
+        struct OneShot {
+            seen: usize,
+        }
+        impl NodeProgram for OneShot {
+            fn round(&mut self, ctx: &mut RoundCtx<'_>) -> Control {
+                if ctx.round() == 0 {
+                    if ctx.node() == 0 {
+                        ctx.broadcast(vec![7, 8, 9]);
+                    }
+                    Control::Continue
+                } else {
+                    self.seen = ctx.broadcasts_from(0).map(<[Word]>::len).sum();
+                    Control::Halt
+                }
+            }
+        }
+        let report = Engine::new(ExecutorKind::Sequential)
+            .run((0..8).map(|_| OneShot { seen: 0 }).collect());
+        assert!(report.programs.iter().all(|p| p.seen == 3));
+        // One 3-word slab on 7 links: 3 rounds, 21 words.
+        assert_eq!(report.rounds, 3);
+        assert_eq!(report.words, 21);
+    }
+
+    #[test]
+    fn self_messages_are_free() {
+        struct SelfTalk;
+        impl NodeProgram for SelfTalk {
+            fn round(&mut self, ctx: &mut RoundCtx<'_>) -> Control {
+                if ctx.round() == 0 {
+                    let me = ctx.node();
+                    ctx.send(me, vec![1, 2, 3]);
+                    Control::Continue
+                } else {
+                    assert_eq!(ctx.received(ctx.node()), &[1, 2, 3]);
+                    Control::Halt
+                }
+            }
+        }
+        let report = Engine::new(ExecutorKind::Sequential).run(vec![SelfTalk, SelfTalk]);
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.words, 0);
+    }
+
+    #[test]
+    fn load_trace_is_canonical_and_stable() {
+        let mut seq_trace = Vec::new();
+        let mut par_trace = Vec::new();
+        Engine::new(ExecutorKind::Sequential)
+            .run_traced(ring(9, 4), |l| seq_trace.push(l.iter().collect::<Vec<_>>()));
+        Engine::new(ExecutorKind::Parallel { threads: 3 })
+            .run_traced(ring(9, 4), |l| par_trace.push(l.iter().collect::<Vec<_>>()));
+        assert_eq!(seq_trace, par_trace);
+        for round in &seq_trace {
+            let mut sorted = round.clone();
+            sorted.sort_unstable();
+            assert_eq!(&sorted, round, "loads must be in (src, dst) order");
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Pluggable execution backends.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Which backend an [`Executor`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorKind {
+    /// Run everything on the calling thread, in index order. The reference
+    /// semantics every other backend must reproduce bit-for-bit.
+    #[default]
+    Sequential,
+    /// Fan independent per-index work out over a scoped thread pool and
+    /// merge results at a deterministic barrier.
+    Parallel {
+        /// Worker thread count; `0` means "one per available CPU".
+        threads: usize,
+    },
+}
+
+impl ExecutorKind {
+    /// A parallel kind sized to the machine.
+    #[must_use]
+    pub fn parallel() -> Self {
+        ExecutorKind::Parallel { threads: 0 }
+    }
+}
+
+/// A handle that runs independent per-index work on some backend.
+///
+/// The core operation is [`Executor::map`]: evaluate `f(0), …, f(n-1)` and
+/// return the results in index order. The parallel backend distributes
+/// indices over worker threads with an atomic work-stealing counter (so
+/// skewed per-index costs still balance) and then merges results by index,
+/// which makes the output — and anything downstream of it — independent of
+/// thread scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    kind: ExecutorKind,
+    /// Worker count with `threads: 0` already resolved against the machine
+    /// (resolved once at construction — `available_parallelism` is a
+    /// syscall and `threads_for` sits on hot paths).
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new(ExecutorKind::default())
+    }
+}
+
+impl Executor {
+    /// Creates an executor of the given kind.
+    #[must_use]
+    pub fn new(kind: ExecutorKind) -> Self {
+        let threads = match kind {
+            ExecutorKind::Sequential => 1,
+            ExecutorKind::Parallel { threads: 0 } => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            ExecutorKind::Parallel { threads } => threads,
+        };
+        Self { kind, threads }
+    }
+
+    /// The configured kind.
+    #[must_use]
+    pub fn kind(&self) -> ExecutorKind {
+        self.kind
+    }
+
+    /// Number of worker threads this executor would use for a job of `n`
+    /// independent pieces (never more threads than pieces).
+    #[must_use]
+    pub fn threads_for(&self, n: usize) -> usize {
+        self.threads.clamp(1, n.max(1))
+    }
+
+    /// Evaluates `f` at every index in `0..n`, returning results in index
+    /// order. Deterministic for any backend: the parallel path assigns each
+    /// index to exactly one worker and merges by index at the barrier.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let threads = self.threads_for(n);
+        if threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let f = &f;
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(n / threads + 1);
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, f(i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
+                .collect()
+        });
+        // Deterministic merge: results land in their index slot regardless
+        // of which worker computed them.
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for part in parts {
+            for (i, v) in part {
+                debug_assert!(slots[i].is_none(), "index {i} computed twice");
+                slots[i] = Some(v);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index computed exactly once"))
+            .collect()
+    }
+
+    /// Splits `data` into contiguous pieces of `chunk_len` elements (the
+    /// last piece may be shorter), processes each piece on the backend, and
+    /// returns results in piece order. Pieces are distributed round-robin
+    /// over workers; since every piece is owned by exactly one worker and
+    /// results merge by piece index, the output is deterministic.
+    pub fn map_chunks_mut<T, U, F>(&self, data: &mut [T], chunk_len: usize, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, &mut [T]) -> U + Sync,
+    {
+        assert!(chunk_len > 0, "chunk length must be positive");
+        let pieces: Vec<&mut [T]> = data.chunks_mut(chunk_len).collect();
+        let n_pieces = pieces.len();
+        let threads = self.threads_for(n_pieces);
+        if threads <= 1 {
+            return pieces
+                .into_iter()
+                .enumerate()
+                .map(|(i, piece)| f(i, piece))
+                .collect();
+        }
+        let mut assignments: Vec<Vec<(usize, &mut [T])>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, piece) in pieces.into_iter().enumerate() {
+            assignments[i % threads].push((i, piece));
+        }
+        let parts: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = assignments
+                .into_iter()
+                .map(|mine| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        mine.into_iter()
+                            .map(|(i, piece)| (i, f(i, piece)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
+                .collect()
+        });
+        let mut slots: Vec<Option<U>> = (0..n_pieces).map(|_| None).collect();
+        for part in parts {
+            for (i, v) in part {
+                slots[i] = Some(v);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every piece processed exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_sequential_reference() {
+        let seq = Executor::new(ExecutorKind::Sequential);
+        let par = Executor::new(ExecutorKind::Parallel { threads: 4 });
+        let f = |i: usize| (i * i) as u64 ^ 0xdead;
+        for n in [0, 1, 2, 7, 64, 1000] {
+            assert_eq!(seq.map(n, f), par.map(n, f), "n={n}");
+        }
+    }
+
+    #[test]
+    fn map_handles_skewed_work() {
+        let par = Executor::new(ExecutorKind::Parallel { threads: 3 });
+        let out = par.map(100, |i| {
+            // Index 0 is far more expensive than the rest; work stealing
+            // keeps the other workers busy.
+            if i == 0 {
+                (0..100_000u64).fold(0, |a, x| a ^ x.wrapping_mul(31))
+            } else {
+                i as u64
+            }
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[5], 5);
+    }
+
+    #[test]
+    fn thread_counts_are_bounded_by_work() {
+        let par = Executor::new(ExecutorKind::Parallel { threads: 8 });
+        assert_eq!(par.threads_for(3), 3);
+        assert_eq!(par.threads_for(0), 1);
+        let seq = Executor::new(ExecutorKind::Sequential);
+        assert_eq!(seq.threads_for(1000), 1);
+    }
+
+    #[test]
+    fn map_chunks_mut_matches_sequential_reference() {
+        let run = |kind: ExecutorKind| {
+            let exec = Executor::new(kind);
+            let mut data: Vec<u64> = (0..103).collect();
+            let sums = exec.map_chunks_mut(&mut data, 10, |i, piece| {
+                for x in piece.iter_mut() {
+                    *x = x.wrapping_mul(3).wrapping_add(i as u64);
+                }
+                piece.iter().sum::<u64>()
+            });
+            (data, sums)
+        };
+        assert_eq!(
+            run(ExecutorKind::Sequential),
+            run(ExecutorKind::Parallel { threads: 4 })
+        );
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let par = Executor::new(ExecutorKind::parallel());
+        assert!(par.threads_for(1_000_000) >= 1);
+    }
+}

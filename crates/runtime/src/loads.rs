@@ -1,0 +1,98 @@
+//! The link-level cost model shared by the engine and the wire simulator.
+
+/// Per-link word counts of one communication step, in deterministic
+/// `(src, dst)` order. One link moves one word per round, so a step costs
+/// [`LinkLoads::rounds`] synchronous rounds. Self-links (`src == dst`) are
+/// local memory moves and are never recorded. Used for round accounting and
+/// obliviousness fingerprints; keeping this type in one place is what keeps
+/// engine-driven and flush-driven accounting bit-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkLoads {
+    loads: Vec<(usize, usize, usize)>,
+}
+
+impl LinkLoads {
+    /// Creates an empty load set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `words` on the `(src, dst)` link. Zero-word entries and
+    /// self-links are ignored. Callers must add entries in canonical
+    /// `(src, dst)` order for fingerprints to be executor-independent.
+    pub fn add(&mut self, src: usize, dst: usize, words: usize) {
+        if words > 0 && src != dst {
+            self.loads.push((src, dst, words));
+        }
+    }
+
+    /// The number of synchronous rounds needed to drain these loads: the
+    /// maximum over directed links of the number of words on that link
+    /// (each link carries one word per round).
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.loads
+            .iter()
+            .map(|&(_, _, w)| w as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total words crossing links.
+    #[must_use]
+    pub fn words(&self) -> u64 {
+        self.loads.iter().map(|&(_, _, w)| w as u64).sum()
+    }
+
+    /// Iterates over `(src, dst, words)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.loads.iter().copied()
+    }
+
+    /// Maximum number of words sent by any single node in this step.
+    #[must_use]
+    pub fn max_out(&self, n: usize) -> usize {
+        let mut out = vec![0usize; n];
+        for &(s, _, w) in &self.loads {
+            out[s] += w;
+        }
+        out.into_iter().max().unwrap_or(0)
+    }
+
+    /// Maximum number of words received by any single node in this step.
+    #[must_use]
+    pub fn max_in(&self, n: usize) -> usize {
+        let mut inc = vec![0usize; n];
+        for &(_, d, w) in &self.loads {
+            inc[d] += w;
+        }
+        inc.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_out_maxima() {
+        let mut loads = LinkLoads::new();
+        loads.add(0, 1, 5);
+        loads.add(0, 2, 3);
+        loads.add(2, 1, 4);
+        assert_eq!(loads.rounds(), 5);
+        assert_eq!(loads.words(), 12);
+        assert_eq!(loads.max_out(3), 8);
+        assert_eq!(loads.max_in(3), 9);
+    }
+
+    #[test]
+    fn self_links_and_empty_entries_are_ignored() {
+        let mut loads = LinkLoads::new();
+        loads.add(1, 1, 10);
+        loads.add(0, 1, 0);
+        assert_eq!(loads.rounds(), 0);
+        assert_eq!(loads.iter().count(), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-node state machines and their round-scoped I/O surface.
+
+use crate::Word;
+use std::sync::Arc;
+
+/// What a node wants after finishing a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Step this node again next round.
+    Continue,
+    /// This node is done; it is not stepped again (messages already sent
+    /// this round are still delivered and charged).
+    Halt,
+}
+
+/// One simulated node's state machine.
+///
+/// The engine calls [`NodeProgram::round`] once per synchronous round with a
+/// [`RoundCtx`] exposing the node's identity, the messages delivered at the
+/// end of the previous round, and this round's outbox. Programs must derive
+/// everything they do from that context and their own state — they cannot
+/// observe other nodes — which is exactly the locality discipline of the
+/// congested clique and what makes parallel execution deterministic.
+pub trait NodeProgram: Send {
+    /// Executes one round. Return [`Control::Halt`] when done.
+    fn round(&mut self, ctx: &mut RoundCtx<'_>) -> Control;
+}
+
+/// Messages delivered to one node at a round barrier.
+///
+/// Unicast payloads from each source are concatenated in send order.
+/// Broadcast payloads are *shared* `Arc<[Word]>` slabs: every recipient's
+/// inbox references the same allocation (zero-copy delivery).
+#[derive(Debug, Clone, Default)]
+pub struct NodeInbox {
+    pub(crate) unicast: Vec<Vec<Word>>,
+    pub(crate) broadcast: Vec<Vec<Arc<[Word]>>>,
+}
+
+impl NodeInbox {
+    pub(crate) fn empty(n: usize) -> Self {
+        Self {
+            unicast: vec![Vec::new(); n],
+            broadcast: vec![Vec::new(); n],
+        }
+    }
+
+    /// Unicast words received from `src` this round, in send order.
+    #[must_use]
+    pub fn received(&self, src: usize) -> &[Word] {
+        &self.unicast[src]
+    }
+
+    /// Broadcast slabs received from `src` this round, in send order.
+    pub fn broadcasts_from(&self, src: usize) -> impl Iterator<Item = &[Word]> {
+        self.broadcast[src].iter().map(|a| &a[..])
+    }
+
+    /// Total words delivered (unicast + broadcast).
+    #[must_use]
+    pub fn total_words(&self) -> usize {
+        self.unicast.iter().map(Vec::len).sum::<usize>()
+            + self
+                .broadcast
+                .iter()
+                .flat_map(|s| s.iter().map(|a| a.len()))
+                .sum::<usize>()
+    }
+}
+
+/// One node's sends for the current round, merged at the barrier.
+#[derive(Debug, Default)]
+pub struct NodeOutbox {
+    /// `(dst, words)` in send order.
+    pub(crate) unicast: Vec<(usize, Vec<Word>)>,
+    /// Shared broadcast slabs in send order.
+    pub(crate) broadcast: Vec<Arc<[Word]>>,
+}
+
+impl NodeOutbox {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.unicast.is_empty() && self.broadcast.is_empty()
+    }
+}
+
+/// A node's view of one synchronous round.
+#[derive(Debug)]
+pub struct RoundCtx<'a> {
+    pub(crate) node: usize,
+    pub(crate) n: usize,
+    pub(crate) round: u64,
+    pub(crate) inbox: &'a NodeInbox,
+    pub(crate) outbox: &'a mut NodeOutbox,
+}
+
+impl RoundCtx<'_> {
+    /// This node's id in `0..n`.
+    #[must_use]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Clique size.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Zero-based index of the current round.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Unicast words received from `src` at the previous barrier.
+    #[must_use]
+    pub fn received(&self, src: usize) -> &[Word] {
+        self.inbox.received(src)
+    }
+
+    /// Broadcast slabs received from `src` at the previous barrier.
+    pub fn broadcasts_from(&self, src: usize) -> impl Iterator<Item = &[Word]> {
+        self.inbox.broadcasts_from(src)
+    }
+
+    /// The whole inbox, for bulk processing.
+    #[must_use]
+    pub fn inbox(&self) -> &NodeInbox {
+        self.inbox
+    }
+
+    /// Sends `words` to `dst` over the `(self, dst)` link. Self-addressed
+    /// messages are local memory moves and cost no rounds, matching the
+    /// wire simulator.
+    pub fn send(&mut self, dst: usize, words: impl Into<Vec<Word>>) {
+        assert!(
+            dst < self.n,
+            "destination {dst} out of range (n={})",
+            self.n
+        );
+        let words = words.into();
+        if !words.is_empty() {
+            self.outbox.unicast.push((dst, words));
+        }
+    }
+
+    /// Broadcasts `words` to every node (including the sender's own next
+    /// inbox). The payload is stored once as a shared `Arc<[Word]>` slab;
+    /// recipients see the same allocation. Charged on the `n - 1` outgoing
+    /// links like any broadcast.
+    pub fn broadcast(&mut self, words: impl Into<Arc<[Word]>>) {
+        let slab: Arc<[Word]> = words.into();
+        if !slab.is_empty() {
+            self.outbox.broadcast.push(slab);
+        }
+    }
+}

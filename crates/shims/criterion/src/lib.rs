@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! workspace-local crate provides the API subset the repository's benches
+//! use: [`Criterion`], [`BenchmarkId`], benchmark groups with
+//! `sample_size`/`bench_function`/`bench_with_input`, [`Bencher::iter`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is simplified relative to upstream: each benchmark runs a
+//! short warm-up followed by `sample_size` timed samples and reports
+//! min/mean/median wall-clock per iteration on stdout. Measurements are
+//! also recorded in-process (see [`Criterion::take_measurements`]) so
+//! harness-less benches can export machine-readable results.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Group name (empty for top-level `bench_function`).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Per-iteration sample means, one per sample.
+    pub samples_ns: Vec<f64>,
+}
+
+impl Measurement {
+    /// Mean nanoseconds per iteration across samples.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    /// Median nanoseconds per iteration across samples.
+    #[must_use]
+    pub fn median_ns(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        s[s.len() / 2]
+    }
+
+    /// Minimum nanoseconds per iteration across samples.
+    #[must_use]
+    pub fn min_ns(&self) -> f64 {
+        self.samples_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Benchmark identifier: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, matching upstream's display form.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            repr: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id from a bare parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            samples_ns: Vec::new(),
+            sample_size,
+        }
+    }
+
+    /// Times `routine`, recording `sample_size` samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: one untimed run (fills caches, triggers lazy init).
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a top-level benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(self, String::new(), id.to_string(), 10, f);
+        self
+    }
+
+    /// Drains every measurement recorded so far.
+    pub fn take_measurements(&mut self) -> Vec<Measurement> {
+        std::mem::take(&mut self.measurements)
+    }
+}
+
+fn run_one(
+    c: &mut Criterion,
+    group: String,
+    id: String,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher::new(sample_size);
+    f(&mut b);
+    let m = Measurement {
+        group: group.clone(),
+        id: id.clone(),
+        samples_ns: b.samples_ns,
+    };
+    let label = if group.is_empty() {
+        id
+    } else {
+        format!("{group}/{id}")
+    };
+    if m.samples_ns.is_empty() {
+        println!("{label:<40} (no samples)");
+    } else {
+        println!(
+            "{label:<40} min {:>12}  median {:>12}  mean {:>12}",
+            human(m.min_ns()),
+            human(m.median_ns()),
+            human(m.mean_ns()),
+        );
+    }
+    c.measurements.push(m);
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            self.criterion,
+            self.name.clone(),
+            id.repr,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            self.criterion,
+            self.name.clone(),
+            id.into(),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -436,12 +436,19 @@ mod tests {
 
     #[test]
     fn rounds_are_constant_across_sizes() {
-        // Sparse-ish graphs that exercise the full tile machinery.
+        // Sparse-ish graphs that exercise the full tile machinery. Averaged
+        // over seeds: a single G(n, 1.5/n) instance has noticeable variance
+        // in max degree and hence tile loads.
         let rounds = |n: usize| {
-            let g = generators::gnp(n, 1.5 / n as f64, 7);
-            let mut clique = Clique::new(n);
-            detect_4cycle(&mut clique, &g);
-            clique.rounds()
+            let total: u64 = (0..5)
+                .map(|seed| {
+                    let g = generators::gnp(n, 1.5 / n as f64, 7 + seed);
+                    let mut clique = Clique::new(n);
+                    detect_4cycle(&mut clique, &g);
+                    clique.rounds()
+                })
+                .sum();
+            total / 5
         };
         let r32 = rounds(32);
         let r256 = rounds(256);

@@ -48,6 +48,16 @@ fn main() {
         clique.rounds()
     );
 
+    // 2b. Same algorithm on the multi-threaded runtime: identical product,
+    //     identical rounds — only wall-clock may differ.
+    let mut clique = Clique::parallel(n);
+    let pp = fast_mm::multiply_auto(&mut clique, &IntRing, &ra, &rb);
+    assert_eq!(pp.to_matrix(), reference);
+    println!(
+        "fast bilinear, parallel exec  : {:>4} rounds (bit-identical)",
+        clique.rounds()
+    );
+
     // 3. The same fast path over the prime field F_101.
     let f = ModRing::new(101);
     let (ma, mb) = (ra.map(|&x| f.reduce(x)), rb.map(|&x| f.reduce(x)));

@@ -4,6 +4,9 @@
 //! (Censor-Hillel, Kaski, Korhonen, Lenzen, Paz, Suomela — PODC 2015) as a
 //! Rust library suite. This facade crate re-exports the workspace crates:
 //!
+//! * [`runtime`] — the sharded, multi-threaded execution engine
+//!   ([`NodeProgram`](runtime::NodeProgram) state machines, pluggable
+//!   [`Sequential`/`Parallel`](runtime::ExecutorKind) executors).
 //! * [`clique`] — the congested clique simulator (rounds, links, routing).
 //! * [`algebra`] — semirings, rings, matrices, bilinear (Strassen) algorithms.
 //! * [`graph`] — graph types, generators, and centralized reference oracles.
@@ -30,6 +33,50 @@
 //! let mut clique = Clique::new(5);
 //! assert_eq!(count_triangles(&mut clique, &g), 1);
 //! ```
+//!
+//! ## Runtime & execution model
+//!
+//! Simulated nodes are embarrassingly parallel within a round, and the
+//! [`runtime`] crate exploits that: a [`Clique`](clique::Clique) runs on a
+//! pluggable executor chosen through
+//! [`CliqueConfig::executor`](clique::CliqueConfig) —
+//! [`ExecutorKind::Sequential`](runtime::ExecutorKind) (the reference
+//! semantics, and the default) or
+//! [`ExecutorKind::Parallel`](runtime::ExecutorKind), which shards
+//! node-local computation and message delivery over OS threads with
+//! per-shard outboxes merged at a deterministic round barrier.
+//!
+//! The determinism contract is strict: results, executed round counts, and
+//! communication-pattern fingerprints are **bit-identical** across
+//! executors (property-tested in `tests/runtime_determinism.rs`), so round
+//! accounting — the quantity the paper is about — never depends on how the
+//! simulation is scheduled. Only wall-clock changes:
+//!
+//! ```rust
+//! use congested_clique::algebra::{IntRing, Matrix};
+//! use congested_clique::clique::Clique;
+//! use congested_clique::core::{fast_mm, RowMatrix};
+//!
+//! let n = 8;
+//! let a = Matrix::from_fn(n, n, |i, j| (i + j) as i64);
+//! let mut sequential = Clique::new(n);
+//! let mut parallel = Clique::parallel(n); // threads sized to the machine
+//! let ra = RowMatrix::from_matrix(&a);
+//! let p1 = fast_mm::multiply_auto(&mut sequential, &IntRing, &ra, &ra);
+//! let p2 = fast_mm::multiply_auto(&mut parallel, &IntRing, &ra, &ra);
+//! assert_eq!(p1.to_matrix(), p2.to_matrix());
+//! assert_eq!(sequential.rounds(), parallel.rounds());
+//! ```
+//!
+//! Algorithms opt in at two levels: coordinator-style code keeps the
+//! closure primitives (`exchange_par`, `route_par` take `Fn + Sync`
+//! generators evaluated on the backend, and node-local loops fan out via
+//! [`Executor::map`](runtime::Executor::map)), while fully distributed
+//! algorithms implement [`NodeProgram`](runtime::NodeProgram) — a per-node
+//! state machine driven round-by-round by the
+//! [`Engine`](runtime::Engine) (see
+//! [`Clique::run_programs`](clique::Clique::run_programs) and the
+//! `runtime_engine` example).
 
 pub use cc_algebra as algebra;
 pub use cc_apsp as apsp;
@@ -38,4 +85,5 @@ pub use cc_clique as clique;
 pub use cc_congest as congest;
 pub use cc_core as core;
 pub use cc_graph as graph;
+pub use cc_runtime as runtime;
 pub use cc_subgraph as subgraph;
