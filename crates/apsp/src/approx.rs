@@ -37,7 +37,9 @@ pub fn apsp_approx(clique: &mut Clique, g: &Graph, delta: f64) -> RowMatrix<Dist
     );
 
     let alg = FastPlan::best_strassen(n);
-    let mut cur = RowMatrix::from_matrix(&g.weight_matrix());
+    // The squarings below run their scaling, embedding, and min-merges on
+    // the clique's executor; the weight rows are tabulated there too.
+    let mut cur = crate::weight_rows(&clique.executor(), g);
     clique.phase("apsp_approx", |clique| {
         let mut hops = 1usize;
         while hops < n {

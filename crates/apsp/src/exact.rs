@@ -76,16 +76,26 @@ impl ApspTables {
 pub fn apsp_exact(clique: &mut Clique, g: &Graph) -> ApspTables {
     let n = clique.n();
     assert_eq!(g.n(), n, "graph and clique sizes must match");
-    let mut dist = RowMatrix::from_matrix(&g.weight_matrix());
+    // Node-local tabulation (row v is node v's local view of the graph) and
+    // the per-row routing updates below run on the clique's configured
+    // executor; the distance products use the `_par` routing primitives
+    // internally, so the whole algorithm rides the parallel runtime.
+    let exec = clique.executor();
+    let mut dist = crate::weight_rows(&exec, g);
     // R[u][v] = v for direct edges; self/unreachable entries are sentinels
     // fixed up on improvement.
-    let mut routing = RowMatrix::from_fn(n, |u, v| if g.has_edge(u, v) { v } else { usize::MAX });
+    let mut routing =
+        RowMatrix::par_from_fn(
+            &exec,
+            n,
+            |u, v| if g.has_edge(u, v) { v } else { usize::MAX },
+        );
 
     clique.phase("apsp_exact", |clique| {
         let mut hops = 1usize;
         while hops < n {
             let (d2, q) = semiring_mm::distance_product_with_witness(clique, &dist, &dist);
-            routing = routing.map_indexed(|u, v, &r| {
+            routing = routing.par_map_indexed(&exec, |u, v, &r| {
                 if d2.row(u)[v] < dist.row(u)[v] {
                     let w = q.row(u)[v];
                     debug_assert!(

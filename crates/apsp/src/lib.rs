@@ -41,6 +41,25 @@ mod paths;
 mod seidel;
 mod small_weights;
 
+use cc_algebra::{Dist, INFINITY};
+use cc_clique::Executor;
+use cc_core::RowMatrix;
+use cc_graph::Graph;
+
+/// The row-distributed weight matrix every APSP entry point starts from
+/// (zero diagonal, edge weights, `∞` for non-edges — the `Graph::weight_matrix`
+/// convention), tabulated per node on the clique's executor: row `v` is node
+/// `v`'s local view, and graph lookups are tree-map walks worth fanning out.
+fn weight_rows(exec: &Executor, g: &Graph) -> RowMatrix<Dist> {
+    RowMatrix::par_from_fn(exec, g.n(), |u, v| {
+        if u == v {
+            Dist::zero()
+        } else {
+            g.weight(u, v).map_or(INFINITY, Dist::finite)
+        }
+    })
+}
+
 pub use crate::approx::{apsp_approx, delta_for_target};
 pub use crate::exact::{apsp_exact, ApspTables};
 pub use crate::metrics::{metrics_from_distances, unweighted_metrics, DistanceMetrics};

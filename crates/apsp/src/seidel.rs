@@ -38,7 +38,7 @@ pub fn apsp_seidel(clique: &mut Clique, g: &Graph) -> RowMatrix<Dist> {
     );
 
     let alg = FastPlan::best_strassen(n);
-    let a = RowMatrix::from_fn(n, |u, v| g.has_edge(u, v));
+    let a = RowMatrix::par_from_fn(&clique.executor(), n, |u, v| g.has_edge(u, v));
     clique.phase("seidel", |clique| seidel_rec(clique, &alg, &a, 0))
 }
 
@@ -50,16 +50,21 @@ fn seidel_rec(
 ) -> RowMatrix<Dist> {
     let n = a.n();
     assert!(depth <= n.ilog2() as usize + 2, "Seidel recursion too deep");
+    // Per-row node-local steps (diagonal strip, fixpoint scan, integer
+    // lifts, parity reconstruction) fan out on the configured backend.
+    let exec = clique.executor();
 
     // The square graph: adjacency of G² is (A² ∨ A) minus the diagonal.
     let sq = boolean::multiply_or(clique, alg, a, a, a);
-    let sq = sq.map_indexed(|u, v, &x| x && u != v);
+    let sq = sq.par_map_indexed(&exec, |u, v, &x| x && u != v);
 
     // Fixpoint test (1 broadcast round): G = G² means every component is
-    // complete, so distances are 1 for edges and ∞ across components.
-    let changed = clique.or_all(|u| (0..n).any(|v| sq.row(u)[v] != a.row(u)[v]));
+    // complete, so distances are 1 for edges and ∞ across components. Each
+    // node scans its own row on the executor; the OR is one broadcast.
+    let row_changed = exec.map(n, |u| (0..n).any(|v| sq.row(u)[v] != a.row(u)[v]));
+    let changed = clique.or_all(|u| row_changed[u]);
     if !changed {
-        return a.map_indexed(|u, v, &adj| {
+        return a.par_map_indexed(&exec, |u, v, &adj| {
             if u == v {
                 Dist::zero()
             } else if adj {
@@ -75,14 +80,14 @@ fn seidel_rec(
 
     // Lemma 17: S = D_{G²} · A over ℤ (∞ encoded as 0 — such terms never
     // contribute to same-component pairs), one fast product.
-    let d2_int = d2.map(|d| d.value().unwrap_or(0));
-    let a_int = a.map(|&x| i64::from(x));
+    let d2_int = d2.par_map(&exec, |d| d.value().unwrap_or(0));
+    let a_int = a.par_map(&exec, |&x| i64::from(x));
     let s = fast_mm::multiply(clique, &IntRing, alg, &d2_int, &a_int);
 
     // Everyone learns deg_G(v) (one broadcast round).
     let degs = clique.broadcast(|v| a.row(v).iter().filter(|&&x| x).count() as u64);
 
-    d2.map_indexed(|u, v, &dd| match dd.value() {
+    d2.par_map_indexed(&exec, |u, v, &dd| match dd.value() {
         None => INFINITY,
         Some(0) => Dist::zero(),
         Some(h) => {

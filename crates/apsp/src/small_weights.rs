@@ -12,8 +12,10 @@ pub fn reachability(clique: &mut Clique, g: &Graph) -> RowMatrix<bool> {
     let n = clique.n();
     assert_eq!(g.n(), n, "graph and clique sizes must match");
     let alg = FastPlan::best_strassen(n);
-    // Start from A ∨ I so squaring accumulates all path lengths.
-    let mut reach = RowMatrix::from_fn(n, |u, v| u == v || g.has_edge(u, v));
+    // Start from A ∨ I so squaring accumulates all path lengths; rows are
+    // tabulated per node on the configured backend.
+    let mut reach =
+        RowMatrix::par_from_fn(&clique.executor(), n, |u, v| u == v || g.has_edge(u, v));
     clique.phase("reachability", |clique| {
         let mut hops = 1usize;
         while hops < n {
@@ -47,7 +49,8 @@ pub fn apsp_small_weights(
         "Corollary 8 requires positive integer weights"
     );
     let alg = FastPlan::best_strassen(n);
-    let w = RowMatrix::from_matrix(&g.weight_matrix());
+    let exec = clique.executor();
+    let w = crate::weight_rows(&exec, g);
 
     clique.phase("apsp_small_weights", |clique| {
         if let Some(u) = diameter_bound {
@@ -60,9 +63,12 @@ pub fn apsp_small_weights(
         loop {
             let d = distance::apsp_up_to(clique, &alg, &w, guess);
             // Complete iff every reachable pair has a finite distance
-            // (checked locally per row, then OR-reduced in one round).
-            let incomplete =
-                clique.or_all(|u| (0..n).any(|v| reach.row(u)[v] && !d.row(u)[v].is_finite()));
+            // (each node scans its own row on the executor, then one
+            // OR-reduce round).
+            let row_incomplete = exec.map(n, |u| {
+                (0..n).any(|v| reach.row(u)[v] && !d.row(u)[v].is_finite())
+            });
+            let incomplete = clique.or_all(|u| row_incomplete[u]);
             if !incomplete {
                 return d;
             }

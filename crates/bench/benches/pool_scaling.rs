@@ -1,0 +1,147 @@
+//! Pool ablation: the persistent worker pool (`ExecutorKind::Parallel`)
+//! against the legacy spawn-scoped-threads-per-call backend
+//! (`ExecutorKind::Spawn`) and the sequential reference, at
+//! `n ∈ {64, 128, 256}`.
+//!
+//! Two workloads per size:
+//!
+//! * `fast_mm` — one full fast bilinear multiplication on a clique of `n`
+//!   nodes (≈12 executor dispatches per run), the end-to-end view;
+//! * `dispatch` — 16 back-to-back `Executor::map` calls over `n` trivial
+//!   pieces, isolating per-call dispatch overhead (the quantity the pool
+//!   exists to cut: a condvar wake instead of `threads` spawn+joins).
+//!
+//! The cutover is disabled so small sizes genuinely dispatch — the point is
+//! to measure the overhead the cutover otherwise hides. Results are printed
+//! per benchmark and exported to `BENCH_pool.json` at the workspace root.
+//! On a single-CPU host (see `host_available_parallelism` in the JSON) the
+//! interesting signal is overhead, not speedup: `pool` should sit between
+//! `seq` and `spawn` at every size.
+
+use cc_algebra::{IntRing, Matrix};
+use cc_clique::{Clique, CliqueConfig, Executor, ExecutorKind};
+use cc_core::{fast_mm, RowMatrix};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+
+const SIZES: [usize; 3] = [64, 128, 256];
+const THREADS: usize = 4;
+const BACKENDS: [(&str, ExecutorKind); 3] = [
+    ("seq", ExecutorKind::Sequential),
+    ("spawn", ExecutorKind::Spawn { threads: THREADS }),
+    ("pool", ExecutorKind::Parallel { threads: THREADS }),
+];
+
+fn rand_matrix(n: usize, seed: u64) -> Matrix<i64> {
+    let mut st = seed;
+    Matrix::from_fn(n, n, |_, _| {
+        st = st
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((st >> 33) % 9) as i64 - 4
+    })
+}
+
+fn mm_once(n: usize, kind: ExecutorKind, a: &RowMatrix<i64>, b: &RowMatrix<i64>) -> u64 {
+    let cfg = CliqueConfig {
+        executor: kind,
+        exec_cutover: Some(0), // measure dispatch, don't hide it
+        ..CliqueConfig::default()
+    };
+    let mut clique = Clique::with_config(n, cfg);
+    let _ = fast_mm::multiply_auto(&mut clique, &IntRing, a, b);
+    clique.rounds()
+}
+
+fn dispatch_once(exec: &Executor, n: usize) -> u64 {
+    let mut acc = 0u64;
+    for round in 0..16u64 {
+        let out = exec.map(n, |i| i as u64 ^ round);
+        acc ^= out[n / 2];
+    }
+    acc
+}
+
+fn bench_pool_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_scaling");
+    group.sample_size(10);
+    for n in SIZES {
+        let a = RowMatrix::from_matrix(&rand_matrix(n, 1));
+        let b = RowMatrix::from_matrix(&rand_matrix(n, 2));
+        for (label, kind) in BACKENDS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("fast_mm/n{n}"), label),
+                &kind,
+                |bench, &kind| {
+                    bench.iter(|| mm_once(n, kind, &a, &b));
+                },
+            );
+            // One executor per backend, built outside the timing loop: the
+            // pool's whole point is that construction happens once.
+            let exec = Executor::with_cutover(kind, 0);
+            group.bench_with_input(
+                BenchmarkId::new(format!("dispatch/n{n}"), label),
+                &(),
+                |bench, ()| {
+                    bench.iter(|| dispatch_once(&exec, n));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches_unused, bench_pool_scaling);
+
+fn main() {
+    // Hand-rolled entry instead of `criterion_main!` so the shim's recorded
+    // measurements can be exported — one measurement pass feeds both the
+    // stdout report and BENCH_pool.json (same scheme as runtime_scaling).
+    let _ = benches_unused;
+    let mut criterion = Criterion::default();
+    bench_pool_scaling(&mut criterion);
+    export_json(criterion.take_measurements());
+}
+
+/// Writes `BENCH_pool.json` at the workspace root from the measurements the
+/// criterion shim recorded (ids look like `fast_mm/n64/pool`).
+fn export_json(measurements: Vec<criterion::Measurement>) {
+    use std::fmt::Write as _;
+
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut records = String::new();
+    for bench in ["fast_mm", "dispatch"] {
+        for n in SIZES {
+            for (label, _) in BACKENDS {
+                let id = format!("{bench}/n{n}/{label}");
+                let m = measurements
+                    .iter()
+                    .find(|m| m.id == id)
+                    .unwrap_or_else(|| panic!("no measurement recorded for {id}"));
+                if !records.is_empty() {
+                    records.push_str(",\n");
+                }
+                let _ = write!(
+                    records,
+                    "    {{\"bench\": \"{bench}\", \"n\": {n}, \"backend\": \"{label}\", \
+                     \"threads\": {threads}, \"min_ns\": {:.0}, \"median_ns\": {:.0}, \
+                     \"mean_ns\": {:.0}}}",
+                    m.min_ns(),
+                    m.median_ns(),
+                    m.mean_ns(),
+                    threads = if label == "seq" { 1 } else { THREADS },
+                );
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"host_available_parallelism\": {host_threads},\n  \"note\": \
+         \"spawn-per-call (ExecutorKind::Spawn) vs persistent pool (ExecutorKind::Parallel) \
+         vs sequential; cutover disabled so every call dispatches. On a 1-CPU host read \
+         overhead, not speedup: pool should beat spawn at every n.\",\n  \"results\": [\n{records}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pool.json");
+    std::fs::write(path, &json).expect("write BENCH_pool.json");
+    println!("wrote {path}");
+}

@@ -50,9 +50,19 @@ pub struct CliqueConfig {
     pub relay_policy: RelayPolicy,
     /// Execution backend for node-local computation and message delivery
     /// (see [`ExecutorKind`]). [`ExecutorKind::Parallel`] runs the
-    /// simulation across OS threads with results, round counts, and pattern
-    /// fingerprints bit-identical to [`ExecutorKind::Sequential`].
+    /// simulation on a persistent worker pool (built once per clique,
+    /// parked between steps, joined on drop) with results, round counts,
+    /// and pattern fingerprints bit-identical to
+    /// [`ExecutorKind::Sequential`]. The default consults the
+    /// `CC_EXECUTOR` environment variable, so CI can force every
+    /// simulation in the process onto a parallel backend.
     pub executor: ExecutorKind,
+    /// Overrides the executor's small-`n` sequential cutover (piece counts
+    /// below the threshold run inline; see
+    /// [`cc_runtime::Executor::with_cutover`]). `None` uses the runtime
+    /// default (`DEFAULT_SEQ_CUTOVER`, or the `CC_EXEC_CUTOVER`
+    /// environment variable).
+    pub exec_cutover: Option<usize>,
 }
 
 impl Default for CliqueConfig {
@@ -62,19 +72,28 @@ impl Default for CliqueConfig {
             route_seed: 0x5eed_c11e,
             record_patterns: false,
             relay_policy: RelayPolicy::TwoChoice,
-            executor: ExecutorKind::Sequential,
+            executor: ExecutorKind::from_env_or(ExecutorKind::Sequential),
+            exec_cutover: None,
         }
     }
 }
 
 impl CliqueConfig {
-    /// The default configuration with a parallel executor sized to the
-    /// machine.
+    /// The default configuration with a pooled parallel executor sized to
+    /// the machine.
     #[must_use]
     pub fn parallel() -> Self {
         Self {
             executor: ExecutorKind::parallel(),
             ..Self::default()
+        }
+    }
+
+    /// Builds the executor this configuration describes.
+    fn build_executor(&self) -> Executor {
+        match self.exec_cutover {
+            Some(cutover) => Executor::with_cutover(self.executor, cutover),
+            None => Executor::new(self.executor),
         }
     }
 }
@@ -134,7 +153,7 @@ impl Clique {
             n,
             net: Network::new(n),
             stats: Stats::new(cfg.record_patterns),
-            exec: Executor::new(cfg.executor),
+            exec: cfg.build_executor(),
             cfg,
         }
     }
@@ -178,10 +197,12 @@ impl Clique {
     /// The execution backend handle. Algorithms use this to fan node-local
     /// computation out over the configured backend
     /// (`clique.executor().map(n, |v| …)`), keeping the parallelism decision
-    /// in one place — the [`CliqueConfig`].
+    /// in one place — the [`CliqueConfig`]. The handle is a cheap clone:
+    /// pooled executors share one persistent worker pool across all
+    /// clones, which lives until the clique (and every handle) drops.
     #[must_use]
     pub fn executor(&self) -> Executor {
-        self.exec
+        self.exec.clone()
     }
 
     /// Runs `f` inside a named accounting phase; rounds and words charged
@@ -290,6 +311,19 @@ impl Clique {
         self.route_inner(|_| per_node.next().expect("one result per node"), false)
     }
 
+    /// [`Clique::route_dynamic`] with the per-node generator evaluated on
+    /// the configured executor (data-dependent patterns: one header word is
+    /// charged per message, exactly like the sequential primitive).
+    pub fn route_dynamic_par<F>(&mut self, messages: F) -> Inboxes
+    where
+        F: Fn(usize) -> Vec<(usize, Vec<Word>)> + Sync,
+    {
+        // Fail fast before any generator fan-out, like `route_dynamic` does.
+        self.require_unicast("route");
+        let mut per_node = self.exec.map(self.n, &messages).into_iter();
+        self.route_inner(|_| per_node.next().expect("one result per node"), true)
+    }
+
     fn route_inner<F>(&mut self, mut messages: F, charge_headers: bool) -> Inboxes
     where
         F: FnMut(usize) -> Vec<(usize, Vec<Word>)>,
@@ -373,7 +407,7 @@ impl Clique {
     pub fn run_programs<P: NodeProgram>(&mut self, programs: Vec<P>) -> Vec<P> {
         self.require_unicast("run_programs");
         assert_eq!(programs.len(), self.n, "need exactly one program per node");
-        let engine = Engine::with_executor(self.exec);
+        let engine = Engine::with_executor(self.exec.clone());
         let stats = &mut self.stats;
         let report = engine.run_traced(programs, |loads| {
             stats.record_fingerprint(loads.iter());
@@ -433,9 +467,24 @@ impl Clique {
     where
         F: FnMut(usize) -> Vec<Word>,
     {
-        let n = self.n;
-        let contributions: Vec<Vec<Word>> = (0..n).map(&mut words_of).collect();
+        let contributions: Vec<Vec<Word>> = (0..self.n).map(&mut words_of).collect();
+        self.gossip_inner(contributions)
+    }
 
+    /// [`Clique::gossip`] with the per-node contribution generator
+    /// evaluated on the configured executor. Requires a `Fn + Sync`
+    /// generator; relay assignment, round costs, and the returned union are
+    /// identical to the sequential primitive.
+    pub fn gossip_par<F>(&mut self, words_of: F) -> Vec<Word>
+    where
+        F: Fn(usize) -> Vec<Word> + Sync,
+    {
+        let contributions = self.exec.map(self.n, &words_of);
+        self.gossip_inner(contributions)
+    }
+
+    fn gossip_inner(&mut self, contributions: Vec<Vec<Word>>) -> Vec<Word> {
+        let n = self.n;
         if self.cfg.mode == Mode::Broadcast {
             // In the broadcast clique each node can only broadcast its own
             // words: cost max kᵥ rounds.

@@ -28,13 +28,19 @@
 //! ## Execution backends
 //!
 //! Simulations run on a pluggable executor selected through
-//! [`CliqueConfig::executor`]: [`ExecutorKind::Sequential`] (the default) or
-//! [`ExecutorKind::Parallel`], which shards node-local computation and
-//! message delivery over OS threads via the [`cc_runtime`] engine while
-//! keeping results, round counts, and pattern fingerprints bit-identical.
-//! [`Clique::exchange_par`] / [`Clique::route_par`] accept `Fn + Sync`
-//! generators evaluated on the backend, and [`Clique::run_programs`] drives
-//! per-node [`NodeProgram`] state machines round by round.
+//! [`CliqueConfig::executor`]: [`ExecutorKind::Sequential`] (the default),
+//! [`ExecutorKind::Parallel`] — a **persistent worker pool** built once at
+//! clique construction, reused by every step, joined when the clique drops
+//! — or [`ExecutorKind::Spawn`], the legacy scoped-threads-per-call
+//! backend kept for ablation. All shard node-local computation and message
+//! delivery via the [`cc_runtime`] engine while keeping results, round
+//! counts, and pattern fingerprints bit-identical. [`Clique::exchange_par`]
+//! / [`Clique::route_par`] / [`Clique::route_dynamic_par`] /
+//! [`Clique::gossip_par`] accept `Fn + Sync` generators evaluated on the
+//! backend, and [`Clique::run_programs`] drives per-node [`NodeProgram`]
+//! state machines round by round. The `CC_EXECUTOR` environment variable
+//! retargets every default-configured clique (how CI runs the suite on
+//! each backend).
 //!
 //! ## Example
 //!

@@ -22,10 +22,13 @@ pub fn multiply(
     a: &RowMatrix<bool>,
     b: &RowMatrix<bool>,
 ) -> RowMatrix<bool> {
-    let ia = a.map(|&x| i64::from(x));
-    let ib = b.map(|&x| i64::from(x));
+    // The 0/1 lift and the threshold are per-row node-local work; fan them
+    // out on the clique's backend like the product itself does.
+    let exec = clique.executor();
+    let ia = a.par_map(&exec, |&x| i64::from(x));
+    let ib = b.par_map(&exec, |&x| i64::from(x));
     let p = clique.phase("boolmm", |c| fast_mm::multiply(c, &IntRing, alg, &ia, &ib));
-    p.map(|&x| x != 0)
+    p.par_map(&exec, |&x| x != 0)
 }
 
 /// `A·B ∨ C` in one pass — the recurring shape of the paper's reachability
@@ -38,7 +41,7 @@ pub fn multiply_or(
     c: &RowMatrix<bool>,
 ) -> RowMatrix<bool> {
     let p = multiply(clique, alg, a, b);
-    p.map_indexed(|u, v, &x| x || c.row(u)[v])
+    p.par_map_indexed(&clique.executor(), |u, v, &x| x || c.row(u)[v])
 }
 
 #[cfg(test)]

@@ -88,10 +88,13 @@ pub fn capped_distance_product(
         }
         _ => INFINITY,
     };
-    let pa = a.map(|d| embed(cap, &clamp(d)));
-    let pb = b.map(|d| embed(cap, &clamp(d)));
+    // The polynomial embedding allocates a `cap`-length coefficient vector
+    // per entry — heavy node-local work, fanned out per row on the backend.
+    let exec = clique.executor();
+    let pa = a.par_map(&exec, |d| embed(cap, &clamp(d)));
+    let pb = b.par_map(&exec, |d| embed(cap, &clamp(d)));
     let pp = clique.phase("capped_dp", |c| fast_mm::multiply(c, &ring, alg, &pa, &pb));
-    pp.map(|p| match p.min_degree() {
+    pp.par_map(&exec, |p| match p.min_degree() {
         Some(deg) => Dist::finite(deg as i64),
         None => INFINITY,
     })
@@ -160,6 +163,7 @@ pub fn approx_distance_product(
         let levels = (big_m.ln() / (1.0 + delta).ln()).ceil() as usize;
         let entry_bound = (2.0 * (1.0 + delta) / delta).ceil() as i64;
 
+        let exec = clique.executor();
         let mut best: RowMatrix<Dist> = RowMatrix::from_fn(n, |_, _| INFINITY);
         for i in 0..=levels {
             let scale = (1.0 + delta).powi(i as i32);
@@ -168,10 +172,10 @@ pub fn approx_distance_product(
                 Some(v) if (v as f64) <= cutoff => Dist::finite(((v as f64) / scale).ceil() as i64),
                 _ => INFINITY,
             };
-            let si = s.map(shrink);
-            let ti = t.map(shrink);
+            let si = s.par_map(&exec, shrink);
+            let ti = t.par_map(&exec, shrink);
             let pi = capped_distance_product(clique, alg, &si, &ti, entry_bound);
-            best = best.map_indexed(|u, v, cur| {
+            best = best.par_map_indexed(&exec, |u, v, cur| {
                 let cand = match pi.row(u)[v].value() {
                     Some(x) => Dist::finite((scale * x as f64).floor() as i64),
                     None => INFINITY,

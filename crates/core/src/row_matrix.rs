@@ -1,6 +1,7 @@
 //! Row-distributed matrices: the paper's input/output convention.
 
 use cc_algebra::Matrix;
+use cc_clique::Executor;
 
 /// An `n × n` matrix distributed over an `n`-node clique so that node `v`
 /// holds row `v` — the input and output convention of the paper's matrix
@@ -115,6 +116,57 @@ impl<E: Clone> RowMatrix<E> {
                 .enumerate()
                 .map(|(i, r)| r.iter().enumerate().map(|(j, e)| f(i, j, e)).collect())
                 .collect(),
+        }
+    }
+}
+
+/// Executor-powered tabulation: every row is one independent piece of
+/// node-local work, fanned out with [`Executor::map`] and merged back in
+/// row order — the building block the algorithm crates use to keep their
+/// per-node loops on the configured backend. All of these are
+/// bit-identical to their serial counterparts for any backend.
+impl<E: Clone + Send> RowMatrix<E> {
+    /// [`RowMatrix::from_fn`] with rows tabulated on the executor.
+    #[must_use]
+    pub fn par_from_fn(exec: &Executor, n: usize, f: impl Fn(usize, usize) -> E + Sync) -> Self {
+        Self {
+            rows: exec.map(n, |i| (0..n).map(|j| f(i, j)).collect()),
+        }
+    }
+
+    /// [`RowMatrix::map`] with rows mapped on the executor.
+    #[must_use]
+    pub fn par_map<F: Clone + Send>(
+        &self,
+        exec: &Executor,
+        f: impl Fn(&E) -> F + Sync,
+    ) -> RowMatrix<F>
+    where
+        E: Sync,
+    {
+        RowMatrix {
+            rows: exec.map(self.n(), |i| self.rows[i].iter().map(&f).collect()),
+        }
+    }
+
+    /// [`RowMatrix::map_indexed`] with rows mapped on the executor.
+    #[must_use]
+    pub fn par_map_indexed<F: Clone + Send>(
+        &self,
+        exec: &Executor,
+        f: impl Fn(usize, usize, &E) -> F + Sync,
+    ) -> RowMatrix<F>
+    where
+        E: Sync,
+    {
+        RowMatrix {
+            rows: exec.map(self.n(), |i| {
+                self.rows[i]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, e)| f(i, j, e))
+                    .collect()
+            }),
         }
     }
 }

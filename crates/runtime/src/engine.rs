@@ -29,7 +29,11 @@ pub struct RunReport<P> {
 /// per-link load; (4) builds the next inboxes sharded by destination. Steps
 /// 2–4 are deterministic by construction, so the executor choice never
 /// changes results.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// All fan-out goes through the [`Executor`] handle, so a pooled executor's
+/// persistent workers serve both the stepping and the delivery shards — the
+/// engine itself never spawns threads.
+#[derive(Debug, Clone, Default)]
 pub struct Engine {
     exec: Executor,
 }
@@ -49,10 +53,11 @@ impl Engine {
         Self { exec }
     }
 
-    /// The engine's executor handle.
+    /// The engine's executor handle (a cheap clone; pooled executors share
+    /// their worker pool across clones).
     #[must_use]
     pub fn executor(&self) -> Executor {
-        self.exec
+        self.exec.clone()
     }
 
     /// Runs the programs to completion (every node returned
@@ -112,56 +117,30 @@ impl Engine {
         round: u64,
     ) -> Vec<NodeOutbox> {
         let n = programs.len();
-        let threads = self.exec.threads_for(n);
-        let step_chunk = |base: usize, progs: &mut [P], halts: &mut [bool]| -> Vec<NodeOutbox> {
-            progs
-                .iter_mut()
-                .zip(halts.iter_mut())
-                .enumerate()
-                .map(|(off, (p, h))| {
-                    let node = base + off;
-                    let mut outbox = NodeOutbox::default();
-                    if !*h {
-                        let mut ctx = RoundCtx {
-                            node,
-                            n,
-                            round,
-                            inbox: &inboxes[node],
-                            outbox: &mut outbox,
-                        };
-                        if p.round(&mut ctx) == Control::Halt {
-                            *h = true;
-                        }
-                    }
-                    outbox
-                })
-                .collect()
-        };
-
-        if threads <= 1 {
-            return step_chunk(0, programs, halted);
-        }
-        let chunk = n.div_ceil(threads);
-        let chunked: Vec<Vec<NodeOutbox>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = programs
-                .chunks_mut(chunk)
-                .zip(halted.chunks_mut(chunk))
-                .enumerate()
-                .map(|(ci, (progs, halts))| {
-                    let step_chunk = &step_chunk;
-                    scope.spawn(move || step_chunk(ci * chunk, progs, halts))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-                })
-                .collect()
-        });
-        // Deterministic merge: chunks are contiguous node ranges in order.
-        chunked.into_iter().flatten().collect()
+        // One piece per node, dispatched on the executor (inline when
+        // sequential or below the cutover, pooled/scoped otherwise):
+        // `map_chunks_mut` hands each worker exclusive ownership of its
+        // `(program, halted)` pairs and merges outboxes back in node order
+        // — deterministic by construction. The engine itself never spawns.
+        let mut pairs: Vec<(&mut P, &mut bool)> =
+            programs.iter_mut().zip(halted.iter_mut()).collect();
+        self.exec.map_chunks_mut(&mut pairs, 1, |node, piece| {
+            let (p, h) = &mut piece[0];
+            let mut outbox = NodeOutbox::default();
+            if !**h {
+                let mut ctx = RoundCtx {
+                    node,
+                    n,
+                    round,
+                    inbox: &inboxes[node],
+                    outbox: &mut outbox,
+                };
+                if p.round(&mut ctx) == Control::Halt {
+                    **h = true;
+                }
+            }
+            outbox
+        })
     }
 
     /// Builds the next round's inboxes, sharded by destination.

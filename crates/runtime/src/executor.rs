@@ -1,7 +1,17 @@
 //! Pluggable execution backends.
 
+use crate::pool::WorkerPool;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Below this many independent pieces a parallel executor runs the job
+/// inline on the calling thread: dispatch (even to a parked pool) costs a
+/// condvar round-trip, which `BENCH_runtime.json` shows dominating small
+/// workloads — at `n = 64` the overhead outweighs the work. Tunable per
+/// executor with [`Executor::with_cutover`] or globally with the
+/// `CC_EXEC_CUTOVER` environment variable.
+pub const DEFAULT_SEQ_CUTOVER: usize = 96;
 
 /// Which backend an [`Executor`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -10,37 +20,106 @@ pub enum ExecutorKind {
     /// semantics every other backend must reproduce bit-for-bit.
     #[default]
     Sequential,
-    /// Fan independent per-index work out over a scoped thread pool and
-    /// merge results at a deterministic barrier.
+    /// Fan independent per-index work out over a **persistent worker pool**
+    /// built once in [`Executor::new`] (workers park between calls) and
+    /// merge results at a deterministic barrier. The default parallel
+    /// backend.
     Parallel {
+        /// Worker thread count; `0` means "one per available CPU".
+        threads: usize,
+    },
+    /// The legacy parallel backend: spawn and join *scoped* threads on
+    /// every call. Same results as [`ExecutorKind::Parallel`], strictly
+    /// more per-call overhead; kept as the baseline for the pool ablation
+    /// bench (`BENCH_pool.json`).
+    Spawn {
         /// Worker thread count; `0` means "one per available CPU".
         threads: usize,
     },
 }
 
 impl ExecutorKind {
-    /// A parallel kind sized to the machine.
+    /// A pooled parallel kind sized to the machine.
     #[must_use]
     pub fn parallel() -> Self {
         ExecutorKind::Parallel { threads: 0 }
+    }
+
+    /// Reads the backend from the `CC_EXECUTOR` environment variable
+    /// (`sequential`, `parallel`/`pooled`, or `spawn`, optionally suffixed
+    /// `:<threads>` as in `parallel:4`), falling back to `fallback` when
+    /// unset or unparseable. This is how CI forces the whole test suite
+    /// onto the parallel backend without touching call sites.
+    #[must_use]
+    pub fn from_env_or(fallback: ExecutorKind) -> Self {
+        std::env::var("CC_EXECUTOR")
+            .ok()
+            .and_then(|raw| Self::parse(&raw))
+            .unwrap_or(fallback)
+    }
+
+    /// Parses a backend spec (`sequential`, `parallel`/`pooled`, `spawn`,
+    /// optionally suffixed `:<threads>`); `None` for unknown names.
+    #[must_use]
+    pub fn parse(raw: &str) -> Option<Self> {
+        let (name, threads) = match raw.split_once(':') {
+            Some((name, t)) => (name, t.parse().unwrap_or(0)),
+            None => (raw, 0),
+        };
+        match name.to_ascii_lowercase().as_str() {
+            "sequential" | "seq" => Some(ExecutorKind::Sequential),
+            "parallel" | "pooled" | "pool" => Some(ExecutorKind::Parallel { threads }),
+            "spawn" | "scoped" => Some(ExecutorKind::Spawn { threads }),
+            _ => None,
+        }
+    }
+
+    fn resolved_threads(self) -> usize {
+        match self {
+            ExecutorKind::Sequential => 1,
+            ExecutorKind::Parallel { threads: 0 } | ExecutorKind::Spawn { threads: 0 } => {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            }
+            ExecutorKind::Parallel { threads } | ExecutorKind::Spawn { threads } => threads,
+        }
     }
 }
 
 /// A handle that runs independent per-index work on some backend.
 ///
 /// The core operation is [`Executor::map`]: evaluate `f(0), …, f(n-1)` and
-/// return the results in index order. The parallel backend distributes
+/// return the results in index order. The parallel backends distribute
 /// indices over worker threads with an atomic work-stealing counter (so
-/// skewed per-index costs still balance) and then merges results by index,
+/// skewed per-index costs still balance) and then merge results by index,
 /// which makes the output — and anything downstream of it — independent of
 /// thread scheduling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// ## Pool lifecycle
+///
+/// For [`ExecutorKind::Parallel`], `Executor::new` builds the worker pool
+/// **once**: `threads - 1` OS threads are spawned eagerly and park between
+/// calls (the calling thread is the remaining participant). Clones of the
+/// executor share the same pool; when the last clone drops, the workers are
+/// woken, joined, and gone. No `map`/`map_chunks_mut` call ever spawns a
+/// thread on this backend — the spawn-probe tests pin exactly that.
+#[derive(Debug, Clone)]
 pub struct Executor {
     kind: ExecutorKind,
     /// Worker count with `threads: 0` already resolved against the machine
     /// (resolved once at construction — `available_parallelism` is a
     /// syscall and `threads_for` sits on hot paths).
     threads: usize,
+    /// Piece-count threshold below which parallel kinds run inline.
+    cutover: usize,
+    /// The persistent pool (pooled kind with `threads > 1` only).
+    pool: Option<Arc<WorkerPool>>,
+    /// OS threads this executor (and its clones) ever spawned — pool
+    /// workers at construction plus any per-call scoped threads. The
+    /// race-free spawn probe: on the pooled backend this must never move
+    /// after `new` returns.
+    spawns: Arc<AtomicUsize>,
 }
 
 impl Default for Executor {
@@ -49,18 +128,48 @@ impl Default for Executor {
     }
 }
 
+impl PartialEq for Executor {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind && self.threads == other.threads && self.cutover == other.cutover
+    }
+}
+
+impl Eq for Executor {}
+
 impl Executor {
-    /// Creates an executor of the given kind.
+    /// Creates an executor of the given kind. For the pooled kind this is
+    /// where the worker threads are created — exactly once per executor
+    /// lifetime (see the pool-lifecycle notes on [`Executor`]).
     #[must_use]
     pub fn new(kind: ExecutorKind) -> Self {
-        let threads = match kind {
-            ExecutorKind::Sequential => 1,
-            ExecutorKind::Parallel { threads: 0 } => std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1),
-            ExecutorKind::Parallel { threads } => threads,
+        let cutover = std::env::var("CC_EXEC_CUTOVER")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_SEQ_CUTOVER);
+        Self::with_cutover(kind, cutover)
+    }
+
+    /// [`Executor::new`] with an explicit small-`n` cutover: jobs with
+    /// fewer than `cutover` pieces run inline on the calling thread even on
+    /// parallel backends (their results are identical either way; only
+    /// dispatch overhead changes). `0` disables the cutover.
+    #[must_use]
+    pub fn with_cutover(kind: ExecutorKind, cutover: usize) -> Self {
+        let threads = kind.resolved_threads();
+        let spawns = Arc::new(AtomicUsize::new(0));
+        let pool = match kind {
+            ExecutorKind::Parallel { .. } if threads > 1 => {
+                Some(Arc::new(WorkerPool::new(threads - 1, &spawns)))
+            }
+            _ => None,
         };
-        Self { kind, threads }
+        Self {
+            kind,
+            threads,
+            cutover,
+            pool,
+            spawns,
+        }
     }
 
     /// The configured kind.
@@ -69,10 +178,33 @@ impl Executor {
         self.kind
     }
 
+    /// The small-`n` cutover threshold (see [`Executor::with_cutover`]).
+    #[must_use]
+    pub fn cutover(&self) -> usize {
+        self.cutover
+    }
+
+    /// OS threads this executor (and its clones, which share the counter)
+    /// has ever spawned. The pooled backend spawns exactly `threads - 1`
+    /// workers inside [`Executor::new`] and never again — the spawn probe
+    /// the determinism tests pin; the spawn backend grows this on every
+    /// dispatched call. Per-instance, so concurrent tests cannot perturb
+    /// each other's readings (unlike the process-global
+    /// [`crate::pool_threads_spawned`] diagnostic).
+    #[must_use]
+    pub fn threads_spawned(&self) -> usize {
+        self.spawns.load(Ordering::SeqCst)
+    }
+
     /// Number of worker threads this executor would use for a job of `n`
-    /// independent pieces (never more threads than pieces).
+    /// independent pieces: never more threads than pieces, and `1` (run
+    /// inline) for jobs below the sequential cutover — small fan-outs pay
+    /// more in dispatch than they gain in parallelism.
     #[must_use]
     pub fn threads_for(&self, n: usize) -> usize {
+        if self.threads <= 1 || n < self.cutover {
+            return 1;
+        }
         self.threads.clamp(1, n.max(1))
     }
 
@@ -89,32 +221,21 @@ impl Executor {
             return (0..n).map(f).collect();
         }
         let next = AtomicUsize::new(0);
-        let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let f = &f;
-                    let next = &next;
-                    scope.spawn(move || {
-                        let mut out = Vec::with_capacity(n / threads + 1);
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            out.push((i, f(i)));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-                })
-                .collect()
-        });
+        let steal_loop = |_slot: usize| {
+            let mut out = Vec::with_capacity(n / threads + 1);
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                out.push((i, f(i)));
+            }
+            out
+        };
+        let parts: Vec<Vec<(usize, T)>> = match &self.pool {
+            Some(pool) => run_pooled(pool, steal_loop),
+            None => run_scoped(threads, &self.spawns, steal_loop),
+        };
         // Deterministic merge: results land in their index slot regardless
         // of which worker computed them.
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -142,6 +263,8 @@ impl Executor {
         F: Fn(usize, &mut [T]) -> U + Sync,
     {
         assert!(chunk_len > 0, "chunk length must be positive");
+        /// One worker's share: `(piece index, piece)` pairs.
+        type Share<'p, T> = Vec<(usize, &'p mut [T])>;
         let pieces: Vec<&mut [T]> = data.chunks_mut(chunk_len).collect();
         let n_pieces = pieces.len();
         let threads = self.threads_for(n_pieces);
@@ -152,31 +275,39 @@ impl Executor {
                 .map(|(i, piece)| f(i, piece))
                 .collect();
         }
-        let mut assignments: Vec<Vec<(usize, &mut [T])>> =
-            (0..threads).map(|_| Vec::new()).collect();
+        let mut assignments: Vec<Share<'_, T>> = (0..threads).map(|_| Vec::new()).collect();
         for (i, piece) in pieces.into_iter().enumerate() {
             assignments[i % threads].push((i, piece));
         }
-        let parts: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = assignments
-                .into_iter()
-                .map(|mine| {
-                    let f = &f;
-                    scope.spawn(move || {
-                        mine.into_iter()
-                            .map(|(i, piece)| (i, f(i, piece)))
-                            .collect::<Vec<_>>()
-                    })
+        let parts: Vec<Vec<(usize, U)>> = match &self.pool {
+            Some(pool) => {
+                // Hand each participant exclusive ownership of its
+                // assignment through a per-slot mutex (uncontended: slot
+                // `s` is taken only by participant `s`).
+                let assignments: Vec<Mutex<Share<'_, T>>> =
+                    assignments.into_iter().map(Mutex::new).collect();
+                run_pooled(pool, |slot| {
+                    let mine = assignments
+                        .get(slot)
+                        .map(|m| std::mem::take(&mut *m.lock().expect("assignment mutex")))
+                        .unwrap_or_default();
+                    mine.into_iter()
+                        .map(|(i, piece)| (i, f(i, piece)))
+                        .collect::<Vec<_>>()
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            }
+            None => {
+                let assignments = Mutex::new(assignments.into_iter().map(Some).collect::<Vec<_>>());
+                run_scoped(threads, &self.spawns, |slot| {
+                    let mine = assignments.lock().expect("assignment mutex")[slot]
+                        .take()
+                        .unwrap_or_default();
+                    mine.into_iter()
+                        .map(|(i, piece)| (i, f(i, piece)))
+                        .collect::<Vec<_>>()
                 })
-                .collect()
-        });
+            }
+        };
         let mut slots: Vec<Option<U>> = (0..n_pieces).map(|_| None).collect();
         for part in parts {
             for (i, v) in part {
@@ -190,39 +321,89 @@ impl Executor {
     }
 }
 
+/// Runs `work(slot)` for slots `0..=pool.workers()` on the persistent pool
+/// (slot 0 on the calling thread), collecting the per-slot results. The
+/// merge order over slots is irrelevant: callers merge by item index.
+fn run_pooled<R: Send>(pool: &WorkerPool, work: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let parts: Mutex<Vec<R>> = Mutex::new(Vec::with_capacity(pool.workers() + 1));
+    pool.run(&|slot| {
+        let r = work(slot);
+        parts.lock().expect("parts mutex").push(r);
+    });
+    parts.into_inner().expect("parts mutex")
+}
+
+/// The legacy backend: spawn `threads` scoped threads for this one call and
+/// join them before returning. Each spawn is recorded on the executor's
+/// spawn counter so the probes see exactly what this backend costs.
+fn run_scoped<R: Send>(
+    threads: usize,
+    spawns: &AtomicUsize,
+    work: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|slot| {
+                let work = &work;
+                spawns.fetch_add(1, Ordering::SeqCst);
+                scope.spawn(move || work(slot))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// A parallel executor with the cutover disabled, so small test inputs
+    /// genuinely exercise the pool.
+    fn pooled(threads: usize) -> Executor {
+        Executor::with_cutover(ExecutorKind::Parallel { threads }, 0)
+    }
+
+    fn spawner(threads: usize) -> Executor {
+        Executor::with_cutover(ExecutorKind::Spawn { threads }, 0)
+    }
+
     #[test]
     fn map_matches_sequential_reference() {
         let seq = Executor::new(ExecutorKind::Sequential);
-        let par = Executor::new(ExecutorKind::Parallel { threads: 4 });
         let f = |i: usize| (i * i) as u64 ^ 0xdead;
-        for n in [0, 1, 2, 7, 64, 1000] {
-            assert_eq!(seq.map(n, f), par.map(n, f), "n={n}");
+        for par in [pooled(4), spawner(4)] {
+            for n in [0, 1, 2, 7, 64, 1000] {
+                assert_eq!(seq.map(n, f), par.map(n, f), "n={n} kind={:?}", par.kind());
+            }
         }
     }
 
     #[test]
     fn map_handles_skewed_work() {
-        let par = Executor::new(ExecutorKind::Parallel { threads: 3 });
-        let out = par.map(100, |i| {
-            // Index 0 is far more expensive than the rest; work stealing
-            // keeps the other workers busy.
-            if i == 0 {
-                (0..100_000u64).fold(0, |a, x| a ^ x.wrapping_mul(31))
-            } else {
-                i as u64
-            }
-        });
-        assert_eq!(out.len(), 100);
-        assert_eq!(out[5], 5);
+        for par in [pooled(3), spawner(3)] {
+            let out = par.map(100, |i| {
+                // Index 0 is far more expensive than the rest; work stealing
+                // keeps the other workers busy.
+                if i == 0 {
+                    (0..100_000u64).fold(0, |a, x| a ^ x.wrapping_mul(31))
+                } else {
+                    i as u64
+                }
+            });
+            assert_eq!(out.len(), 100);
+            assert_eq!(out[5], 5);
+        }
     }
 
     #[test]
     fn thread_counts_are_bounded_by_work() {
-        let par = Executor::new(ExecutorKind::Parallel { threads: 8 });
+        let par = pooled(8);
         assert_eq!(par.threads_for(3), 3);
         assert_eq!(par.threads_for(0), 1);
         let seq = Executor::new(ExecutorKind::Sequential);
@@ -230,9 +411,72 @@ mod tests {
     }
 
     #[test]
+    fn cutover_falls_back_to_inline_below_threshold() {
+        // The satellite contract: below the (tunable) work threshold a
+        // parallel executor runs inline — small workloads stop paying
+        // dispatch overhead.
+        let par = Executor::with_cutover(ExecutorKind::Parallel { threads: 4 }, 96);
+        assert_eq!(par.threads_for(64), 1, "n=64 must run inline");
+        assert_eq!(par.threads_for(95), 1, "just below the threshold");
+        assert_eq!(par.threads_for(96), 4, "at the threshold the pool runs");
+        assert_eq!(par.threads_for(256), 4);
+        // Results are identical on both sides of the cutover.
+        let f = |i: usize| i as u64 * 3;
+        let seq = Executor::new(ExecutorKind::Sequential);
+        assert_eq!(par.map(64, f), seq.map(64, f));
+        assert_eq!(par.map(200, f), seq.map(200, f));
+        // Cutover 0 disables the fallback entirely.
+        assert_eq!(pooled(4).threads_for(2), 2);
+    }
+
+    #[test]
+    fn pooled_executor_never_spawns_after_construction() {
+        let par = pooled(4);
+        // Per-executor probe: 3 workers spawned at construction, and the
+        // counter must never move again (race-free against other tests,
+        // unlike the process-global diagnostic).
+        assert_eq!(par.threads_spawned(), 3);
+        for round in 0..50 {
+            let out = par.map(257, |i| i as u64 + round);
+            assert_eq!(out[100], 100 + round);
+            let mut data: Vec<u64> = (0..300).collect();
+            let _ = par.map_chunks_mut(&mut data, 7, |i, piece| {
+                piece.iter_mut().for_each(|x| *x += i as u64);
+                piece.len()
+            });
+        }
+        assert_eq!(
+            par.threads_spawned(),
+            3,
+            "map/map_chunks_mut must reuse the pool, never spawn"
+        );
+    }
+
+    #[test]
+    fn spawn_backend_spawns_per_call_but_pool_does_not() {
+        // The ablation contrast the pool exists to win.
+        let sp = spawner(3);
+        let _ = sp.map(64, |i| i);
+        let _ = sp.map(64, |i| i);
+        assert_eq!(sp.threads_spawned(), 6, "spawn backend pays per call");
+        let po = pooled(3);
+        let _ = po.map(64, |i| i);
+        let _ = po.map(64, |i| i);
+        assert_eq!(po.threads_spawned(), 2, "pool pays only at construction");
+    }
+
+    #[test]
+    fn clones_share_one_pool() {
+        let a = pooled(4);
+        let b = a.clone();
+        assert_eq!(b.threads_spawned(), 3, "clone shares, does not spawn");
+        assert_eq!(a.map(128, |i| i), b.map(128, |i| i));
+        assert_eq!(a.threads_spawned(), 3);
+    }
+
+    #[test]
     fn map_chunks_mut_matches_sequential_reference() {
-        let run = |kind: ExecutorKind| {
-            let exec = Executor::new(kind);
+        let run = |exec: &Executor| {
             let mut data: Vec<u64> = (0..103).collect();
             let sums = exec.map_chunks_mut(&mut data, 10, |i, piece| {
                 for x in piece.iter_mut() {
@@ -242,15 +486,52 @@ mod tests {
             });
             (data, sums)
         };
-        assert_eq!(
-            run(ExecutorKind::Sequential),
-            run(ExecutorKind::Parallel { threads: 4 })
-        );
+        let reference = run(&Executor::new(ExecutorKind::Sequential));
+        assert_eq!(reference, run(&pooled(4)));
+        assert_eq!(reference, run(&spawner(4)));
     }
 
     #[test]
     fn zero_threads_means_available_parallelism() {
         let par = Executor::new(ExecutorKind::parallel());
         assert!(par.threads_for(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn pooled_map_propagates_panics() {
+        let par = pooled(3);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = par.map(64, |i| {
+                assert!(i != 33, "deliberate panic at index 33");
+                i
+            });
+        }));
+        assert!(r.is_err());
+        // Executor stays usable after a panicked job.
+        assert_eq!(par.map(64, |i| i)[63], 63);
+    }
+
+    #[test]
+    fn executor_kind_parser_accepts_known_names() {
+        // Exercises the parser directly — the env var itself is
+        // process-global (CI sets it for whole suite runs), so the test
+        // must not read or write it.
+        assert_eq!(
+            ExecutorKind::parse("sequential"),
+            Some(ExecutorKind::Sequential)
+        );
+        assert_eq!(
+            ExecutorKind::parse("parallel"),
+            Some(ExecutorKind::Parallel { threads: 0 })
+        );
+        assert_eq!(
+            ExecutorKind::parse("parallel:4"),
+            Some(ExecutorKind::Parallel { threads: 4 })
+        );
+        assert_eq!(
+            ExecutorKind::parse("spawn:2"),
+            Some(ExecutorKind::Spawn { threads: 2 })
+        );
+        assert_eq!(ExecutorKind::parse("fancy"), None);
     }
 }

@@ -11,11 +11,15 @@
 //!
 //! * [`Executor`] / [`ExecutorKind`] — pluggable execution backends.
 //!   [`ExecutorKind::Sequential`] is the reference semantics;
-//!   [`ExecutorKind::Parallel`] fans work out over a scoped thread pool and
-//!   merges per-shard results at a deterministic barrier. Both produce the
-//!   same outputs in the same order, so round counts, inbox contents and
-//!   pattern fingerprints never depend on the backend (verified by the
-//!   determinism property tests).
+//!   [`ExecutorKind::Parallel`] fans work out over a **persistent worker
+//!   pool** (threads spawned once at `Executor::new`, parked between calls,
+//!   joined when the last handle drops) and merges per-shard results at a
+//!   deterministic barrier; [`ExecutorKind::Spawn`] is the legacy
+//!   spawn-scoped-threads-per-call backend, kept as the pool's ablation
+//!   baseline. All backends produce the same outputs in the same order, so
+//!   round counts, inbox contents and pattern fingerprints never depend on
+//!   the backend (verified by the determinism property tests). Jobs smaller
+//!   than a tunable cutover run inline ([`Executor::threads_for`]).
 //! * [`NodeProgram`] — one node's per-round state machine:
 //!   `fn round(&mut self, ctx: &mut RoundCtx) -> Control`. This replaces the
 //!   global-lockstep closure style for algorithms that opt in: instead of a
@@ -75,17 +79,23 @@
 //! assert_eq!(report.rounds, 1); // one broadcast word per link
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent worker pool (`pool.rs`) opts
+// into one audited unsafe block — the lifetime erasure that lets parked
+// threads run caller-borrowed jobs, sound for the same structured-
+// concurrency reason `std::thread::scope` is. Everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engine;
 mod executor;
 mod loads;
+mod pool;
 mod program;
 
 pub use crate::engine::{Engine, RunReport};
-pub use crate::executor::{Executor, ExecutorKind};
+pub use crate::executor::{Executor, ExecutorKind, DEFAULT_SEQ_CUTOVER};
 pub use crate::loads::LinkLoads;
+pub use crate::pool::threads_spawned as pool_threads_spawned;
 pub use crate::program::{Control, NodeInbox, NodeOutbox, NodeProgram, RoundCtx};
 
 /// A single `O(log n)`-bit message word (the same convention as the wire

@@ -2,7 +2,7 @@
 //! executor must produce inboxes, program outputs, round counts, and load
 //! traces bit-identical to sequential execution.
 
-use cc_runtime::{Control, Engine, ExecutorKind, NodeProgram, RoundCtx, Word};
+use cc_runtime::{Control, Engine, Executor, ExecutorKind, NodeProgram, RoundCtx, Word};
 use proptest::prelude::*;
 
 fn splitmix(mut x: u64) -> u64 {
@@ -73,7 +73,10 @@ fn run(kind: ExecutorKind, n: usize, k: u64, seed: u64) -> RunOutcome {
         })
         .collect();
     let mut trace = Vec::new();
-    let report = Engine::new(kind).run_traced(programs, |loads| {
+    // Cutover disabled so the small property sizes genuinely dispatch to
+    // the parallel backends instead of falling back inline.
+    let engine = Engine::with_executor(Executor::with_cutover(kind, 2));
+    let report = engine.run_traced(programs, |loads| {
         trace.push(loads.iter().collect::<Vec<_>>())
     });
     (
@@ -88,19 +91,48 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
-    fn parallel_is_bit_identical_to_sequential(
+    fn parallel_backends_are_bit_identical_to_sequential(
         n in 2usize..24,
         k in 1u64..8,
         seed in 0u64..1_000_000,
         threads in 2usize..9,
     ) {
         let seq = run(ExecutorKind::Sequential, n, k, seed);
-        let par = run(ExecutorKind::Parallel { threads }, n, k, seed);
-        prop_assert_eq!(&seq.0, &par.0, "delivered inboxes must match");
-        prop_assert_eq!(seq.1, par.1, "round counts must match");
-        prop_assert_eq!(seq.2, par.2, "word counts must match");
-        prop_assert_eq!(&seq.3, &par.3, "per-round load traces must match");
+        for kind in [ExecutorKind::Parallel { threads }, ExecutorKind::Spawn { threads }] {
+            let par = run(kind, n, k, seed);
+            prop_assert_eq!(&seq.0, &par.0, "delivered inboxes must match ({:?})", kind);
+            prop_assert_eq!(seq.1, par.1, "round counts must match ({kind:?})");
+            prop_assert_eq!(seq.2, par.2, "word counts must match ({kind:?})");
+            prop_assert_eq!(&seq.3, &par.3, "per-round load traces must match ({:?})", kind);
+        }
     }
+}
+
+#[test]
+fn pooled_engine_never_spawns_per_round() {
+    // Acceptance criterion: worker threads are created at most once per
+    // executor lifetime. Build the pool, then drive many engine runs and
+    // assert this executor's (race-free, per-instance) spawn probe stays
+    // at the construction-time count.
+    let exec = Executor::with_cutover(ExecutorKind::Parallel { threads: 4 }, 2);
+    let engine = Engine::with_executor(exec);
+    assert_eq!(engine.executor().threads_spawned(), 3);
+    for seed in 0..10 {
+        let programs = (0..16)
+            .map(|v| RandomTraffic {
+                seed: seed ^ (v as u64).wrapping_mul(0x9e37),
+                k: 4,
+                log: Vec::new(),
+            })
+            .collect::<Vec<_>>();
+        let report = engine.run(programs);
+        assert!(report.engine_rounds > 0);
+    }
+    assert_eq!(
+        engine.executor().threads_spawned(),
+        3,
+        "pooled engine runs must not spawn any threads"
+    );
 }
 
 #[test]

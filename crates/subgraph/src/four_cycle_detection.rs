@@ -235,8 +235,13 @@ pub fn detect_4cycle(clique: &mut Clique, g: &Graph) -> bool {
     assert!(!g.is_directed(), "Theorem 4 applies to undirected graphs");
 
     clique.phase("detect_c4", |clique| {
+        // Per-node work (piece generation, walk reassembly, the final
+        // endpoint scan) runs on the configured executor via the `_par`
+        // primitives; costs and results are identical to the sequential
+        // path.
+        let exec = clique.executor();
         if n < 8 {
-            let words = clique.gossip(|v| {
+            let words = clique.gossip_par(|v| {
                 g.neighbors(v)
                     .filter(|&u| u > v)
                     .map(|u| pack_pair(v, u))
@@ -256,8 +261,9 @@ pub fn detect_4cycle(clique: &mut Clique, g: &Graph) -> bool {
             .into_iter()
             .map(|w| w as usize)
             .collect();
-        let two_walks = |x: usize| -> usize { g.neighbors(x).map(|y| degrees[y]).sum::<usize>() };
-        if clique.or_all(|x| two_walks(x) >= 2 * n - 1) {
+        let two_walks: Vec<usize> =
+            exec.map(n, |x| g.neighbors(x).map(|y| degrees[y]).sum::<usize>());
+        if clique.or_all(|x| two_walks[x] >= 2 * n - 1) {
             return true;
         }
 
@@ -265,10 +271,10 @@ pub fn detect_4cycle(clique: &mut Clique, g: &Graph) -> bool {
         let plan = TilePlan::allocate(&degrees);
         debug_assert!(plan.check_disjoint(), "Lemma 12: tiles must be disjoint");
 
-        let sorted_neighbors: Vec<Vec<usize>> = (0..n).map(|y| g.neighbors(y).collect()).collect();
+        let sorted_neighbors: Vec<Vec<usize>> = exec.map(n, |y| g.neighbors(y).collect());
 
         // Step 1: y sends N_A(y, a) to each a ∈ A(y); ≤ 8 words per link.
-        let inbox_a = clique.exchange(|y| {
+        let inbox_a = clique.exchange_par(|y| {
             let Some(t) = plan.tile(y) else {
                 return Vec::new();
             };
@@ -287,7 +293,7 @@ pub fn detect_4cycle(clique: &mut Clique, g: &Graph) -> bool {
 
         // Step 2: a forwards N_A(y, a) to each b ∈ B(y); the tiles are
         // disjoint, so each (a, b) link carries at most one piece (≤ 8 words).
-        let inbox_b = clique.exchange(|a| {
+        let inbox_b = clique.exchange_par(|a| {
             let mut out = Vec::new();
             for y in plan.tiles_with_row(a) {
                 let t = plan.tile(y).expect("tile exists");
@@ -301,7 +307,7 @@ pub fn detect_4cycle(clique: &mut Clique, g: &Graph) -> bool {
 
         // Step 3 (local): b reassembles N(y) and builds W(y, b).
         // Step 4: route each walk (x, y, z) to x.
-        let walks = clique.route_dynamic(|b| {
+        let walks = clique.route_dynamic_par(|b| {
             let mut out = Vec::new();
             for y in plan.tiles_with_col(b) {
                 let t = plan.tile(y).expect("tile exists");
@@ -339,8 +345,9 @@ pub fn detect_4cycle(clique: &mut Clique, g: &Graph) -> bool {
             out
         });
 
-        // Each x checks for two walks meeting at the same z ≠ x.
-        clique.or_all(|x| {
+        // Each x checks for two walks meeting at the same z ≠ x (scanned on
+        // the executor; the verdict is one OR-reduce round).
+        let found = exec.map(n, |x| {
             let mut seen: Vec<(usize, usize)> = Vec::new(); // (z, y)
             for src in 0..n {
                 for &w in walks.received(x, src) {
@@ -355,7 +362,8 @@ pub fn detect_4cycle(clique: &mut Clique, g: &Graph) -> bool {
                 }
             }
             false
-        })
+        });
+        clique.or_all(|x| found[x])
     })
 }
 

@@ -83,7 +83,9 @@ pub fn girth(clique: &mut Clique, g: &Graph, cfg: GirthConfig) -> Option<usize> 
 }
 
 fn gather_and_solve(clique: &mut Clique, g: &Graph) -> Option<usize> {
-    let words = clique.gossip(|v| {
+    // Per-node edge packing runs on the configured executor; relay
+    // assignment and round costs are identical to the sequential gossip.
+    let words = clique.gossip_par(|v| {
         g.neighbors(v)
             .filter(|&u| u > v)
             .map(|u| pack_pair(v, u))
@@ -115,7 +117,7 @@ pub fn directed_girth(clique: &mut Clique, g: &Graph) -> Option<usize> {
     assert!(g.is_directed(), "use girth for undirected graphs");
 
     let alg = FastPlan::best_strassen(n);
-    let a = RowMatrix::from_fn(n, |u, v| g.has_edge(u, v));
+    let a = RowMatrix::par_from_fn(&clique.executor(), n, |u, v| g.has_edge(u, v));
 
     clique.phase("directed_girth", |clique| {
         let has_cycle_diag =

@@ -40,6 +40,7 @@ mod four_cycles;
 mod girth;
 mod sparse_square;
 pub mod traces;
+mod triangle_program;
 mod triangles;
 
 pub use crate::colour_coding::{default_trials, detect_colourful_cycle, detect_k_cycle};
@@ -47,4 +48,5 @@ pub use crate::four_cycle_detection::{detect_4cycle, TilePlan};
 pub use crate::four_cycles::{count_4cycles, count_5cycles};
 pub use crate::girth::{directed_girth, girth, GirthConfig};
 pub use crate::sparse_square::sparse_square;
+pub use crate::triangle_program::{count_triangles_program, TriangleProgram};
 pub use crate::triangles::{count_triangles, count_triangles_3d};

@@ -32,21 +32,25 @@ pub fn sparse_square(clique: &mut Clique, g: &Graph) -> Option<RowMatrix<i64>> {
     assert!(n >= 8, "the tile square needs n >= 8");
 
     clique.phase("sparse_square", |clique| {
+        // Piece generation, walk reassembly, and the final row counts are
+        // per-node work fanned out on the configured executor; the
+        // communication phases use the `_par` primitives.
+        let exec = clique.executor();
         let degrees: Vec<usize> = clique
             .broadcast(|v| g.degree(v) as u64)
             .into_iter()
             .map(|w| w as usize)
             .collect();
-        let two_walks = |x: usize| -> usize { g.neighbors(x).map(|y| degrees[y]).sum() };
-        if clique.or_all(|x| two_walks(x) >= 2 * n - 1) {
+        let two_walks: Vec<usize> = exec.map(n, |x| g.neighbors(x).map(|y| degrees[y]).sum());
+        if clique.or_all(|x| two_walks[x] >= 2 * n - 1) {
             return None; // dense: fall back to Theorem 1 multiplication
         }
 
         let plan = TilePlan::allocate(&degrees);
-        let sorted_neighbors: Vec<Vec<usize>> = (0..n).map(|y| g.neighbors(y).collect()).collect();
+        let sorted_neighbors: Vec<Vec<usize>> = exec.map(n, |y| g.neighbors(y).collect());
 
         // Steps 1–2 of Theorem 4: ship neighbourhood pieces along tiles.
-        let inbox_a = clique.exchange(|y| {
+        let inbox_a = clique.exchange_par(|y| {
             let Some(t) = plan.tile(y) else {
                 return Vec::new();
             };
@@ -62,7 +66,7 @@ pub fn sparse_square(clique: &mut Clique, g: &Graph) -> Option<RowMatrix<i64>> {
                 })
                 .collect()
         });
-        let inbox_b = clique.exchange(|a| {
+        let inbox_b = clique.exchange_par(|a| {
             let mut out = Vec::new();
             for y in plan.tiles_with_row(a) {
                 let t = plan.tile(y).expect("tile exists");
@@ -75,7 +79,7 @@ pub fn sparse_square(clique: &mut Clique, g: &Graph) -> Option<RowMatrix<i64>> {
         });
 
         // Step 3–4: column nodes emit every 2-walk (x, y, z) to x.
-        let walks = clique.route_dynamic(|b| {
+        let walks = clique.route_dynamic_par(|b| {
             let mut out = Vec::new();
             for y in plan.tiles_with_col(b) {
                 let t = plan.tile(y).expect("tile exists");
@@ -113,21 +117,18 @@ pub fn sparse_square(clique: &mut Clique, g: &Graph) -> Option<RowMatrix<i64>> {
             out
         });
 
-        // Row x of A² is the multiset of walk endpoints.
-        Some(RowMatrix::from_rows(
-            (0..n)
-                .map(|x| {
-                    let mut row = vec![0i64; n];
-                    for src in 0..n {
-                        for &w in walks.received(x, src) {
-                            let (_, z) = unpack_pair(w);
-                            row[z] += 1;
-                        }
-                    }
-                    row
-                })
-                .collect(),
-        ))
+        // Row x of A² is the multiset of walk endpoints, tallied per node
+        // on the executor.
+        Some(RowMatrix::from_rows(exec.map(n, |x| {
+            let mut row = vec![0i64; n];
+            for src in 0..n {
+                for &w in walks.received(x, src) {
+                    let (_, z) = unpack_pair(w);
+                    row[z] += 1;
+                }
+            }
+            row
+        })))
     })
 }
 

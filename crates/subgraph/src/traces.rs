@@ -12,17 +12,19 @@ use cc_core::RowMatrix;
 
 /// Transposes a row-distributed integer matrix: node `v` sends entry
 /// `M[v][u]` to node `u`, one word per ordered pair — exactly one round.
+/// Message generation and row reassembly are per-node work evaluated on the
+/// clique's configured executor.
 pub fn transpose(clique: &mut Clique, m: &RowMatrix<i64>) -> RowMatrix<i64> {
     let n = clique.n();
     let inbox = clique.phase("transpose", |c| {
-        c.exchange(|v| {
+        c.exchange_par(|v| {
             (0..n)
                 .filter(|&u| u != v)
                 .map(|u| (u, vec![m.row(v)[u] as u64]))
                 .collect()
         })
     });
-    RowMatrix::from_fn(n, |u, v| {
+    RowMatrix::par_from_fn(&clique.executor(), n, |u, v| {
         if u == v {
             m.row(u)[u]
         } else {
@@ -32,11 +34,15 @@ pub fn transpose(clique: &mut Clique, m: &RowMatrix<i64>) -> RowMatrix<i64> {
 }
 
 /// Computes `tr(X·Y) = Σ_{u,v} X[u][v]·Y[v][u]` for row-distributed integer
-/// matrices: one transpose round plus one broadcast round.
+/// matrices: one transpose round plus one broadcast round (each node's dot
+/// product runs on the executor before the broadcast).
 pub fn trace_of_product(clique: &mut Clique, x: &RowMatrix<i64>, y: &RowMatrix<i64>) -> i64 {
     let n = clique.n();
     let yt = transpose(clique, y);
-    clique.sum_all(|u| (0..n).map(|v| x.row(u)[v] * yt.row(u)[v]).sum())
+    let dots = clique.executor().map(n, |u| {
+        (0..n).map(|v| x.row(u)[v] * yt.row(u)[v]).sum::<i64>()
+    });
+    clique.sum_all(|u| dots[u])
 }
 
 #[cfg(test)]

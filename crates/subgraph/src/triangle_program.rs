@@ -1,0 +1,529 @@
+//! Triangle counting as a [`NodeProgram`] state machine (Corollary 2 on
+//! the runtime engine).
+//!
+//! [`crate::count_triangles_3d`] is coordinator-style: a driver closure per
+//! communication step, with the simulator moving the words. This module
+//! expresses the *same* algorithm — the 3D semiring product `A²` (paper
+//! §2.1) followed by the distributed trace `tr(A²·A)` — as a per-node state
+//! machine driven round-by-round by [`cc_clique::Clique::run_programs`]:
+//! every node owns its adjacency row, computes only on its own state and
+//! inbox, and the engine's round barrier is the only synchronisation.
+//!
+//! ## Balanced routing without a coordinator
+//!
+//! The closure algorithm leans on [`cc_clique::Clique::route`] — balanced
+//! Valiant relaying — for its scatter and gather. The communication pattern
+//! of the 3D product is *oblivious* (it depends only on `n`, never on the
+//! matrix contents), so the state machine can reproduce the exact same
+//! relaying without headers and without a coordinator: every node derives
+//! the full global pattern from `n`, hashes each word to its relay with the
+//! same deterministic hash the simulator uses
+//! ([`cc_clique::RelayPolicy::SingleHash`]), and relays forward received
+//! words by re-enumerating the sender's pattern. Destinations reassemble
+//! payloads the same way. Per-round link loads — and therefore executed
+//! rounds, total words, and the final count — are **identical** to
+//! [`crate::count_triangles_3d`] on a `SingleHash` clique, which the tests
+//! pin exactly.
+//!
+//! Engine-round schedule (7 barriers):
+//!
+//! | round | action |
+//! |-------|--------|
+//! | 0 | scatter phase A: row slices → relays |
+//! | 1 | scatter phase B: relays → subcube owners |
+//! | 2 | block product; gather phase A: partial rows → relays |
+//! | 3 | gather phase B: relays → row owners |
+//! | 4 | assemble row of `A²`; transpose sends for the trace |
+//! | 5 | local dot product; broadcast it |
+//! | 6 | sum broadcasts → `tr(A²·A)`; halt |
+
+use cc_clique::{Clique, Control, NodeProgram, RoundCtx};
+use cc_core::Plan3d;
+use cc_graph::Graph;
+
+/// SplitMix64 finaliser — **must** match the simulator's relay hash
+/// (`cc_clique`'s `splitmix`) for the program's relay choices, and hence
+/// its per-round link loads, to coincide with [`cc_clique::Clique::route`]
+/// under [`cc_clique::RelayPolicy::SingleHash`]. The round-parity tests
+/// pin this.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The relay the simulator's `route` assigns to word `j` of a
+/// `(src, dst)` message under the single-hash policy.
+fn relay_of(seed: u64, n: usize, src: usize, dst: usize, j: usize) -> usize {
+    let h = splitmix(seed ^ ((src as u64) << 42) ^ ((dst as u64) << 21) ^ j as u64);
+    (h % n as u64) as usize
+}
+
+/// One route step of the oblivious 3D pattern: the `(dst, words)` message
+/// list a given source emits, in emission order, with only the *lengths*
+/// recorded — every node can tabulate any other node's list from `n`
+/// alone, which is what lets relays forward without headers.
+fn scatter_pattern(plan: &Plan3d, src: usize) -> Vec<(usize, usize)> {
+    let p = plan.p();
+    let rb = plan.block_of_row(src);
+    let mut out = Vec::with_capacity(2 * p * p);
+    // S[src, u₂∗] slices to every active (rb, u₂, u₃)…
+    for u2 in 0..p {
+        let len = plan.block_range(u2).len();
+        for u3 in 0..p {
+            out.push((plan.node_of(rb, u2, u3), len));
+        }
+    }
+    // …then T[src, u₃∗] slices to every active (u₁, rb, u₃), exactly the
+    // emission order of `semiring_mm`'s scatter generator.
+    for u3 in 0..p {
+        let len = plan.block_range(u3).len();
+        for u1 in 0..p {
+            out.push((plan.node_of(u1, rb, u3), len));
+        }
+    }
+    out
+}
+
+/// The gather step's pattern: active node `src = (u₁, u₂, u₃)` returns one
+/// partial-product row slice (length `|block(u₃)|`) to each row owner in
+/// `block(u₁)`; inactive nodes return nothing.
+fn gather_pattern(plan: &Plan3d, src: usize) -> Vec<(usize, usize)> {
+    if src >= plan.active() {
+        return Vec::new();
+    }
+    let (u1, _, u3) = plan.digits(src);
+    let len = plan.block_range(u3).len();
+    plan.block_range(u1).map(|r| (r, len)).collect()
+}
+
+/// Phase A of a route step: split this node's real messages word-by-word
+/// over the hashed relays, preserving the global enumeration order so
+/// relays and destinations can reconstruct the streams.
+fn send_via_relays(ctx: &mut RoundCtx<'_>, seed: u64, messages: &[(usize, Vec<u64>)]) {
+    let n = ctx.n();
+    let src = ctx.node();
+    let mut per_relay: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for (dst, words) in messages {
+        for (j, &w) in words.iter().enumerate() {
+            per_relay[relay_of(seed, n, src, *dst, j)].push(w);
+        }
+    }
+    for (relay, words) in per_relay.into_iter().enumerate() {
+        if !words.is_empty() {
+            ctx.send(relay, words);
+        }
+    }
+}
+
+/// Phase B of a route step: forward every word this node relayed to its
+/// final destination, derived by re-enumerating each sender's oblivious
+/// pattern (no headers on the wire — the pattern is common knowledge).
+fn forward_as_relay(
+    ctx: &mut RoundCtx<'_>,
+    seed: u64,
+    pattern: impl Fn(usize) -> Vec<(usize, usize)>,
+) {
+    let n = ctx.n();
+    let me = ctx.node();
+    let mut per_dst: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for src in 0..n {
+        let stream = ctx.received(src);
+        let mut cursor = 0usize;
+        for (dst, len) in pattern(src) {
+            for j in 0..len {
+                if relay_of(seed, n, src, dst, j) == me {
+                    per_dst[dst].push(stream[cursor]);
+                    cursor += 1;
+                }
+            }
+        }
+        debug_assert_eq!(cursor, stream.len(), "relay stream fully consumed");
+    }
+    for (dst, words) in per_dst.into_iter().enumerate() {
+        if !words.is_empty() {
+            ctx.send(dst, words);
+        }
+    }
+}
+
+/// After phase B: reassemble, per source, the concatenated payloads of the
+/// messages addressed to this node, in the source's emission order — the
+/// exact view `Clique::route` would have delivered.
+fn reassemble(
+    ctx: &RoundCtx<'_>,
+    seed: u64,
+    pattern: impl Fn(usize) -> Vec<(usize, usize)>,
+) -> Vec<Vec<u64>> {
+    let n = ctx.n();
+    let me = ctx.node();
+    let mut cursors = vec![0usize; n]; // per-relay read positions
+    let mut out: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for (src, out_src) in out.iter_mut().enumerate() {
+        for (dst, len) in pattern(src) {
+            if dst != me {
+                continue;
+            }
+            for j in 0..len {
+                let relay = relay_of(seed, n, src, dst, j);
+                let stream = ctx.received(relay);
+                out_src.push(stream[cursors[relay]]);
+                cursors[relay] += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Triangle counting as a per-node state machine: the 3D product `A² = A·A`
+/// over ℤ followed by the distributed trace `tr(A²·A)`, with every
+/// communication step balanced by coordinator-free oblivious relaying. See
+/// the module docs for the round schedule and the cost-parity contract.
+#[derive(Debug, Clone)]
+pub struct TriangleProgram {
+    /// This node's adjacency row (the only graph knowledge it holds).
+    row: Vec<i64>,
+    directed: bool,
+    /// Relay-balancing seed; must equal the clique's `route_seed` for load
+    /// parity with the closure algorithm.
+    seed: u64,
+    plan: Plan3d,
+    /// This node's row of `A²`, assembled in round 4.
+    sq_row: Vec<i64>,
+    /// The triangle count, set in the final round.
+    count: Option<u64>,
+}
+
+impl TriangleProgram {
+    /// Builds node `v`'s program. `seed` is the clique's `route_seed`.
+    #[must_use]
+    pub fn new(g: &Graph, v: usize, seed: u64) -> Self {
+        let n = g.n();
+        Self {
+            row: (0..n).map(|u| i64::from(g.has_edge(v, u))).collect(),
+            directed: g.is_directed(),
+            seed,
+            plan: Plan3d::new(n),
+            sq_row: Vec::new(),
+            count: None,
+        }
+    }
+
+    /// The triangle count, once the program has halted.
+    #[must_use]
+    pub fn count(&self) -> Option<u64> {
+        self.count
+    }
+
+    /// The scatter messages node `me` emits (lengths follow
+    /// [`scatter_pattern`]; contents are its own row slices).
+    fn scatter_messages(&self, me: usize) -> Vec<(usize, Vec<u64>)> {
+        let plan = &self.plan;
+        let p = plan.p();
+        let my_rb = plan.block_of_row(me);
+        let encode = |r: std::ops::Range<usize>| -> Vec<u64> {
+            self.row[r].iter().map(|&x| x as u64).collect()
+        };
+        let mut out = Vec::with_capacity(2 * p * p);
+        for u2 in 0..p {
+            let payload = encode(plan.block_range(u2));
+            for u3 in 0..p {
+                out.push((plan.node_of(my_rb, u2, u3), payload.clone()));
+            }
+        }
+        for u3 in 0..p {
+            let payload = encode(plan.block_range(u3));
+            for u1 in 0..p {
+                out.push((plan.node_of(u1, my_rb, u3), payload.clone()));
+            }
+        }
+        out
+    }
+}
+
+impl NodeProgram for TriangleProgram {
+    fn round(&mut self, ctx: &mut RoundCtx<'_>) -> Control {
+        let n = ctx.n();
+        let seed = self.seed;
+        let plan = self.plan;
+        match ctx.round() {
+            // Scatter phase A: row slices word-hashed to relays.
+            0 => {
+                let msgs = self.scatter_messages(ctx.node());
+                send_via_relays(ctx, seed, &msgs);
+                Control::Continue
+            }
+            // Scatter phase B: forward as relay.
+            1 => {
+                forward_as_relay(ctx, seed, |src| scatter_pattern(&plan, src));
+                Control::Continue
+            }
+            // Block product on the subcube owners; gather phase A.
+            2 => {
+                let me = ctx.node();
+                let mut msgs: Vec<(usize, Vec<u64>)> = Vec::new();
+                if me < plan.active() {
+                    let from = reassemble(ctx, seed, |src| scatter_pattern(&plan, src));
+                    let (u1, u2, u3) = plan.digits(me);
+                    let (r1, r2, r3) = (
+                        plan.block_range(u1),
+                        plan.block_range(u2),
+                        plan.block_range(u3),
+                    );
+                    let (h1, h2, h3) = (r1.len(), r2.len(), r3.len());
+                    // Decode S and T blocks exactly as `semiring_mm` does:
+                    // senders emit the S slice first, then (when the row's
+                    // block is u₂) the T slice.
+                    let mut s_blk = vec![0i64; h1 * h2];
+                    let mut t_blk = vec![0i64; h2 * h3];
+                    for (idx, r) in r1.clone().enumerate() {
+                        let vals = &from[r];
+                        for j in 0..h2 {
+                            s_blk[idx * h2 + j] = vals[j] as i64;
+                        }
+                    }
+                    for (idx, r) in r2.clone().enumerate() {
+                        let vals = &from[r];
+                        let off = if plan.block_of_row(r) == u1 { h2 } else { 0 };
+                        for j in 0..h3 {
+                            t_blk[idx * h3 + j] = vals[off + j] as i64;
+                        }
+                    }
+                    // Schoolbook block product (ℤ, like IntRing).
+                    let mut prod = vec![0i64; h1 * h3];
+                    for i in 0..h1 {
+                        for k in 0..h2 {
+                            let s = s_blk[i * h2 + k];
+                            if s == 0 {
+                                continue;
+                            }
+                            for j in 0..h3 {
+                                prod[i * h3 + j] += s * t_blk[k * h3 + j];
+                            }
+                        }
+                    }
+                    msgs = plan
+                        .block_range(u1)
+                        .enumerate()
+                        .map(|(idx, r)| {
+                            (
+                                r,
+                                prod[idx * h3..(idx + 1) * h3]
+                                    .iter()
+                                    .map(|&x| x as u64)
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                }
+                send_via_relays(ctx, seed, &msgs);
+                Control::Continue
+            }
+            // Gather phase B: forward as relay.
+            3 => {
+                forward_as_relay(ctx, seed, |src| gather_pattern(&plan, src));
+                Control::Continue
+            }
+            // Assemble the A² row; start the trace's transpose exchange.
+            4 => {
+                let me = ctx.node();
+                let from = reassemble(ctx, seed, |src| gather_pattern(&plan, src));
+                let p = plan.p();
+                let rb = plan.block_of_row(me);
+                let mut row = vec![0i64; n];
+                for u2 in 0..p {
+                    for u3 in 0..p {
+                        // Active node (rb, u₂, u₃) addressed this row owner
+                        // exactly one message — its partial-product slice
+                        // over block(u₃) — so `from[u]` is that slice
+                        // verbatim; accumulate in (u₂, u₃) order exactly
+                        // like the closure algorithm's step 4.
+                        let u = plan.node_of(rb, u2, u3);
+                        let vals = &from[u];
+                        for (slot, j) in plan.block_range(u3).enumerate() {
+                            row[j] += vals[slot] as i64;
+                        }
+                    }
+                }
+                self.sq_row = row;
+                // Transpose for the trace: send A[me][u] to u, one word per
+                // ordered pair, exactly like `traces::transpose`.
+                for u in 0..n {
+                    if u != me {
+                        ctx.send(u, vec![self.row[u] as u64]);
+                    }
+                }
+                Control::Continue
+            }
+            // Local dot product; broadcast it (the `sum_all` of the trace).
+            5 => {
+                let me = ctx.node();
+                let dot: i64 = (0..n)
+                    .map(|v| {
+                        let yt = if v == me {
+                            self.row[me]
+                        } else {
+                            ctx.received(v)[0] as i64
+                        };
+                        self.sq_row[v] * yt
+                    })
+                    .sum();
+                ctx.broadcast(vec![dot as u64]);
+                Control::Continue
+            }
+            // Sum the broadcast dots: the trace, hence the count.
+            _ => {
+                let mut trace = 0i64;
+                for src in 0..n {
+                    for slab in ctx.broadcasts_from(src) {
+                        trace += slab[0] as i64;
+                    }
+                }
+                let denom = if self.directed { 3 } else { 6 };
+                debug_assert_eq!(trace % denom, 0, "trace {trace} not divisible");
+                self.count = Some((trace / denom) as u64);
+                Control::Halt
+            }
+        }
+    }
+}
+
+/// Runs [`TriangleProgram`] on the clique's engine and returns the count
+/// every node agreed on.
+///
+/// Round-cost parity with [`crate::count_triangles_3d`] holds when the
+/// clique uses [`cc_clique::RelayPolicy::SingleHash`] (the program's
+/// header-free relaying reproduces that policy's hash exactly); under
+/// two-choice relaying the counts still agree and the costs differ only by
+/// the policy's balancing slack.
+///
+/// # Panics
+///
+/// Panics if `clique.n() != g.n()`.
+pub fn count_triangles_program(clique: &mut Clique, g: &Graph) -> u64 {
+    let n = clique.n();
+    assert_eq!(g.n(), n, "graph and clique sizes must match");
+    let seed = clique.config().route_seed;
+    let programs = (0..n).map(|v| TriangleProgram::new(g, v, seed)).collect();
+    let done = clique.phase("triangles_program", |c| c.run_programs(programs));
+    let count = done[0].count().expect("program ran to completion");
+    debug_assert!(
+        done.iter().all(|p| p.count() == Some(count)),
+        "all nodes must agree on the count"
+    );
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangles::count_triangles_3d;
+    use cc_clique::{CliqueConfig, ExecutorKind, RelayPolicy};
+    use cc_graph::{generators, oracle};
+
+    /// A clique whose routing policy the program's header-free relaying
+    /// reproduces exactly.
+    fn single_hash_clique(n: usize, executor: ExecutorKind) -> Clique {
+        Clique::with_config(
+            n,
+            CliqueConfig {
+                relay_policy: RelayPolicy::SingleHash,
+                executor,
+                exec_cutover: Some(2),
+                ..CliqueConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn counts_match_the_oracle() {
+        for g in [
+            generators::complete(9),
+            generators::petersen(),
+            generators::grid(3, 4),
+            generators::gnp(20, 0.3, 7),
+            generators::gnp(27, 0.25, 3),
+        ] {
+            let mut clique = single_hash_clique(g.n(), ExecutorKind::Sequential);
+            assert_eq!(
+                count_triangles_program(&mut clique, &g),
+                oracle::count_triangles(&g),
+                "n={} m={}",
+                g.n(),
+                g.m()
+            );
+        }
+    }
+
+    #[test]
+    fn directed_counts_match() {
+        for seed in 0..3 {
+            let g = generators::gnp_directed(15, 0.2, seed);
+            let mut clique = single_hash_clique(15, ExecutorKind::Sequential);
+            assert_eq!(
+                count_triangles_program(&mut clique, &g),
+                oracle::count_triangles(&g),
+                "seed={seed}"
+            );
+        }
+    }
+
+    /// The satellite contract: the state machine's counts *and* round
+    /// costs match the closure-based `count_triangles` algorithm (its 3D
+    /// engine, on the routing policy the program replicates) — not merely
+    /// approximately, but word-for-word and round-for-round.
+    #[test]
+    fn counts_and_round_costs_match_count_triangles() {
+        for (n, p, seed) in [(16usize, 0.4, 1u64), (27, 0.3, 2), (30, 0.25, 5)] {
+            let g = generators::gnp(n, p, seed);
+
+            let mut closure_clique = single_hash_clique(n, ExecutorKind::Sequential);
+            let closure_count = count_triangles_3d(&mut closure_clique, &g);
+
+            let mut program_clique = single_hash_clique(n, ExecutorKind::Sequential);
+            let program_count = count_triangles_program(&mut program_clique, &g);
+
+            assert_eq!(program_count, closure_count, "n={n} counts must match");
+            assert_eq!(
+                program_clique.rounds(),
+                closure_clique.rounds(),
+                "n={n} round costs must match the closure algorithm"
+            );
+            assert_eq!(
+                program_clique.stats().words(),
+                closure_clique.stats().words(),
+                "n={n} word costs must match the closure algorithm"
+            );
+        }
+    }
+
+    #[test]
+    fn program_is_executor_independent() {
+        let g = generators::gnp(24, 0.3, 11);
+        let run = |kind: ExecutorKind| {
+            let mut clique = single_hash_clique(24, kind);
+            let count = count_triangles_program(&mut clique, &g);
+            (count, clique.rounds(), clique.stats().words())
+        };
+        let seq = run(ExecutorKind::Sequential);
+        let pooled = run(ExecutorKind::Parallel { threads: 4 });
+        let spawn = run(ExecutorKind::Spawn { threads: 3 });
+        assert_eq!(seq, pooled, "pooled backend must match sequential");
+        assert_eq!(seq, spawn, "spawn backend must match sequential");
+        assert_eq!(seq.0, oracle::count_triangles(&g));
+    }
+
+    #[test]
+    fn two_choice_policy_still_counts_correctly() {
+        // Under two-choice relaying the loads differ (the program replays
+        // the single-hash policy), but the delivered words — and the count
+        // — are identical.
+        let g = generators::gnp(18, 0.35, 4);
+        let mut clique = Clique::new(18);
+        assert_eq!(
+            count_triangles_program(&mut clique, &g),
+            oracle::count_triangles(&g)
+        );
+    }
+}

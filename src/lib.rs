@@ -41,10 +41,32 @@
 //! pluggable executor chosen through
 //! [`CliqueConfig::executor`](clique::CliqueConfig) —
 //! [`ExecutorKind::Sequential`](runtime::ExecutorKind) (the reference
-//! semantics, and the default) or
-//! [`ExecutorKind::Parallel`](runtime::ExecutorKind), which shards
-//! node-local computation and message delivery over OS threads with
-//! per-shard outboxes merged at a deterministic round barrier.
+//! semantics, and the default), [`ExecutorKind::Parallel`](runtime::ExecutorKind)
+//! (the **persistent worker pool**), or
+//! [`ExecutorKind::Spawn`](runtime::ExecutorKind) (the legacy
+//! scoped-threads-per-call backend, kept as the pool's ablation baseline —
+//! see `BENCH_pool.json`). Setting the `CC_EXECUTOR` environment variable
+//! (`sequential` / `parallel` / `spawn`, optionally `:<threads>`) retargets
+//! every default-configured clique in the process, which is how CI runs the
+//! whole suite on each backend.
+//!
+//! ### Pool lifecycle
+//!
+//! The pooled executor's threads are created **once**, in
+//! [`Executor::new`](runtime::Executor::new) (i.e. when the `Clique` is
+//! built): `threads − 1` workers are spawned eagerly and park on a condvar.
+//! Every `map`/`map_chunks_mut`/engine round then *reuses* them — a job is
+//! published to the parked workers, the calling thread joins in as one
+//! more participant, and a barrier collects per-worker results for the
+//! deterministic merge-by-index. No call ever spawns a thread
+//! ([`Executor::threads_spawned`](runtime::Executor::threads_spawned) is
+//! the race-free per-executor probe the tests pin). When the
+//! last executor handle drops — normally when the `Clique` does — the
+//! workers are woken, joined, and gone. Jobs smaller than a tunable
+//! cutover ([`Executor::with_cutover`](runtime::Executor::with_cutover),
+//! `CliqueConfig::exec_cutover`, or `CC_EXEC_CUTOVER`; default
+//! [`DEFAULT_SEQ_CUTOVER`](runtime::DEFAULT_SEQ_CUTOVER)) run inline on
+//! the caller, so small-`n` simulations pay no dispatch overhead at all.
 //!
 //! The determinism contract is strict: results, executed round counts, and
 //! communication-pattern fingerprints are **bit-identical** across
@@ -60,7 +82,7 @@
 //! let n = 8;
 //! let a = Matrix::from_fn(n, n, |i, j| (i + j) as i64);
 //! let mut sequential = Clique::new(n);
-//! let mut parallel = Clique::parallel(n); // threads sized to the machine
+//! let mut parallel = Clique::parallel(n); // pool sized to the machine
 //! let ra = RowMatrix::from_matrix(&a);
 //! let p1 = fast_mm::multiply_auto(&mut sequential, &IntRing, &ra, &ra);
 //! let p2 = fast_mm::multiply_auto(&mut parallel, &IntRing, &ra, &ra);
@@ -68,15 +90,33 @@
 //! assert_eq!(sequential.rounds(), parallel.rounds());
 //! ```
 //!
+//! ### What runs on the parallel runtime
+//!
+//! The whole algorithm layer now rides the executor, not just the MM core:
+//!
+//! * [`core`] — `fast_mm`, `semiring_mm` (witnessed distance products),
+//!   `boolean`, and `distance` fan node-local steps out via
+//!   [`Executor::map`](runtime::Executor::map) and communicate through the
+//!   `_par` primitives;
+//! * [`apsp`] — `apsp_exact`, `apsp_seidel`, `apsp_approx`,
+//!   `apsp_small_weights`/`reachability` tabulate rows, run fixpoint scans,
+//!   and reconstruct tables on the backend;
+//! * [`subgraph`] — triangle counting, the Theorem 4 4-cycle detector,
+//!   `sparse_square`, girth (and their gossip/exchange/route phases via
+//!   `exchange_par`, `route_dynamic_par`, `gossip_par`).
+//!
 //! Algorithms opt in at two levels: coordinator-style code keeps the
-//! closure primitives (`exchange_par`, `route_par` take `Fn + Sync`
-//! generators evaluated on the backend, and node-local loops fan out via
-//! [`Executor::map`](runtime::Executor::map)), while fully distributed
-//! algorithms implement [`NodeProgram`](runtime::NodeProgram) — a per-node
-//! state machine driven round-by-round by the
-//! [`Engine`](runtime::Engine) (see
+//! closure primitives (`exchange_par`, `route_par`, `route_dynamic_par`,
+//! `gossip_par` take `Fn + Sync` generators evaluated on the backend, and
+//! node-local loops fan out via [`Executor::map`](runtime::Executor::map)),
+//! while fully distributed algorithms implement
+//! [`NodeProgram`](runtime::NodeProgram) — a per-node state machine driven
+//! round-by-round by the [`Engine`](runtime::Engine) (see
 //! [`Clique::run_programs`](clique::Clique::run_programs) and the
-//! `runtime_engine` example).
+//! `runtime_engine` example). The flagship state machine is
+//! [`subgraph::TriangleProgram`]: the full 3D triangle-counting algorithm
+//! with coordinator-free oblivious relay routing, whose counts *and* round
+//! costs match the closure implementation exactly.
 
 pub use cc_algebra as algebra;
 pub use cc_apsp as apsp;

@@ -4,18 +4,23 @@
 //! paper's multiplication algorithms.
 
 use congested_clique::algebra::{IntRing, Matrix};
+use congested_clique::apsp;
 use congested_clique::clique::{Clique, CliqueConfig, ExecutorKind};
 use congested_clique::core::{fast_mm, semiring_mm, RowMatrix};
+use congested_clique::graph::generators;
+use congested_clique::subgraph;
 use proptest::prelude::*;
 
 fn cfg(kind: ExecutorKind) -> CliqueConfig {
     CliqueConfig {
         record_patterns: true,
         executor: kind,
+        // Cutover disabled: the property sizes are small, and the point is
+        // to genuinely exercise the parallel dispatch paths.
+        exec_cutover: Some(2),
         ..CliqueConfig::default()
     }
 }
-
 fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -131,6 +136,149 @@ fn matrix_multiplication_is_executor_independent() {
     assert_eq!(seq.2, par.2, "round counts must match across executors");
     assert_eq!(seq.3, par.3, "word counts must match across executors");
     assert_eq!(seq.4, par.4, "fingerprints must match across executors");
+}
+
+/// Everything one backend run of the ported algorithm layer observes:
+/// algorithm outputs plus the full accounting (rounds, words, pattern
+/// fingerprints).
+#[derive(Debug, PartialEq)]
+struct AlgoOutcome {
+    apsp_dist: Matrix<congested_clique::algebra::Dist>,
+    apsp_hops: Vec<Option<usize>>,
+    seidel_dist: Matrix<congested_clique::algebra::Dist>,
+    triangles: u64,
+    triangles_program: u64,
+    has_4cycle: bool,
+    girth: Option<usize>,
+    rounds: u64,
+    words: u64,
+    fingerprints: Vec<u64>,
+}
+
+fn run_algorithms(kind: ExecutorKind, n: usize, seed: u64) -> AlgoOutcome {
+    let weighted = generators::weighted_gnp(n, 0.3, 9, true, seed);
+    let undirected = generators::gnp(n, 0.25, seed ^ 0x5a5a);
+
+    let mut c = Clique::with_config(n, cfg(kind));
+    let tables = apsp::apsp_exact(&mut c, &weighted);
+    let apsp_hops = (0..n)
+        .flat_map(|u| (0..n).map(move |v| (u, v)))
+        .map(|(u, v)| tables.next_hop(u, v))
+        .collect();
+    let seidel_dist = apsp::apsp_seidel(&mut c, &undirected).to_matrix();
+    let triangles = subgraph::count_triangles(&mut c, &undirected);
+    let triangles_program = subgraph::count_triangles_program(&mut c, &undirected);
+    let has_4cycle = subgraph::detect_4cycle(&mut c, &undirected);
+    let girth = subgraph::girth(&mut c, &undirected, subgraph::GirthConfig::default());
+    AlgoOutcome {
+        apsp_dist: tables.dist.to_matrix(),
+        apsp_hops,
+        seidel_dist,
+        triangles,
+        triangles_program,
+        has_4cycle,
+        girth,
+        rounds: c.rounds(),
+        words: c.stats().words(),
+        fingerprints: c.stats().pattern_fingerprints().to_vec(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The ported algorithm layer — APSP tables, triangle counts (closure
+    /// and NodeProgram), 4-cycle detection, girth — is bit-identical
+    /// across the sequential reference, the pooled executor, and the
+    /// legacy spawn-per-call executor, down to rounds, words, and pattern
+    /// fingerprints.
+    #[test]
+    fn ported_algorithms_are_executor_independent(
+        n in 8usize..18,
+        seed in 0u64..100_000,
+        threads in 2usize..6,
+    ) {
+        let seq = run_algorithms(ExecutorKind::Sequential, n, seed);
+        for kind in [ExecutorKind::Parallel { threads }, ExecutorKind::Spawn { threads }] {
+            let par = run_algorithms(kind, n, seed);
+            prop_assert_eq!(&seq, &par, "backend {:?} diverged", kind);
+        }
+    }
+}
+
+/// The slower ported entry points (approximate APSP, small-weights APSP,
+/// the sparse square, directed girth), pinned across all three backends on
+/// fixed instances.
+#[test]
+fn remaining_ported_algorithms_are_executor_independent() {
+    let n = 12;
+    let weighted = generators::weighted_gnp(n, 0.35, 6, true, 3);
+    let sparse = generators::gnp(16, 1.6 / 16.0, 5);
+    let digraph = generators::gnp_directed(n, 0.2, 7);
+
+    let run = |kind: ExecutorKind| {
+        let mut c = Clique::with_config(n, cfg(kind));
+        let approx = apsp::apsp_approx(&mut c, &weighted, 0.4).to_matrix();
+        let small = apsp::apsp_small_weights(&mut c, &weighted, None).to_matrix();
+        let dgirth = subgraph::directed_girth(&mut c, &digraph);
+        let mut c16 = Clique::with_config(16, cfg(kind));
+        let square = subgraph::sparse_square(&mut c16, &sparse).map(|m| m.to_matrix());
+        (
+            approx,
+            small,
+            dgirth,
+            square,
+            c.rounds(),
+            c.stats().words(),
+            c.stats().pattern_fingerprints().to_vec(),
+            c16.rounds(),
+            c16.stats().words(),
+        )
+    };
+
+    let seq = run(ExecutorKind::Sequential);
+    for threads in [2, 5] {
+        assert_eq!(
+            seq,
+            run(ExecutorKind::Parallel { threads }),
+            "pooled backend diverged (threads={threads})"
+        );
+        assert_eq!(
+            seq,
+            run(ExecutorKind::Spawn { threads }),
+            "spawn backend diverged (threads={threads})"
+        );
+    }
+}
+
+/// Acceptance criterion: on the pooled backend, worker threads are created
+/// at most once per executor lifetime — a full sweep of ported algorithms
+/// must not move the process-wide spawn probe after the clique is built.
+#[test]
+fn pooled_clique_spawns_workers_exactly_once() {
+    let n = 16;
+    let g = generators::gnp(n, 0.3, 2);
+    let mut c = Clique::with_config(
+        n,
+        CliqueConfig {
+            executor: ExecutorKind::Parallel { threads: 4 },
+            exec_cutover: Some(2),
+            ..CliqueConfig::default()
+        },
+    );
+    // Pool built at construction (threads - 1 workers); everything after
+    // must reuse it. The probe is per-executor, so concurrently running
+    // tests that build their own pools cannot perturb it.
+    assert_eq!(c.executor().threads_spawned(), 3);
+    let _ = subgraph::count_triangles(&mut c, &g);
+    let _ = subgraph::count_triangles_program(&mut c, &g);
+    let _ = subgraph::detect_4cycle(&mut c, &g);
+    let _ = apsp::apsp_seidel(&mut c, &g);
+    assert_eq!(
+        c.executor().threads_spawned(),
+        3,
+        "no per-call spawns on the pooled backend"
+    );
 }
 
 #[test]
