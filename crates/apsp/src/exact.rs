@@ -3,7 +3,7 @@
 
 use cc_algebra::Dist;
 use cc_clique::Clique;
-use cc_core::{semiring_mm, RowMatrix};
+use cc_core::{sparse_mm, RowMatrix};
 use cc_graph::Graph;
 
 /// Distances and routing tables produced by [`apsp_exact`].
@@ -70,6 +70,14 @@ impl ApspTables {
 /// converge; a negative cycle panics in debug builds via trace checks in
 /// the caller's oracle, not here).
 ///
+/// Each squaring goes through the density-dispatching front door
+/// ([`sparse_mm::distance_product_with_witness_auto`]): the first products
+/// of a sparse graph's weight matrix have few finite entries and ride the
+/// Le Gall 2016 sparse path; as iterated squaring densifies the matrix,
+/// the dispatch flips to the dense 3D engine. Both engines use the same
+/// witness tie-break, so the tables are identical either way
+/// (`CC_MM=sparse|dense` forces one engine).
+///
 /// # Panics
 ///
 /// Panics if `clique.n() != g.n()`.
@@ -94,7 +102,7 @@ pub fn apsp_exact(clique: &mut Clique, g: &Graph) -> ApspTables {
     clique.phase("apsp_exact", |clique| {
         let mut hops = 1usize;
         while hops < n {
-            let (d2, q) = semiring_mm::distance_product_with_witness(clique, &dist, &dist);
+            let (d2, q) = sparse_mm::distance_product_with_witness_auto(clique, &dist, &dist);
             routing = routing.par_map_indexed(&exec, |u, v, &r| {
                 if d2.row(u)[v] < dist.row(u)[v] {
                     let w = q.row(u)[v];
@@ -208,7 +216,46 @@ mod tests {
     }
 
     #[test]
+    fn sparse_dispatch_preserves_tables_and_saves_traffic() {
+        // A bounded-degree weighted graph: the early squarings have few
+        // finite entries, so the dispatching front door must beat a loop
+        // pinned to the dense 3D engine on words — without changing any
+        // distance (the oracle check) or route (validate_routes).
+        let n = 32;
+        let g = generators::weighted_gnp(n, 1.5 / n as f64, 9, false, 5);
+        let mut ca = Clique::new(n);
+        let tables = apsp_exact(&mut ca, &g);
+        assert_eq!(tables.dist.to_matrix(), oracle::apsp(&g));
+        validate_routes(&g, &tables);
+
+        let mut cd = Clique::new(n);
+        let mut dist = crate::weight_rows(&cd.executor(), &g);
+        let mut hops = 1usize;
+        while hops < n {
+            let (d2, _) =
+                cc_core::semiring_mm::distance_product_with_witness(&mut cd, &dist, &dist);
+            dist = d2;
+            hops *= 2;
+        }
+        assert_eq!(dist.to_matrix(), oracle::apsp(&g), "dense reference loop");
+        if cc_core::sparse_mm::forced_kind().is_none() {
+            assert!(
+                ca.stats().words() < cd.stats().words(),
+                "dispatched APSP words {} vs dense-only words {}",
+                ca.stats().words(),
+                cd.stats().words()
+            );
+        }
+    }
+
+    #[test]
     fn larger_instance_round_cost() {
+        // The bound is about the *dispatched* algorithm: forcing
+        // CC_MM=sparse deliberately drags dense-sized squarings through
+        // the outer-product path (a correctness lane, not a cost one).
+        if cc_core::sparse_mm::forced_kind() == Some(cc_core::sparse_mm::MmKind::Sparse) {
+            return;
+        }
         let g = generators::weighted_gnp(27, 0.3, 7, true, 9);
         let mut clique = Clique::new(27);
         let _ = apsp_exact(&mut clique, &g);

@@ -1,0 +1,148 @@
+//! Sparse vs dense multiplication across an nnz sweep: the Le Gall 2016
+//! outer-product path (`sparse_mm`) against the dense fast bilinear engine
+//! (`fast_mm`) at `n ∈ {64, 128, 256}` and average row densities
+//! `{2, 8, 32}` nonzeros.
+//!
+//! Three cost views per configuration, exported to `BENCH_sparse.json` at
+//! the workspace root:
+//!
+//! * **rounds** and **words** — the model costs the paper is about,
+//!   measured once per configuration on fresh cliques (they are
+//!   deterministic);
+//! * **wall-clock** — the simulator-side view, measured by criterion.
+//!
+//! The expected shape: sparse rounds/words track the density and stay flat
+//! in `n`, dense costs track `n` and ignore density — the crossover is
+//! where the [`cc_core::sparse_mm::multiply_auto_ring`] dispatcher flips.
+
+use cc_algebra::{IntRing, Matrix};
+use cc_clique::Clique;
+use cc_core::{fast_mm, sparse_mm, RowMatrix};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+
+const SIZES: [usize; 3] = [64, 128, 256];
+const DEGREES: [usize; 3] = [2, 8, 32];
+const ENGINES: [&str; 2] = ["sparse", "dense"];
+
+fn rand_sparse(n: usize, avg_nnz_per_row: usize, seed: u64) -> Matrix<i64> {
+    let mut st = seed;
+    let mut step = move || {
+        st = st
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        st >> 33
+    };
+    let mut m = Matrix::filled(n, n, 0i64);
+    for i in 0..n {
+        for _ in 0..avg_nnz_per_row {
+            let j = (step() as usize) % n;
+            m[(i, j)] = (step() % 9) as i64 - 4;
+        }
+    }
+    m
+}
+
+fn operands(n: usize, deg: usize) -> (RowMatrix<i64>, RowMatrix<i64>) {
+    (
+        RowMatrix::from_matrix(&rand_sparse(n, deg, 1 + n as u64 + deg as u64)),
+        RowMatrix::from_matrix(&rand_sparse(n, deg, 2 + 3 * n as u64 + deg as u64)),
+    )
+}
+
+fn run_engine(engine: &str, n: usize, a: &RowMatrix<i64>, b: &RowMatrix<i64>) -> (u64, u64) {
+    let mut clique = Clique::new(n);
+    let _ = match engine {
+        "sparse" => sparse_mm::multiply(&mut clique, &IntRing, a, b),
+        "dense" => fast_mm::multiply_auto(&mut clique, &IntRing, a, b),
+        _ => unreachable!("unknown engine"),
+    };
+    (clique.rounds(), clique.stats().words())
+}
+
+fn bench_sparse_scaling(c: &mut Criterion) -> Vec<(String, u64, u64)> {
+    let mut model_costs = Vec::new();
+    let mut group = c.benchmark_group("sparse_scaling");
+    group.sample_size(10);
+    for n in SIZES {
+        for deg in DEGREES {
+            let (a, b) = operands(n, deg);
+            for engine in ENGINES {
+                let id = format!("{engine}/n{n}/d{deg}");
+                let (rounds, words) = run_engine(engine, n, &a, &b);
+                model_costs.push((id, rounds, words));
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{engine}/n{n}"), format!("d{deg}")),
+                    &engine,
+                    |bench, &engine| {
+                        bench.iter(|| run_engine(engine, n, &a, &b));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+    model_costs
+}
+
+criterion_group!(benches_unused, noop);
+fn noop(_c: &mut Criterion) {}
+
+fn main() {
+    // Hand-rolled entry instead of `criterion_main!` so the shim's recorded
+    // measurements can be exported — one measurement pass feeds both the
+    // stdout report and BENCH_sparse.json (same scheme as pool_scaling).
+    let _ = benches_unused;
+    let mut criterion = Criterion::default();
+    let model_costs = bench_sparse_scaling(&mut criterion);
+    export_json(criterion.take_measurements(), &model_costs);
+}
+
+/// Writes `BENCH_sparse.json` at the workspace root from the deterministic
+/// model costs and the criterion measurements (ids look like
+/// `sparse/n64/d2`).
+fn export_json(measurements: Vec<criterion::Measurement>, model_costs: &[(String, u64, u64)]) {
+    use std::fmt::Write as _;
+
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut records = String::new();
+    for n in SIZES {
+        for deg in DEGREES {
+            for engine in ENGINES {
+                let id = format!("{engine}/n{n}/d{deg}");
+                let m = measurements
+                    .iter()
+                    .find(|m| m.id == id)
+                    .unwrap_or_else(|| panic!("no measurement recorded for {id}"));
+                let (_, rounds, words) = model_costs
+                    .iter()
+                    .find(|(mid, _, _)| *mid == id)
+                    .unwrap_or_else(|| panic!("no model costs recorded for {id}"));
+                if !records.is_empty() {
+                    records.push_str(",\n");
+                }
+                let _ = write!(
+                    records,
+                    "    {{\"n\": {n}, \"avg_nnz_per_row\": {deg}, \"engine\": \"{engine}\", \
+                     \"rounds\": {rounds}, \"words\": {words}, \"min_ns\": {:.0}, \
+                     \"median_ns\": {:.0}, \"mean_ns\": {:.0}}}",
+                    m.min_ns(),
+                    m.median_ns(),
+                    m.mean_ns(),
+                );
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"host_available_parallelism\": {host_threads},\n  \"note\": \
+         \"Le Gall 2016 sparse outer-product path (sparse_mm) vs dense fast bilinear engine \
+         (fast_mm::multiply_auto) on random matrices with avg_nnz_per_row nonzeros per row. \
+         Rounds/words are deterministic model costs; *_ns is simulator wall-clock. Sparse costs \
+         track density and stay flat in n; dense costs track n and ignore density — the \
+         crossover is where multiply_auto_ring's dispatcher flips.\",\n  \"results\": [\n{records}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sparse.json");
+    std::fs::write(path, &json).expect("write BENCH_sparse.json");
+    println!("wrote {path}");
+}

@@ -28,6 +28,19 @@ pub fn distance_product(
     semiring_mm::multiply(clique, &MinPlus, a, b)
 }
 
+/// Density-dispatching distance product: `∞` is the min-plus zero, so a
+/// matrix with few finite entries is *sparse* and the Le Gall 2016 path
+/// ([`crate::sparse_mm`]) prices the product by its finite structure,
+/// falling back to the 3D algorithm when density doesn't pay
+/// (`CC_MM=sparse|dense` overrides).
+pub fn distance_product_auto(
+    clique: &mut Clique,
+    a: &RowMatrix<Dist>,
+    b: &RowMatrix<Dist>,
+) -> RowMatrix<Dist> {
+    crate::sparse_mm::multiply_auto(clique, &MinPlus, a, b)
+}
+
 fn embed(cap: usize, d: &Dist) -> CappedPoly {
     match d.value() {
         Some(v) => {

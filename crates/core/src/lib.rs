@@ -19,6 +19,25 @@
 //!   enabling routing-table construction.
 //! * [`boolean`] — Boolean semiring products through the integer fast path.
 //!
+//! ## Sparse & rectangular MM (Le Gall, PODC 2016)
+//!
+//! The follow-up paper *"Further Algebraic Algorithms in the Congested
+//! Clique Model"* (Le Gall, 2016) shows the clique rewards structure the
+//! Theorem 1 engines cannot see:
+//!
+//! * [`sparse_mm`] — nnz-aware multiplication over any semiring: a census
+//!   makes the per-index nonzero counts global, a [`SparsePlan`] spreads
+//!   the `W = Σ_k nnz(col_k S)·nnz(row_k T)` elementary products over
+//!   helper grids, and costs scale with `W/n` instead of the dense
+//!   `n^{1/3}`-and-up round counts — plus density-dispatching front doors
+//!   ([`sparse_mm::multiply_auto`], [`sparse_mm::multiply_auto_ring`],
+//!   [`sparse_mm::distance_product_with_witness_auto`]) that fall back to
+//!   [`semiring_mm`] / [`fast_mm`] when sparsity doesn't pay
+//!   (`CC_MM=sparse|dense` overrides the choice).
+//! * [`rect_mm`] — `n × m · m × n` products ([`RectMatrix`]): a thin inner
+//!   dimension is priced as extreme sparsity (padded inner indices get no
+//!   helpers), a wide one is summed in `⌈m/n⌉` dispatched slabs.
+//!
 //! Matrices live in the paper's input convention: node `v` holds **row `v`**
 //! of each operand and ends with row `v` of the product ([`RowMatrix`]).
 //!
@@ -50,10 +69,15 @@ pub mod distance;
 pub mod fast_mm;
 mod fast_plan;
 mod plan3d;
+pub mod rect_mm;
 mod row_matrix;
 pub mod semiring_mm;
+pub mod sparse_mm;
+mod sparse_plan;
 pub mod witness;
 
 pub use crate::fast_plan::FastPlan;
 pub use crate::plan3d::Plan3d;
+pub use crate::rect_mm::RectMatrix;
 pub use crate::row_matrix::RowMatrix;
+pub use crate::sparse_plan::{HelperGrid, SparsePlan};

@@ -1,0 +1,282 @@
+//! Rectangular matrix multiplication (Le Gall, PODC 2016, §Rectangular).
+//!
+//! Le Gall's second observation: on an `n`-node clique, multiplying an
+//! `n × m` by an `m × n` matrix should cost a function of `m`, not of `n`
+//! alone. This module reduces the rectangular product to the sparse square
+//! machinery of [`crate::sparse_mm`]:
+//!
+//! * **`m ≤ n`** — zero-pad the inner dimension up to `n`. The padded
+//!   columns/rows are entirely zero, so the [`crate::SparsePlan`] census
+//!   assigns them *no helpers at all* and the cost scales with the `m`
+//!   real inner indices (times their density): a thin inner dimension is
+//!   just an extreme form of sparsity.
+//! * **`m > n`** — split the inner dimension into `⌈m/n⌉` slabs of `n` and
+//!   sum the slab products (`⊕` is associative-commutative), each slab
+//!   dispatching sparse-vs-dense independently.
+//!
+//! Ownership convention: the left operand's `n` rows live one per node as
+//! usual; the right operand's `m` rows are distributed round-robin, row `r`
+//! on node `r mod n` — the natural generalisation of the paper's
+//! row-ownership convention to non-square shapes, and exactly what the slab
+//! reduction needs (slab-local row `k` of every slab lives on node `k`).
+
+use crate::row_matrix::RowMatrix;
+use crate::sparse_mm;
+use cc_algebra::{Matrix, Semiring};
+use cc_clique::Clique;
+
+/// A rectangular matrix distributed over the clique: row `r` lives on node
+/// `r mod n` (for an `n`-row matrix on an `n`-node clique this is the
+/// standard one-row-per-node convention).
+///
+/// # Examples
+///
+/// ```rust
+/// use cc_algebra::Matrix;
+/// use cc_core::RectMatrix;
+///
+/// let m = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as i64);
+/// let rm = RectMatrix::from_matrix(&m);
+/// assert_eq!((rm.rows(), rm.cols()), (3, 5));
+/// assert_eq!(rm.row(1), &[5, 6, 7, 8, 9]);
+/// assert_eq!(rm.to_matrix(), m);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RectMatrix<E> {
+    rows: Vec<Vec<E>>,
+    cols: usize,
+}
+
+impl<E: Clone> RectMatrix<E> {
+    /// Distributes a (possibly rectangular) matrix by rows.
+    #[must_use]
+    pub fn from_matrix(m: &Matrix<E>) -> Self {
+        Self {
+            rows: (0..m.rows()).map(|i| m.row(i).to_vec()).collect(),
+            cols: m.cols(),
+        }
+    }
+
+    /// Builds a distributed `rows × cols` matrix by tabulating entries.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> E) -> Self {
+        Self {
+            rows: (0..rows)
+                .map(|i| (0..cols).map(|j| f(i, j)).collect())
+                .collect(),
+            cols,
+        }
+    }
+
+    /// Collects the distributed rows into one local matrix (driver-side
+    /// convenience; not a communication step).
+    #[must_use]
+    pub fn to_matrix(&self) -> Matrix<E> {
+        Matrix::from_fn(self.rows.len(), self.cols, |i, j| self.rows[i][j].clone())
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` (held by node `r mod n`).
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[E] {
+        &self.rows[r]
+    }
+}
+
+/// Computes the rectangular product `P = S·T` of an `n × m` by an `m × n`
+/// matrix on an `n`-node clique, returning the square `n × n` result in the
+/// row-ownership convention. Each inner slab dispatches sparse-vs-dense
+/// independently ([`sparse_mm::multiply_auto`]), so both a thin inner
+/// dimension and sparse slabs shrink the round count.
+///
+/// # Panics
+///
+/// Panics if `a` is not `n × m`, `b` is not `m × n`, or the shapes disagree.
+///
+/// # Examples
+///
+/// ```rust
+/// use cc_algebra::{IntRing, Matrix};
+/// use cc_clique::Clique;
+/// use cc_core::{rect_mm, RectMatrix};
+///
+/// let (n, m) = (10, 3);
+/// let a = Matrix::from_fn(n, m, |i, j| (i + 2 * j) as i64);
+/// let b = Matrix::from_fn(m, n, |i, j| (3 * i + j) as i64);
+/// let mut clique = Clique::new(n);
+/// let p = rect_mm::multiply(
+///     &mut clique,
+///     &IntRing,
+///     &RectMatrix::from_matrix(&a),
+///     &RectMatrix::from_matrix(&b),
+/// );
+/// assert_eq!(p.to_matrix(), Matrix::mul(&IntRing, &a, &b));
+/// ```
+pub fn multiply<S: Semiring + Sync>(
+    clique: &mut Clique,
+    s: &S,
+    a: &RectMatrix<S::Elem>,
+    b: &RectMatrix<S::Elem>,
+) -> RowMatrix<S::Elem>
+where
+    S::Elem: Send + Sync,
+{
+    let n = clique.n();
+    assert_eq!(a.rows(), n, "operand A must have one row per node");
+    assert_eq!(b.cols(), n, "operand B must have one column per node");
+    let m = a.cols();
+    assert_eq!(b.rows(), m, "inner dimensions must agree");
+
+    clique.phase("rectmm", |clique| {
+        let exec = clique.executor();
+        let slabs = m.div_ceil(n).max(1);
+        let mut acc: Option<RowMatrix<S::Elem>> = None;
+        for t in 0..slabs {
+            let lo = t * n;
+            let hi = ((t + 1) * n).min(m);
+            // Slab-local square operands: columns/rows beyond the slab are
+            // semiring zero, which the sparse census prices at nothing.
+            // Locality holds: slab row `k` is global row `lo + k`, owned by
+            // node `(lo + k) mod n = k`.
+            let sq_a = RowMatrix::par_from_fn(&exec, n, |x, k| {
+                if lo + k < hi {
+                    a.row(x)[lo + k].clone()
+                } else {
+                    s.zero()
+                }
+            });
+            let sq_b = RowMatrix::par_from_fn(&exec, n, |k, z| {
+                if lo + k < hi {
+                    b.row(lo + k)[z].clone()
+                } else {
+                    s.zero()
+                }
+            });
+            let p = sparse_mm::multiply_auto(clique, s, &sq_a, &sq_b);
+            acc = Some(match acc {
+                None => p,
+                Some(prev) => prev.par_map_indexed(&exec, |x, z, cur| s.add(cur, &p.row(x)[z])),
+            });
+        }
+        acc.expect("at least one slab")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_algebra::IntRing;
+
+    fn rand_rect(rows: usize, cols: usize, seed: u64) -> Matrix<i64> {
+        let mut st = seed;
+        Matrix::from_fn(rows, cols, |_, _| {
+            st = st
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((st >> 33) % 7) as i64 - 3
+        })
+    }
+
+    #[test]
+    fn thin_inner_dimension_matches_local_product() {
+        for (n, m) in [(8, 1), (10, 3), (16, 7), (12, 12)] {
+            let a = rand_rect(n, m, 1 + m as u64);
+            let b = rand_rect(m, n, 2 + m as u64);
+            let mut clique = Clique::new(n);
+            let p = multiply(
+                &mut clique,
+                &IntRing,
+                &RectMatrix::from_matrix(&a),
+                &RectMatrix::from_matrix(&b),
+            );
+            assert_eq!(p.to_matrix(), Matrix::mul(&IntRing, &a, &b), "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn wide_inner_dimension_matches_local_product() {
+        for (n, m) in [(8, 9), (10, 25), (12, 30)] {
+            let a = rand_rect(n, m, 31 + m as u64);
+            let b = rand_rect(m, n, 32 + m as u64);
+            let mut clique = Clique::new(n);
+            let p = multiply(
+                &mut clique,
+                &IntRing,
+                &RectMatrix::from_matrix(&a),
+                &RectMatrix::from_matrix(&b),
+            );
+            assert_eq!(p.to_matrix(), Matrix::mul(&IntRing, &a, &b), "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn thin_products_move_fewer_words_than_square_ones() {
+        // The Le Gall separation this module exists for: with the same
+        // outer dimension, a thin inner dimension must move fewer words
+        // than a square dense product. (As with the fast-vs-3D comparison
+        // in `fast_mm`, the communication-volume separation is what shows
+        // at simulator sizes; absolute *rounds* cross over at larger `n`,
+        // where the dense engines grow like `n^{1/3}`-and-up while the
+        // thin product stays density-bound.)
+        let n = 48;
+        let cost_for = |m: usize| {
+            let a = rand_rect(n, m, 7);
+            let b = rand_rect(m, n, 8);
+            let mut clique = Clique::new(n);
+            let _ = multiply(
+                &mut clique,
+                &IntRing,
+                &RectMatrix::from_matrix(&a),
+                &RectMatrix::from_matrix(&b),
+            );
+            clique.stats().words()
+        };
+        let (thin, square) = (cost_for(2), cost_for(n));
+        assert!(
+            thin < square,
+            "m=2 words {thin} should undercut m=n words {square}"
+        );
+    }
+
+    #[test]
+    fn rect_of_square_shape_agrees_with_row_matrix_path() {
+        let n = 9;
+        let a = rand_rect(n, n, 77);
+        let b = rand_rect(n, n, 78);
+        let mut c1 = Clique::new(n);
+        let via_rect = multiply(
+            &mut c1,
+            &IntRing,
+            &RectMatrix::from_matrix(&a),
+            &RectMatrix::from_matrix(&b),
+        );
+        let mut c2 = Clique::new(n);
+        let via_square = sparse_mm::multiply_auto(
+            &mut c2,
+            &IntRing,
+            &RowMatrix::from_matrix(&a),
+            &RowMatrix::from_matrix(&b),
+        );
+        assert_eq!(via_rect.to_matrix(), via_square.to_matrix());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_is_rejected() {
+        let a = RectMatrix::from_fn(4, 3, |_, _| 0i64);
+        let b = RectMatrix::from_fn(5, 4, |_, _| 0i64);
+        let mut clique = Clique::new(4);
+        let _ = multiply(&mut clique, &IntRing, &a, &b);
+    }
+}

@@ -1,0 +1,338 @@
+//! Partitioning plan for sparse matrix multiplication (Le Gall, PODC 2016).
+//!
+//! The sparse algorithm views the product `P = S·T` as the sum of outer
+//! products `P = Σ_k col_k(S) · row_k(T)`. Inner index `k` generates
+//! `w_k = nnz(col_k(S)) · nnz(row_k(T))` elementary products, and the plan's
+//! job is exactly the load balancing of Le Gall's scheme: spread each `k`'s
+//! work over a group of *helper* nodes proportional to `w_k / Σ w`, so every
+//! node computes and communicates `O(W/n)` of the `W = Σ_k w_k` total —
+//! the quantity that shrinks with density and makes sparse instances cheap.
+//!
+//! Each inner index with positive work gets a `gᵃ × gᵇ` **helper grid**
+//! (the tile assignment): helper `(i, j)` multiplies the `i`-th row-range
+//! chunk of `col_k(S)` against the `j`-th column-range chunk of `row_k(T)`.
+//! The grid aspect ratio is chosen to minimise replication
+//! (`col` entries travel `gᵇ` times, `row` entries `gᵃ` times), i.e.
+//! `gᵃ ≈ √(h·a/b)` for `h` helpers, `a = nnz(col)`, `b = nnz(row)`. Helper
+//! slots wrap around the clique via a running global counter, so the
+//! assignment is identical at every node given the broadcast nnz counts.
+
+/// The helper grid of one inner index: `ga · gb` helper slots starting at a
+/// global slot offset (slot `(i, j)` lives on node `(base + i·gb + j) % n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelperGrid {
+    /// Row-chunk count (splits of the `S` column).
+    pub ga: usize,
+    /// Column-chunk count (splits of the `T` row).
+    pub gb: usize,
+    /// First global helper slot of this grid.
+    pub base: usize,
+}
+
+/// The nnz-aware load-balancing plan of the sparse multiplication, built
+/// identically by every node from the broadcast per-index nonzero counts
+/// (`a_col[k] = nnz(col_k(S))`, `b_row[k] = nnz(row_k(T))`).
+///
+/// # Examples
+///
+/// ```rust
+/// use cc_core::SparsePlan;
+///
+/// // One heavy inner index among light ones gets the bigger helper grid.
+/// let a_col = [2, 8, 0, 2];
+/// let b_row = [2, 8, 5, 2];
+/// let plan = SparsePlan::new(&a_col, &b_row);
+/// assert_eq!(plan.total_work(), 2 * 2 + 8 * 8 + 0 + 2 * 2);
+/// assert!(plan.grid(1).unwrap().ga * plan.grid(1).unwrap().gb
+///     >= plan.grid(0).unwrap().ga * plan.grid(0).unwrap().gb);
+/// assert!(plan.grid(2).is_none(), "a zero side contributes nothing");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsePlan {
+    n: usize,
+    grids: Vec<Option<HelperGrid>>,
+    /// Per-owner served slots `(k, i, j)` in ascending order, precomputed
+    /// so the hot phases look their slots up in O(1).
+    slots: Vec<Vec<(usize, usize, usize)>>,
+    a_col: Vec<usize>,
+    b_row: Vec<usize>,
+    total_work: u128,
+}
+
+/// Deterministic integer square root (floor).
+fn isqrt(x: u128) -> u128 {
+    if x < 2 {
+        return x;
+    }
+    let mut lo = 1u128;
+    let mut hi = 1u128 << (x.ilog2() / 2 + 1);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if mid.checked_mul(mid).is_some_and(|sq| sq <= x) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+impl SparsePlan {
+    /// Builds the plan for an `n`-node clique (`n = a_col.len()`), where
+    /// inner index `k` has `a_col[k]` nonzeros in `col_k(S)` and `b_row[k]`
+    /// nonzeros in `row_k(T)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count slices differ in length or are empty.
+    #[must_use]
+    pub fn new(a_col: &[usize], b_row: &[usize]) -> Self {
+        let n = a_col.len();
+        assert_eq!(n, b_row.len(), "nnz count slices must have equal length");
+        assert!(n >= 1, "plan needs at least one inner index");
+        let work = |k: usize| -> u128 { a_col[k] as u128 * b_row[k] as u128 };
+        let total_work: u128 = (0..n).map(work).sum();
+
+        let mut grids: Vec<Option<HelperGrid>> = vec![None; n];
+        let mut slots: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); n];
+        let mut next_slot = 0usize;
+        for k in 0..n {
+            let w = work(k);
+            if w == 0 {
+                continue; // an empty side annihilates the outer product
+            }
+            let (a, b) = (a_col[k], b_row[k]);
+            // Helpers proportional to this index's share of the work.
+            let h = ((n as u128 * w) / total_work).clamp(1, n as u128) as usize;
+            // Grid aspect minimising replication `a·gb + b·ga` subject to
+            // `ga·gb ≈ h`; no more chunks than entries on either side.
+            let ga = (isqrt(h as u128 * a as u128 / b.max(1) as u128) as usize).clamp(1, h.min(a));
+            let gb = (h / ga).clamp(1, b);
+            grids[k] = Some(HelperGrid {
+                ga,
+                gb,
+                base: next_slot,
+            });
+            for i in 0..ga {
+                for j in 0..gb {
+                    slots[(next_slot + i * gb + j) % n].push((k, i, j));
+                }
+            }
+            next_slot = (next_slot + ga * gb) % n;
+        }
+        Self {
+            n,
+            grids,
+            slots,
+            a_col: a_col.to_vec(),
+            b_row: b_row.to_vec(),
+            total_work,
+        }
+    }
+
+    /// Clique size / inner dimension.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total elementary products `W = Σ_k a_col[k]·b_row[k]`.
+    #[must_use]
+    pub fn total_work(&self) -> u128 {
+        self.total_work
+    }
+
+    /// Helper grid of inner index `k`, or `None` when `k` contributes no
+    /// products (one of its sides is all zeros).
+    #[must_use]
+    pub fn grid(&self, k: usize) -> Option<HelperGrid> {
+        self.grids[k]
+    }
+
+    /// Node hosting helper slot `(i, j)` of inner index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` has no grid or `(i, j)` is out of range.
+    #[must_use]
+    pub fn helper(&self, k: usize, i: usize, j: usize) -> usize {
+        let g = self.grids[k].expect("inner index has a helper grid");
+        assert!(i < g.ga && j < g.gb, "helper slot out of range");
+        (g.base + i * g.gb + j) % self.n
+    }
+
+    /// The row-chunk `i ∈ [gᵃ]` responsible for row index `x` of `col_k(S)`
+    /// (contiguous ranges of the row space — a sender knows its chunk from
+    /// its own id alone, no global nnz ordering needed).
+    #[must_use]
+    pub fn row_group(&self, k: usize, x: usize) -> usize {
+        let g = self.grids[k].expect("inner index has a helper grid");
+        x * g.ga / self.n
+    }
+
+    /// The column-chunk `j ∈ [gᵇ]` responsible for column index `z` of
+    /// `row_k(T)`.
+    #[must_use]
+    pub fn col_group(&self, k: usize, z: usize) -> usize {
+        let g = self.grids[k].expect("inner index has a helper grid");
+        z * g.gb / self.n
+    }
+
+    /// The helper slots `(k, i, j)` served by node `v`, in ascending
+    /// `(k, i, j)` order — the deterministic iteration order of the helper
+    /// compute phase. Precomputed at construction; the lookup is O(1).
+    #[must_use]
+    pub fn slots_of(&self, v: usize) -> &[(usize, usize, usize)] {
+        &self.slots[v]
+    }
+
+    /// An upper estimate of the words the sparse protocol routes (shipping
+    /// replication plus aggregated product returns) for elements of the
+    /// given wire width — the quantity the density dispatcher compares
+    /// against a dense run. Each record is an index word plus the payload,
+    /// and `route_dynamic` charges every payload word twice (destination
+    /// header) over two hops: `4·(width + 1)` load units per record.
+    #[must_use]
+    pub fn estimated_words(&self, width: usize) -> u128 {
+        let rec = 4 * (width as u128 + 1);
+        let n2 = self.n as u128 * self.n as u128;
+        let mut total = 0u128;
+        for (k, g) in self.grids.iter().enumerate() {
+            let Some(g) = g else { continue };
+            let (a, b) = (self.a_col[k] as u128, self.b_row[k] as u128);
+            let ship = a * g.gb as u128 + b * g.ga as u128;
+            // Products aggregate per (row, column) pair at the helper before
+            // the return trip, so output is capped by the tile area.
+            let out = (a * b).min(n2);
+            total += (ship + out) * rec;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_is_floor_sqrt() {
+        for x in 0u128..200 {
+            let r = isqrt(x);
+            assert!(r * r <= x && (r + 1) * (r + 1) > x, "x={x} r={r}");
+        }
+        assert_eq!(isqrt(u128::from(u64::MAX)), (1u128 << 32) - 1);
+    }
+
+    #[test]
+    fn empty_indices_get_no_grid() {
+        let plan = SparsePlan::new(&[3, 0, 5, 2], &[1, 9, 0, 2]);
+        assert!(plan.grid(0).is_some());
+        assert!(plan.grid(1).is_none(), "a_col = 0");
+        assert!(plan.grid(2).is_none(), "b_row = 0");
+        assert_eq!(plan.total_work(), 3 + 4);
+    }
+
+    #[test]
+    fn all_zero_plan_has_no_work() {
+        let plan = SparsePlan::new(&[0; 6], &[0; 6]);
+        assert_eq!(plan.total_work(), 0);
+        assert!((0..6).all(|k| plan.grid(k).is_none()));
+        assert!((0..6).all(|v| plan.slots_of(v).is_empty()));
+        assert_eq!(plan.estimated_words(1), 0);
+    }
+
+    #[test]
+    fn slots_partition_every_grid_cell() {
+        let n = 16;
+        let a: Vec<usize> = (0..n).map(|k| (k * 7) % 13).collect();
+        let b: Vec<usize> = (0..n).map(|k| (k * 5 + 3) % 11).collect();
+        let plan = SparsePlan::new(&a, &b);
+        // Gather every node's served slots; together they must cover each
+        // grid exactly once.
+        let mut seen: Vec<(usize, usize, usize)> = (0..n)
+            .flat_map(|v| plan.slots_of(v).iter().copied())
+            .collect();
+        seen.sort_unstable();
+        let mut expect = Vec::new();
+        for k in 0..n {
+            if let Some(g) = plan.grid(k) {
+                for i in 0..g.ga {
+                    for j in 0..g.gb {
+                        expect.push((k, i, j));
+                        // And the slot's owner agrees with `helper`.
+                        let owner = plan.helper(k, i, j);
+                        assert!(plan.slots_of(owner).contains(&(k, i, j)));
+                    }
+                }
+            }
+        }
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn groups_stay_in_range_and_are_monotone() {
+        let n = 20;
+        let a = vec![9usize; n];
+        let b = vec![4usize; n];
+        let plan = SparsePlan::new(&a, &b);
+        for k in 0..n {
+            let g = plan.grid(k).expect("uniform positive work");
+            assert!(g.ga >= 1 && g.gb >= 1);
+            assert!(g.ga * g.gb <= n, "no more helpers than nodes");
+            let mut last = 0;
+            for x in 0..n {
+                let i = plan.row_group(k, x);
+                assert!(i < g.ga);
+                assert!(i >= last, "row groups are monotone ranges");
+                last = i;
+            }
+            for z in 0..n {
+                assert!(plan.col_group(k, z) < g.gb);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_indices_get_more_helpers() {
+        let n = 32;
+        let mut a = vec![1usize; n];
+        let mut b = vec![1usize; n];
+        a[3] = 30;
+        b[3] = 30;
+        let plan = SparsePlan::new(&a, &b);
+        let heavy = plan.grid(3).unwrap();
+        let light = plan.grid(0).unwrap();
+        assert!(
+            heavy.ga * heavy.gb > light.ga * light.gb,
+            "index with ~900/~930 of the work dominates the helper budget"
+        );
+    }
+
+    #[test]
+    fn estimated_words_shrink_with_density() {
+        let n = 64;
+        let sparse = SparsePlan::new(&vec![2; n], &vec![2; n]);
+        let dense = SparsePlan::new(&vec![n; n], &vec![n; n]);
+        assert!(sparse.estimated_words(1) < dense.estimated_words(1) / 100);
+    }
+
+    #[test]
+    fn grid_aspect_tracks_side_imbalance() {
+        // A long-thin workload (big column, tiny row) should split the
+        // column side more than the row side.
+        let n = 64;
+        let mut a = vec![0usize; n];
+        let mut b = vec![0usize; n];
+        a[0] = 64;
+        b[0] = 2;
+        // Give index 0 all the work so it receives the full helper budget.
+        let plan = SparsePlan::new(&a, &b);
+        let g = plan.grid(0).unwrap();
+        assert!(
+            g.ga >= g.gb,
+            "column chunks {} vs row chunks {}",
+            g.ga,
+            g.gb
+        );
+    }
+}

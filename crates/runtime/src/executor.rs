@@ -59,11 +59,14 @@ impl ExecutorKind {
     }
 
     /// Parses a backend spec (`sequential`, `parallel`/`pooled`, `spawn`,
-    /// optionally suffixed `:<threads>`); `None` for unknown names.
+    /// optionally suffixed `:<threads>`); `None` for unknown names **or**
+    /// malformed thread suffixes. `parallel:banana` must not silently mean
+    /// `threads: 0` (machine-sized) — rejecting the whole spec lets
+    /// [`ExecutorKind::from_env_or`] fall back as documented.
     #[must_use]
     pub fn parse(raw: &str) -> Option<Self> {
         let (name, threads) = match raw.split_once(':') {
-            Some((name, t)) => (name, t.parse().unwrap_or(0)),
+            Some((name, t)) => (name, t.parse().ok()?),
             None => (raw, 0),
         };
         match name.to_ascii_lowercase().as_str() {
@@ -142,10 +145,23 @@ impl Executor {
     /// lifetime (see the pool-lifecycle notes on [`Executor`]).
     #[must_use]
     pub fn new(kind: ExecutorKind) -> Self {
-        let cutover = std::env::var("CC_EXEC_CUTOVER")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(DEFAULT_SEQ_CUTOVER);
+        let cutover = match resolve_cutover(std::env::var("CC_EXEC_CUTOVER").ok().as_deref()) {
+            Ok(v) => v,
+            Err(raw) => {
+                // A malformed override is a misconfiguration, not a
+                // preference for the default — say so (once per process)
+                // instead of silently running with the wrong cutover.
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "cc-runtime: ignoring malformed CC_EXEC_CUTOVER={raw:?} \
+                         (expected a non-negative integer); using default \
+                         {DEFAULT_SEQ_CUTOVER}"
+                    );
+                });
+                DEFAULT_SEQ_CUTOVER
+            }
+        };
         Self::with_cutover(kind, cutover)
     }
 
@@ -318,6 +334,17 @@ impl Executor {
             .into_iter()
             .map(|s| s.expect("every piece processed exactly once"))
             .collect()
+    }
+}
+
+/// Resolves a `CC_EXEC_CUTOVER` spec: `None` (unset) and parseable values
+/// resolve normally; a malformed value is an error carrying the raw spec so
+/// [`Executor::new`] can report the misconfiguration instead of swallowing
+/// it.
+fn resolve_cutover(spec: Option<&str>) -> Result<usize, String> {
+    match spec {
+        None => Ok(DEFAULT_SEQ_CUTOVER),
+        Some(raw) => raw.parse().map_err(|_| raw.to_string()),
     }
 }
 
@@ -532,6 +559,41 @@ mod tests {
             ExecutorKind::parse("spawn:2"),
             Some(ExecutorKind::Spawn { threads: 2 })
         );
+        assert_eq!(
+            ExecutorKind::parse("pooled:0"),
+            Some(ExecutorKind::Parallel { threads: 0 }),
+            "an explicit 0 means machine-sized"
+        );
         assert_eq!(ExecutorKind::parse("fancy"), None);
+    }
+
+    #[test]
+    fn executor_kind_parser_rejects_malformed_thread_suffixes() {
+        // The historical bug: `parallel:banana` parsed as `threads: 0`
+        // (machine-sized), silently misconfiguring the backend. A bad
+        // suffix must reject the whole spec so `from_env_or` falls back.
+        assert_eq!(ExecutorKind::parse("parallel:banana"), None);
+        assert_eq!(ExecutorKind::parse("spawn:"), None, "empty suffix");
+        assert_eq!(ExecutorKind::parse("parallel:-2"), None);
+        assert_eq!(ExecutorKind::parse("parallel:4x"), None);
+        assert_eq!(
+            ExecutorKind::parse("seq:banana"),
+            None,
+            "even for kinds that ignore threads"
+        );
+    }
+
+    #[test]
+    fn cutover_resolution_reports_malformed_specs() {
+        // Unset and well-formed specs resolve silently.
+        assert_eq!(resolve_cutover(None), Ok(DEFAULT_SEQ_CUTOVER));
+        assert_eq!(resolve_cutover(Some("0")), Ok(0));
+        assert_eq!(resolve_cutover(Some("128")), Ok(128));
+        // Malformed specs must surface as errors (Executor::new prints the
+        // warning once), never resolve silently to anything.
+        assert_eq!(resolve_cutover(Some("banana")), Err("banana".to_string()));
+        assert_eq!(resolve_cutover(Some("-3")), Err("-3".to_string()));
+        assert_eq!(resolve_cutover(Some("")), Err(String::new()));
+        assert_eq!(resolve_cutover(Some("96ms")), Err("96ms".to_string()));
     }
 }

@@ -13,6 +13,12 @@
 //! * [`girth`] — Theorem 15 and Corollary 16: girth of undirected and
 //!   directed graphs in `Õ(n^ρ)` rounds.
 //!
+//! Since PR 3, sparse instances get first-class treatment (Le Gall,
+//! PODC 2016): [`sparse_square`] is a thin wrapper over the general
+//! [`cc_core::sparse_mm`] subsystem (the Theorem 4 two-walk gate in front),
+//! and [`count_triangles_auto`] dispatches its `A²` between the sparse and
+//! dense engines from a degree census.
+//!
 //! Every algorithm takes the input in the model's convention — node `v`
 //! knows its incident edges — and is validated against the centralized
 //! oracles of [`cc_graph::oracle`].
@@ -49,4 +55,4 @@ pub use crate::four_cycles::{count_4cycles, count_5cycles};
 pub use crate::girth::{directed_girth, girth, GirthConfig};
 pub use crate::sparse_square::sparse_square;
 pub use crate::triangle_program::{count_triangles_program, TriangleProgram};
-pub use crate::triangles::{count_triangles, count_triangles_3d};
+pub use crate::triangles::{count_triangles, count_triangles_3d, count_triangles_auto};

@@ -5,36 +5,46 @@
 //! under a specific definition of sparseness": whenever
 //! `Σ_y deg(y)² < 2n²` (equivalently, every node starts at most `2n−2`
 //! 2-walks), the full square `A²` of the adjacency matrix — not just a
-//! cycle indicator — can be assembled row-by-row in `O(1)` rounds, because
-//! `A²[x][z] = |P(x, ∗, z)|` and the Lemma 12/13 tiling delivers all
-//! 2-walks from `x` to node `x` with `O(n)` words per node.
+//! cycle indicator — can be assembled row-by-row in `O(1)` rounds.
 //!
-//! This module makes the remark concrete: [`sparse_square`] returns `A²`
-//! in constant rounds when the sparseness condition holds, and reports the
-//! dense case honestly instead of silently degrading.
+//! Since PR 3 the heavy lifting lives in [`cc_core::sparse_mm`], the
+//! first-class Le Gall 2016 sparse-multiplication subsystem: for an
+//! adjacency matrix, the plan's per-index work `nnz(col_y)·nnz(row_y)` is
+//! exactly `deg(y)²`, so the Theorem 4 precondition `Σ deg(y)² < 2n²`
+//! bounds the sparse plan's total work by `2n²` and the general machinery
+//! delivers `A²` with `O(n)` words per node — constant rounds, as the
+//! remark promises. This module keeps the paper's *contract* (the density
+//! gate, reporting the dense case honestly instead of silently degrading)
+//! and delegates the multiplication to the shared path.
 
-use crate::four_cycle_detection::TilePlan;
-use cc_clique::{pack_pair, unpack_pair, Clique};
-use cc_core::RowMatrix;
+use cc_algebra::IntRing;
+use cc_clique::Clique;
+use cc_core::{sparse_mm, RowMatrix};
 use cc_graph::Graph;
 
 /// Computes `A²` over the integers in `O(1)` rounds, or returns `None` if
-/// the graph is too dense for the Theorem 4 tiling (some node starts
+/// the graph is too dense for the Theorem 4 bound (some node starts
 /// `≥ 2n−1` 2-walks). All nodes learn which case occurred (one broadcast).
+///
+/// A thin wrapper over [`cc_core::sparse_mm::multiply`]: the Theorem 4
+/// two-walk gate in front, the general nnz-aware sparse path behind. (The
+/// historical `n ≥ 8` restriction of the tile-square implementation is
+/// gone — the general path handles every clique size.)
 ///
 /// # Panics
 ///
-/// Panics if the graph is directed, `n < 8`, or sizes mismatch.
+/// Panics if the graph is directed or sizes mismatch.
 pub fn sparse_square(clique: &mut Clique, g: &Graph) -> Option<RowMatrix<i64>> {
     let n = clique.n();
     assert_eq!(g.n(), n, "graph and clique sizes must match");
-    assert!(!g.is_directed(), "the tiling applies to undirected graphs");
-    assert!(n >= 8, "the tile square needs n >= 8");
+    assert!(
+        !g.is_directed(),
+        "the square gate applies to undirected graphs"
+    );
 
     clique.phase("sparse_square", |clique| {
-        // Piece generation, walk reassembly, and the final row counts are
-        // per-node work fanned out on the configured executor; the
-        // communication phases use the `_par` primitives.
+        // The density gate (Theorem 4 phase 1): degree broadcast, per-node
+        // two-walk counts on the executor, one OR round for the verdict.
         let exec = clique.executor();
         let degrees: Vec<usize> = clique
             .broadcast(|v| g.degree(v) as u64)
@@ -46,89 +56,8 @@ pub fn sparse_square(clique: &mut Clique, g: &Graph) -> Option<RowMatrix<i64>> {
             return None; // dense: fall back to Theorem 1 multiplication
         }
 
-        let plan = TilePlan::allocate(&degrees);
-        let sorted_neighbors: Vec<Vec<usize>> = exec.map(n, |y| g.neighbors(y).collect());
-
-        // Steps 1–2 of Theorem 4: ship neighbourhood pieces along tiles.
-        let inbox_a = clique.exchange_par(|y| {
-            let Some(t) = plan.tile(y) else {
-                return Vec::new();
-            };
-            (0..t.size)
-                .map(|j| {
-                    let piece: Vec<u64> = sorted_neighbors[y]
-                        .iter()
-                        .skip(j)
-                        .step_by(t.size)
-                        .map(|&x| x as u64)
-                        .collect();
-                    (t.row0 + j, piece)
-                })
-                .collect()
-        });
-        let inbox_b = clique.exchange_par(|a| {
-            let mut out = Vec::new();
-            for y in plan.tiles_with_row(a) {
-                let t = plan.tile(y).expect("tile exists");
-                let payload: Vec<u64> = inbox_a.received(a, y).to_vec();
-                for j in 0..t.size {
-                    out.push((t.col0 + j, payload.clone()));
-                }
-            }
-            out
-        });
-
-        // Step 3–4: column nodes emit every 2-walk (x, y, z) to x.
-        let walks = clique.route_dynamic_par(|b| {
-            let mut out = Vec::new();
-            for y in plan.tiles_with_col(b) {
-                let t = plan.tile(y).expect("tile exists");
-                let pieces: Vec<&[u64]> = (0..t.size)
-                    .map(|j| inbox_b.received(b, t.row0 + j))
-                    .collect();
-                let mut ny = Vec::with_capacity(degrees[y]);
-                let mut idx = 0;
-                loop {
-                    let mut any = false;
-                    for p in &pieces {
-                        if let Some(&w) = p.get(idx) {
-                            ny.push(w as usize);
-                            any = true;
-                        }
-                    }
-                    if !any {
-                        break;
-                    }
-                    idx += 1;
-                }
-                ny.sort_unstable();
-                let nb: Vec<usize> = ny
-                    .iter()
-                    .copied()
-                    .skip(b - t.col0)
-                    .step_by(t.size)
-                    .collect();
-                for &x in &ny {
-                    for &z in &nb {
-                        out.push((x, vec![pack_pair(y, z)]));
-                    }
-                }
-            }
-            out
-        });
-
-        // Row x of A² is the multiset of walk endpoints, tallied per node
-        // on the executor.
-        Some(RowMatrix::from_rows(exec.map(n, |x| {
-            let mut row = vec![0i64; n];
-            for src in 0..n {
-                for &w in walks.received(x, src) {
-                    let (_, z) = unpack_pair(w);
-                    row[z] += 1;
-                }
-            }
-            row
-        })))
+        let a = RowMatrix::par_from_fn(&exec, n, |u, v| i64::from(g.has_edge(u, v)));
+        Some(sparse_mm::multiply(clique, &IntRing, &a, &a))
     })
 }
 
@@ -163,6 +92,15 @@ mod tests {
     }
 
     #[test]
+    fn tiny_cliques_are_supported() {
+        // The old tile-square implementation demanded n ≥ 8; the general
+        // sparse path behind the wrapper has no such floor.
+        check(&generators::path(3));
+        check(&generators::cycle(5));
+        check(&generators::path(2));
+    }
+
+    #[test]
     fn dense_graphs_are_reported() {
         let g = generators::complete(16);
         let mut clique = Clique::new(16);
@@ -193,5 +131,36 @@ mod tests {
                 assert_eq!(sq.row(v)[v], g.degree(v) as i64);
             }
         }
+    }
+
+    #[test]
+    fn density_boundary_is_exact() {
+        // K₅ + 4 isolated nodes: every clique node starts 4·4 = 16 = 2n−2
+        // two-walks — exactly at the threshold, accepted.
+        let at = generators::complete(5).padded(4);
+        let mut clique = Clique::new(9);
+        let sq = sparse_square(&mut clique, &at).expect("2n−2 two-walks is still sparse");
+        let a = at.adjacency_matrix();
+        assert_eq!(sq.to_matrix(), Matrix::mul(&IntRing, &a, &a));
+
+        // One pendant edge more: node 0's neighbours now see 3·4 + 5 = 17
+        // = 2n−1 two-walks — one over, rejected.
+        let mut over = at.clone();
+        over.add_edge(0, 5);
+        let mut clique = Clique::new(9);
+        assert!(sparse_square(&mut clique, &over).is_none());
+    }
+
+    #[test]
+    fn wrapper_agrees_with_the_general_sparse_path() {
+        // The thin-wrapper contract: behind the gate, `sparse_square` IS
+        // `sparse_mm::multiply` on the adjacency matrix.
+        let g = generators::gnp(24, 2.0 / 24.0, 11);
+        let mut c1 = Clique::new(24);
+        let sq = sparse_square(&mut c1, &g).expect("sparse instance");
+        let a = RowMatrix::from_matrix(&g.adjacency_matrix());
+        let mut c2 = Clique::new(24);
+        let direct = cc_core::sparse_mm::multiply(&mut c2, &IntRing, &a, &a);
+        assert_eq!(sq.to_matrix(), direct.to_matrix());
     }
 }

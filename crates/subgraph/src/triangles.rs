@@ -3,7 +3,7 @@
 use crate::traces;
 use cc_algebra::IntRing;
 use cc_clique::Clique;
-use cc_core::{fast_mm, semiring_mm, RowMatrix};
+use cc_core::{fast_mm, semiring_mm, sparse_mm, RowMatrix};
 use cc_graph::Graph;
 
 /// Counts triangles in `O(n^ρ)` rounds: undirected triangles
@@ -33,6 +33,27 @@ pub fn count_triangles(clique: &mut Clique, g: &Graph) -> u64 {
     let a = RowMatrix::par_from_fn(&clique.executor(), n, |u, v| i64::from(g.has_edge(u, v)));
     clique.phase("triangles", |clique| {
         let a2 = fast_mm::multiply_auto(clique, &IntRing, &a, &a);
+        let tr = traces::trace_of_product(clique, &a2, &a);
+        finish_count(clique, g, tr)
+    })
+}
+
+/// Density-dispatching triangle count: the square `A²` goes through the
+/// sparse/dense front door ([`cc_core::sparse_mm::multiply_auto_ring`]),
+/// so sparse graphs ride the Le Gall 2016 nnz-aware path (rounds bound by
+/// `Σ deg(y)²/n`, constant for bounded degree) while dense graphs fall
+/// back to the fast bilinear engine — automatically, from one degree
+/// census (`CC_MM=sparse|dense` overrides).
+///
+/// # Panics
+///
+/// Panics if `clique.n() != g.n()`.
+pub fn count_triangles_auto(clique: &mut Clique, g: &Graph) -> u64 {
+    let n = clique.n();
+    assert_eq!(g.n(), n, "graph and clique sizes must match");
+    let a = RowMatrix::par_from_fn(&clique.executor(), n, |u, v| i64::from(g.has_edge(u, v)));
+    clique.phase("triangles", |clique| {
+        let a2 = sparse_mm::multiply_auto_ring(clique, &IntRing, &a, &a);
         let tr = traces::trace_of_product(clique, &a2, &a);
         finish_count(clique, g, tr)
     })
@@ -124,6 +145,47 @@ mod tests {
             count_triangles_3d(&mut clique, &d),
             oracle::count_triangles(&d)
         );
+    }
+
+    #[test]
+    fn auto_dispatch_matches_oracle_on_both_regimes() {
+        // Sparse regime (bounded degree) and dense regime through the same
+        // front door; both must agree with the centralized oracle.
+        for g in [
+            generators::gnp(32, 1.5 / 32.0, 3),
+            generators::cycle(24),
+            generators::gnp(24, 0.5, 4),
+            generators::complete(16),
+        ] {
+            let mut clique = Clique::new(g.n());
+            assert_eq!(
+                count_triangles_auto(&mut clique, &g),
+                oracle::count_triangles(&g),
+                "n={} m={}",
+                g.n(),
+                g.m()
+            );
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_is_cheaper_on_sparse_graphs() {
+        // The point of the front door: a bounded-degree graph must cost
+        // less through dispatch than through the always-dense engine.
+        let g = generators::gnp(64, 1.5 / 64.0, 9);
+        let mut ca = Clique::new(64);
+        let auto = count_triangles_auto(&mut ca, &g);
+        let mut cd = Clique::new(64);
+        let dense = count_triangles(&mut cd, &g);
+        assert_eq!(auto, dense);
+        if cc_core::sparse_mm::forced_kind().is_none() {
+            assert!(
+                ca.stats().words() < cd.stats().words(),
+                "dispatched words {} vs dense words {}",
+                ca.stats().words(),
+                cd.stats().words()
+            );
+        }
     }
 
     #[test]

@@ -117,6 +117,43 @@
 //! [`subgraph::TriangleProgram`]: the full 3D triangle-counting algorithm
 //! with coordinator-free oblivious relay routing, whose counts *and* round
 //! costs match the closure implementation exactly.
+//!
+//! ### Sparse & rectangular MM (Le Gall 2016)
+//!
+//! The seed paper's engines are dense-only; Le Gall's follow-up (*"Further
+//! Algebraic Algorithms in the Congested Clique Model"*, PODC 2016) shows
+//! the model rewards structure, and [`core::sparse_mm`] /
+//! [`core::rect_mm`] implement that reading:
+//!
+//! * [`core::sparse_mm::multiply`] spreads the
+//!   `W = Σ_k nnz(col_k S)·nnz(row_k T)` elementary products of the
+//!   outer-product decomposition over nnz-proportional helper grids (the
+//!   [`core::SparsePlan`], built identically at every node from a
+//!   one-round census), so costs track `W/n` — constant rounds for
+//!   bounded-degree instances — instead of the dense engines'
+//!   size-driven round counts.
+//! * [`core::rect_mm::multiply`] prices `n × m · m × n` products
+//!   ([`core::RectMatrix`]) by the inner dimension: a thin `m` is extreme
+//!   sparsity (padded inner indices get no helpers at all), a wide `m` is
+//!   `⌈m/n⌉` dispatched slabs.
+//! * The **density dispatchers** — [`core::sparse_mm::multiply_auto`],
+//!   [`core::sparse_mm::multiply_auto_ring`],
+//!   [`core::sparse_mm::distance_product_with_witness_auto`] — compare the
+//!   census-derived sparse estimate against a dense-engine yardstick and
+//!   pick per instance; `CC_MM=sparse|dense` overrides them globally (CI
+//!   runs a forced-sparse lane). Consumers ride the front doors:
+//!   [`subgraph::sparse_square`] is the Theorem 4 two-walk gate over the
+//!   general sparse path, [`subgraph::count_triangles_auto`] dispatches
+//!   its `A²`, and [`apsp::apsp_exact`] dispatches *per squaring*, so a
+//!   sparse graph's early distance products ride the sparse path and the
+//!   densified later ones the 3D engine — with identical tables either
+//!   way (both engines share the smallest-witness tie-break).
+//!
+//! Like everything else, the sparse path fans node-local work out on the
+//! configured executor and communicates through the `_par` primitives, so
+//! its results and accounting are bit-identical across backends (pinned in
+//! `tests/runtime_determinism.rs`); `BENCH_sparse.json` holds the nnz
+//! sweep (sparse vs dense rounds/words/wall-clock at `n ∈ {64, 128, 256}`).
 
 pub use cc_algebra as algebra;
 pub use cc_apsp as apsp;

@@ -251,6 +251,137 @@ fn remaining_ported_algorithms_are_executor_independent() {
     }
 }
 
+/// The `sparse_square` density boundary, pinned exactly at the Theorem 4
+/// threshold and across all three executor backends: K₅ padded to n = 9
+/// gives a maximum of 16 = 2n−2 two-walks (accepted), one pendant edge
+/// more gives 17 = 2n−1 (rejected). The accepted square must agree with
+/// the general `sparse_mm` path it now wraps, bit-identically on every
+/// backend.
+#[test]
+fn sparse_square_density_boundary_is_executor_independent() {
+    let n = 9;
+    let at_threshold = generators::complete(5).padded(4);
+    let mut over_threshold = at_threshold.clone();
+    over_threshold.add_edge(0, 5);
+
+    let run = |kind: ExecutorKind| {
+        let mut c = Clique::with_config(n, cfg(kind));
+        let accepted = subgraph::sparse_square(&mut c, &at_threshold).map(|m| m.to_matrix());
+        let mut c_over = Clique::with_config(n, cfg(kind));
+        let rejected = subgraph::sparse_square(&mut c_over, &over_threshold);
+        assert!(rejected.is_none(), "2n−1 two-walks must be rejected");
+        // The thin-wrapper contract: behind the gate, the result is the
+        // general sparse path's product.
+        let adj = RowMatrix::from_matrix(&at_threshold.adjacency_matrix());
+        let mut c_mm = Clique::with_config(n, cfg(kind));
+        let direct = congested_clique::core::sparse_mm::multiply(&mut c_mm, &IntRing, &adj, &adj);
+        assert_eq!(
+            accepted.as_ref(),
+            Some(&direct.to_matrix()),
+            "wrapper and sparse_mm must agree"
+        );
+        (
+            accepted,
+            c.rounds(),
+            c.stats().words(),
+            c.stats().pattern_fingerprints().to_vec(),
+            c_over.rounds(),
+        )
+    };
+
+    let seq = run(ExecutorKind::Sequential);
+    let a = at_threshold.adjacency_matrix();
+    assert_eq!(
+        seq.0,
+        Some(Matrix::mul(&IntRing, &a, &a)),
+        "2n−2 two-walks is still sparse and squares correctly"
+    );
+    for threads in [2, 5] {
+        assert_eq!(
+            seq,
+            run(ExecutorKind::Parallel { threads }),
+            "pooled backend diverged (threads={threads})"
+        );
+        assert_eq!(
+            seq,
+            run(ExecutorKind::Spawn { threads }),
+            "spawn backend diverged (threads={threads})"
+        );
+    }
+}
+
+/// The new sparse/rectangular MM subsystem (PR 3): products, witnessed
+/// distance products, rectangular slabs, and the dispatching triangle
+/// front door are bit-identical — results, rounds, words, fingerprints —
+/// across Sequential, the pooled Parallel, and the legacy Spawn backends.
+#[test]
+fn sparse_and_rect_mm_are_executor_independent() {
+    use congested_clique::core::{rect_mm, sparse_mm, RectMatrix};
+
+    let n = 16;
+    let m = 5;
+    let sparse_graph = generators::gnp(n, 2.0 / n as f64, 13);
+    let adj = sparse_graph.adjacency_matrix();
+    let rect_a = Matrix::from_fn(n, m, |i, j| ((i * 5 + j) % 7) as i64 - 3);
+    let rect_b = Matrix::from_fn(m, n, |i, j| ((i * 11 + 3 * j) % 7) as i64 - 3);
+    let weighted = generators::weighted_gnp(n, 0.25, 9, true, 21);
+
+    let run = |kind: ExecutorKind| {
+        let mut c = Clique::with_config(n, cfg(kind));
+        let ra = RowMatrix::from_matrix(&adj);
+        let square = sparse_mm::multiply(&mut c, &IntRing, &ra, &ra).to_matrix();
+        let rect = rect_mm::multiply(
+            &mut c,
+            &IntRing,
+            &RectMatrix::from_matrix(&rect_a),
+            &RectMatrix::from_matrix(&rect_b),
+        )
+        .to_matrix();
+        let w = RowMatrix::from_fn(n, |u, v| {
+            if u == v {
+                congested_clique::algebra::Dist::zero()
+            } else {
+                weighted.weight(u, v).map_or(
+                    congested_clique::algebra::INFINITY,
+                    congested_clique::algebra::Dist::finite,
+                )
+            }
+        });
+        let (dp, wit) = sparse_mm::distance_product_with_witness_auto(&mut c, &w, &w);
+        let triangles = subgraph::count_triangles_auto(&mut c, &sparse_graph);
+        (
+            square,
+            rect,
+            dp.to_matrix(),
+            wit.to_matrix(),
+            triangles,
+            c.rounds(),
+            c.stats().words(),
+            c.stats().pattern_fingerprints().to_vec(),
+        )
+    };
+
+    let seq = run(ExecutorKind::Sequential);
+    assert_eq!(seq.0, Matrix::mul(&IntRing, &adj, &adj), "sparse square");
+    assert_eq!(
+        seq.1,
+        Matrix::mul(&IntRing, &rect_a, &rect_b),
+        "rect product"
+    );
+    for threads in [2, 5] {
+        assert_eq!(
+            seq,
+            run(ExecutorKind::Parallel { threads }),
+            "pooled backend diverged (threads={threads})"
+        );
+        assert_eq!(
+            seq,
+            run(ExecutorKind::Spawn { threads }),
+            "spawn backend diverged (threads={threads})"
+        );
+    }
+}
+
 /// Acceptance criterion: on the pooled backend, worker threads are created
 /// at most once per executor lifetime — a full sweep of ported algorithms
 /// must not move the process-wide spawn probe after the clique is built.
