@@ -1,0 +1,157 @@
+//! Transport overhead: one full fast bilinear multiplication (`fast_mm`) on
+//! cliques of `n ∈ {64, 128, 256}` nodes, with the traffic carried by each
+//! transport backend — the in-memory sharded flush, per-node thread queues
+//! (`channel`), and multi-process unix-socket workers (`socket`).
+//!
+//! Rounds and words are **asserted identical across backends** before
+//! anything is exported (the determinism contract is the whole point of the
+//! transport layer); the quantity this bench adds is wall-clock — what one
+//! pays to move the same deterministic traffic through thread queues or
+//! across process boundaries instead of shared memory. Results are printed
+//! per benchmark and exported to `BENCH_transport.json` at the workspace
+//! root.
+//!
+//! The socket backend's cost includes spawning its worker processes per
+//! clique (construction is part of the measured routine, exactly as a
+//! caller pays it) plus framing every word twice per barrier — out to the
+//! destination shard's worker and back with its round-commit. That is the
+//! honest price of crossing a process boundary; the bench quantifies it so
+//! the networked-simulation roadmap has a baseline.
+
+use cc_algebra::{IntRing, Matrix};
+use cc_clique::{Clique, CliqueConfig, TransportKind};
+use cc_core::{fast_mm, RowMatrix};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+
+const SIZES: [usize; 3] = [64, 128, 256];
+const SOCKET_WORKERS: usize = 2;
+const BACKENDS: [(&str, TransportKind); 3] = [
+    ("inmemory", TransportKind::InMemory),
+    ("channel", TransportKind::Channel),
+    (
+        "socket",
+        TransportKind::Socket {
+            workers: SOCKET_WORKERS,
+        },
+    ),
+];
+
+fn rand_matrix(n: usize, seed: u64) -> Matrix<i64> {
+    let mut st = seed;
+    Matrix::from_fn(n, n, |_, _| {
+        st = st
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((st >> 33) % 9) as i64 - 4
+    })
+}
+
+fn mm_once(n: usize, kind: TransportKind, a: &RowMatrix<i64>, b: &RowMatrix<i64>) -> (u64, u64) {
+    let cfg = CliqueConfig {
+        transport: kind,
+        ..CliqueConfig::default()
+    };
+    let mut clique = Clique::with_config(n, cfg);
+    let _ = fast_mm::multiply_auto(&mut clique, &IntRing, a, b);
+    (clique.rounds(), clique.stats().words())
+}
+
+fn bench_transport_scaling(c: &mut Criterion) -> Vec<(String, u64, u64)> {
+    let mut model_costs = Vec::new();
+    let mut group = c.benchmark_group("transport_scaling");
+    group.sample_size(10);
+    for n in SIZES {
+        let a = RowMatrix::from_matrix(&rand_matrix(n, 1));
+        let b = RowMatrix::from_matrix(&rand_matrix(n, 2));
+        // The determinism gate: every backend must report the in-memory
+        // rounds and words before its wall-clock means anything.
+        let (ref_rounds, ref_words) = mm_once(n, TransportKind::InMemory, &a, &b);
+        for (label, kind) in BACKENDS {
+            let (rounds, words) = mm_once(n, kind, &a, &b);
+            assert_eq!(
+                (rounds, words),
+                (ref_rounds, ref_words),
+                "transport {label} diverged from in-memory at n={n}"
+            );
+            model_costs.push((format!("fast_mm/n{n}/{label}"), rounds, words));
+            group.bench_with_input(
+                BenchmarkId::new(format!("fast_mm/n{n}"), label),
+                &kind,
+                |bench, &kind| {
+                    bench.iter(|| mm_once(n, kind, &a, &b));
+                },
+            );
+        }
+    }
+    group.finish();
+    model_costs
+}
+
+criterion_group!(benches_unused, noop);
+fn noop(_c: &mut Criterion) {}
+
+fn main() {
+    // Hand-rolled entry instead of `criterion_main!` so the shim's recorded
+    // measurements can be exported — one measurement pass feeds both the
+    // stdout report and BENCH_transport.json (same scheme as pool_scaling
+    // and sparse_scaling).
+    let _ = benches_unused;
+    let mut criterion = Criterion::default();
+    let model_costs = bench_transport_scaling(&mut criterion);
+    export_json(criterion.take_measurements(), &model_costs);
+}
+
+/// Writes `BENCH_transport.json` at the workspace root from the
+/// deterministic model costs and the criterion measurements (ids look like
+/// `fast_mm/n64/socket`).
+fn export_json(measurements: Vec<criterion::Measurement>, model_costs: &[(String, u64, u64)]) {
+    use std::fmt::Write as _;
+
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut records = String::new();
+    for n in SIZES {
+        let inmemory_median = measurements
+            .iter()
+            .find(|m| m.id == format!("fast_mm/n{n}/inmemory"))
+            .map(criterion::Measurement::median_ns)
+            .expect("in-memory baseline measured");
+        for (label, _) in BACKENDS {
+            let id = format!("fast_mm/n{n}/{label}");
+            let m = measurements
+                .iter()
+                .find(|m| m.id == id)
+                .unwrap_or_else(|| panic!("no measurement recorded for {id}"));
+            let (_, rounds, words) = model_costs
+                .iter()
+                .find(|(mid, _, _)| *mid == id)
+                .unwrap_or_else(|| panic!("no model costs recorded for {id}"));
+            if !records.is_empty() {
+                records.push_str(",\n");
+            }
+            let _ = write!(
+                records,
+                "    {{\"n\": {n}, \"transport\": \"{label}\", \"rounds\": {rounds}, \
+                 \"words\": {words}, \"min_ns\": {:.0}, \"median_ns\": {:.0}, \
+                 \"mean_ns\": {:.0}, \"overhead_vs_inmemory\": {:.2}}}",
+                m.min_ns(),
+                m.median_ns(),
+                m.mean_ns(),
+                m.median_ns() / inmemory_median,
+            );
+        }
+    }
+    let json = format!(
+        "{{\n  \"host_available_parallelism\": {host_threads},\n  \"socket_workers\": \
+         {SOCKET_WORKERS},\n  \"note\": \"fast_mm end-to-end per transport backend. Rounds and \
+         words are asserted bit-identical across backends before export (the determinism \
+         contract); *_ns is wall-clock including transport construction (thread spawn for \
+         channel, worker-process spawn for socket). overhead_vs_inmemory is the median ratio \
+         against the shared-memory fabric — the price of moving the same traffic through \
+         thread queues or across process boundaries.\",\n  \"results\": [\n{records}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transport.json");
+    std::fs::write(path, &json).expect("write BENCH_transport.json");
+    println!("wrote {path}");
+}

@@ -5,6 +5,8 @@ use crate::network::Network;
 use crate::stats::Stats;
 use crate::word::Word;
 use cc_runtime::{Engine, Executor, ExecutorKind, LinkLoads, NodeProgram};
+use cc_transport::{TransportFabric, TransportKind};
+use std::sync::Arc;
 
 /// Communication regime of the simulated clique.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +65,16 @@ pub struct CliqueConfig {
     /// default (`DEFAULT_SEQ_CUTOVER`, or the `CC_EXEC_CUTOVER`
     /// environment variable).
     pub exec_cutover: Option<usize>,
+    /// Message fabric carrying every communication step (see
+    /// [`TransportKind`]): the in-memory sharded flush (the default),
+    /// cross-thread channels with one inbox queue per node, or true
+    /// multi-process unix-socket workers. Deliveries, rounds, words, and
+    /// pattern fingerprints are bit-identical across backends. The default
+    /// consults the `CC_TRANSPORT` environment variable — mirroring
+    /// `CC_EXECUTOR` — so CI can force every simulation in the process onto
+    /// a given fabric; an unrecognised value is reported once and falls
+    /// back to in-memory.
+    pub transport: TransportKind,
 }
 
 impl Default for CliqueConfig {
@@ -74,6 +86,7 @@ impl Default for CliqueConfig {
             relay_policy: RelayPolicy::TwoChoice,
             executor: ExecutorKind::from_env_or(ExecutorKind::Sequential),
             exec_cutover: None,
+            transport: TransportKind::from_env_or(TransportKind::InMemory),
         }
     }
 }
@@ -149,11 +162,12 @@ impl Clique {
             n >= 2,
             "a congested clique needs at least 2 nodes (got {n})"
         );
+        let exec = cfg.build_executor();
         Self {
             n,
-            net: Network::new(n),
+            net: Network::new(n, cfg.transport.build(n, exec.clone())),
             stats: Stats::new(cfg.record_patterns),
-            exec: cfg.build_executor(),
+            exec,
             cfg,
         }
     }
@@ -192,6 +206,22 @@ impl Clique {
     #[must_use]
     pub fn config(&self) -> &CliqueConfig {
         &self.cfg
+    }
+
+    /// Round barriers the transport has executed (one per communication
+    /// phase: an exchange flush, a routing phase, a broadcast, an engine
+    /// round). Identical across backends for identical call sequences —
+    /// the determinism tests pin it alongside rounds and fingerprints.
+    #[must_use]
+    pub fn transport_epochs(&self) -> u64 {
+        self.net.epochs()
+    }
+
+    /// Name of the transport backend carrying this clique's traffic
+    /// (`"inmemory"`, `"channel"`, or `"socket"`).
+    #[must_use]
+    pub fn transport_name(&self) -> &'static str {
+        self.net.transport_name()
     }
 
     /// The execution backend handle. Algorithms use this to fan node-local
@@ -244,7 +274,7 @@ impl Clique {
                 self.net.enqueue(v, dst, &words);
             }
         }
-        let (inboxes, loads) = self.net.flush(&self.exec);
+        let (inboxes, loads) = self.net.flush();
         self.charge_loads(&loads);
         inboxes
     }
@@ -345,12 +375,18 @@ impl Clique {
         // with power-of-two-choices (the less loaded of two candidates),
         // which keeps per-link loads within a small constant of the ideal
         // ⌈load/n⌉ — the guarantee of the routing schemes the paper invokes.
-        let mut phase_a = LinkLoads::new();
-        let mut phase_b = LinkLoads::new();
+        //
+        // Both phases physically travel through the transport: each word
+        // (plus its destination header when the pattern is data-dependent)
+        // is shipped to its relay, the round barrier runs, and the relays'
+        // forwards are shipped and flushed in turn. Charged loads come from
+        // the fabric's accounting of that traffic.
         let mut a_out = vec![0usize; n * n];
         let mut b_out = vec![0usize; n * n];
+        let mut relays: Vec<Vec<usize>> = Vec::with_capacity(msgs.len());
         for (src, dst, words) in &msgs {
-            for (j, _w) in words.iter().enumerate() {
+            let mut msg_relays = Vec::with_capacity(words.len());
+            for (j, w) in words.iter().enumerate() {
                 let h = splitmix(
                     self.cfg.route_seed ^ ((*src as u64) << 42) ^ ((*dst as u64) << 21) ^ j as u64,
                 );
@@ -370,19 +406,36 @@ impl Clique {
                 let payload = if charge_headers { 2 } else { 1 };
                 a_out[src * n + relay] += payload;
                 b_out[relay * n + dst] += payload;
+                if charge_headers {
+                    self.net.enqueue(*src, relay, &[*w, *dst as Word]);
+                } else {
+                    self.net.enqueue(*src, relay, &[*w]);
+                }
+                msg_relays.push(relay);
             }
+            relays.push(msg_relays);
         }
-        for s in 0..n {
-            for d in 0..n {
-                phase_a.add(s, d, a_out[s * n + d]);
-                phase_b.add(s, d, b_out[s * n + d]);
-            }
-        }
+        let (_, phase_a) = self.net.flush();
         self.charge_loads(&phase_a);
+
+        // Phase B: every relay forwards its words to their destinations.
+        for ((_src, dst, words), msg_relays) in msgs.iter().zip(&relays) {
+            for (w, &relay) in words.iter().zip(msg_relays) {
+                if charge_headers {
+                    self.net.enqueue(relay, *dst, &[*w, *dst as Word]);
+                } else {
+                    self.net.enqueue(relay, *dst, &[*w]);
+                }
+            }
+        }
+        let (_, phase_b) = self.net.flush();
         self.charge_loads(&phase_b);
 
-        // Deliver whole messages in collection order: the concatenation per
-        // (dst, src) pair is identical to the historical word-by-word push.
+        // Deliver whole messages in collection order: per-link word streams
+        // are interleaved across relays on the wire, so reassembly per
+        // (dst, src) pair is modelled (the pattern is known; headers were
+        // charged when it is not), and the concatenation is identical to
+        // the historical word-by-word push.
         let mut inboxes = Inboxes::new(n);
         for (src, dst, words) in msgs {
             inboxes.push(dst, src, words);
@@ -409,7 +462,12 @@ impl Clique {
         assert_eq!(programs.len(), self.n, "need exactly one program per node");
         let engine = Engine::with_executor(self.exec.clone());
         let stats = &mut self.stats;
-        let report = engine.run_traced(programs, |loads| {
+        // Every engine round barrier is a transport rendezvous: outboxes
+        // ship onto the configured fabric, which delivers them and accounts
+        // the traffic. On the in-memory backend this is behaviourally
+        // identical to the engine's built-in delivery.
+        let mut fabric = TransportFabric::new(self.net.transport_mut());
+        let report = engine.run_traced_on(&mut fabric, programs, |loads| {
             stats.record_fingerprint(loads.iter());
         });
         stats.charge(report.rounds, report.words);
@@ -425,14 +483,18 @@ impl Clique {
     {
         let n = self.n;
         let words: Vec<Word> = (0..n).map(&mut word_of).collect();
-        let mut loads = LinkLoads::new();
-        for s in 0..n {
-            for d in 0..n {
-                loads.add(s, d, 1);
-            }
+        for (v, &w) in words.iter().enumerate() {
+            self.net.enqueue_broadcast(v, vec![w].into());
         }
-        self.charge_loads(&loads);
-        words
+        let round = self.net.flush_full();
+        self.charge_loads(&round.loads);
+        // The returned knowledge is what the fabric delivered (node 0's
+        // view; every node's view is identical by the broadcast contract).
+        let delivered: Vec<Word> = (0..n)
+            .map(|src| round.inboxes[0].broadcast[src][0][0])
+            .collect();
+        debug_assert_eq!(delivered, words);
+        delivered
     }
 
     /// Sequence broadcast: node `v` sends the same `kᵥ`-word sequence to all
@@ -444,14 +506,23 @@ impl Clique {
     {
         let n = self.n;
         let seqs: Vec<Vec<Word>> = (0..n).map(&mut words_of).collect();
-        let mut loads = LinkLoads::new();
-        for (s, seq) in seqs.iter().enumerate() {
-            for d in 0..n {
-                loads.add(s, d, seq.len());
+        for (v, seq) in seqs.iter().enumerate() {
+            if !seq.is_empty() {
+                self.net.enqueue_broadcast(v, Arc::from(seq.as_slice()));
             }
         }
-        self.charge_loads(&loads);
-        seqs
+        let round = self.net.flush_full();
+        self.charge_loads(&round.loads);
+        let delivered: Vec<Vec<Word>> = (0..n)
+            .map(|src| {
+                round.inboxes[0].broadcast[src]
+                    .iter()
+                    .flat_map(|slab| slab.iter().copied())
+                    .collect()
+            })
+            .collect();
+        debug_assert_eq!(delivered, seqs);
+        delivered
     }
 
     /// "Learn everything" (the gather pattern of Dolev et al.): every node
@@ -492,38 +563,35 @@ impl Clique {
             return seqs.into_iter().flatten().collect();
         }
 
-        // Phase A: spread words over relays (balanced).
+        // Phase A: spread words over relays (balanced). Each contributed
+        // word physically travels to its relay through the transport, and
+        // the phase is charged from the fabric's accounting.
         let mut relay_load = vec![0usize; n];
-        let mut phase_a = LinkLoads::new();
-        let mut a_out = vec![0usize; n * n];
+        let mut assigned: Vec<Vec<Word>> = vec![Vec::new(); n];
         for (src, words) in contributions.iter().enumerate() {
-            for (j, _w) in words.iter().enumerate() {
+            for (j, w) in words.iter().enumerate() {
                 let relay =
                     splitmix(self.cfg.route_seed ^ ((src as u64) << 32) ^ j as u64) as usize % n;
                 relay_load[relay] += 1;
-                a_out[src * n + relay] += 1;
+                assigned[relay].push(*w);
+                self.net.enqueue(src, relay, &[*w]);
             }
         }
-        for s in 0..n {
-            for d in 0..n {
-                phase_a.add(s, d, a_out[s * n + d]);
-            }
-        }
+        let (_, phase_a) = self.net.flush();
         self.charge_loads(&phase_a);
 
         // Phase B: each relay broadcasts its assigned words, one per round.
         let max_assigned = relay_load.iter().copied().max().unwrap_or(0) as u64;
         let total: u64 = relay_load.iter().map(|&x| x as u64).sum();
-        let mut phase_b = LinkLoads::new();
-        // Broadcast loads: relay r sends relay_load[r] words on each link.
-        for (r, &load) in relay_load.iter().enumerate() {
-            for d in 0..n {
-                phase_b.add(r, d, load);
+        for (r, slab) in assigned.into_iter().enumerate() {
+            if !slab.is_empty() {
+                self.net.enqueue_broadcast(r, slab.into());
             }
         }
-        debug_assert_eq!(phase_b.rounds(), max_assigned);
-        debug_assert_eq!(phase_b.words(), total * (n as u64 - 1));
-        self.charge_loads(&phase_b);
+        let round = self.net.flush_full();
+        debug_assert_eq!(round.loads.rounds(), max_assigned);
+        debug_assert_eq!(round.loads.words(), total * (n as u64 - 1));
+        self.charge_loads(&round.loads);
 
         contributions.into_iter().flatten().collect()
     }

@@ -42,6 +42,21 @@
 //! retargets every default-configured clique (how CI runs the suite on
 //! each backend).
 //!
+//! ## Transport backends
+//!
+//! Orthogonally to the executor, [`CliqueConfig::transport`] selects the
+//! **message fabric** every communication step travels through (see
+//! [`TransportKind`]): the in-memory destination-major sharded flush (the
+//! default), cross-thread channels with one inbox queue per node, or true
+//! multi-process simulation over unix sockets (`cc-clique-node` worker
+//! processes, length-prefixed frames, round-commit barrier). Deliveries,
+//! rounds, words, pattern fingerprints, and barrier epochs
+//! ([`Clique::transport_epochs`]) are bit-identical across fabrics; the
+//! `CC_TRANSPORT` environment variable (`inmemory` / `channel` /
+//! `socket[:workers]`) retargets every default-configured clique exactly
+//! like `CC_EXECUTOR`, and an unrecognised value is reported once instead
+//! of being silently swallowed.
+//!
 //! ## Example
 //!
 //! ```rust
@@ -74,3 +89,7 @@ pub use crate::word::{
 // model — lives in `cc_runtime` so engine- and flush-driven accounting
 // share one definition.
 pub use cc_runtime::{Control, Executor, ExecutorKind, LinkLoads, NodeProgram, RoundCtx};
+// Transport surface, re-exported for the same reason: `CliqueConfig`
+// selects the fabric by `TransportKind`, and callers building custom
+// fabrics implement `Transport`.
+pub use cc_transport::{Transport, TransportKind};

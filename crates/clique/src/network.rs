@@ -1,39 +1,38 @@
-//! Link-level execution: per-round, per-link capacity accounting.
+//! Link-level execution: a thin shell over the pluggable transport.
 
 use crate::inbox::Inboxes;
 use crate::word::Word;
 // The cost model (`LinkLoads`) lives in `cc_runtime` so that engine-driven
 // and flush-driven accounting share one source of truth; this crate
 // re-exports it from `lib.rs`.
-use cc_runtime::{Executor, LinkLoads};
+use cc_runtime::LinkLoads;
+use cc_transport::{RoundDelivery, Transport};
+use std::sync::Arc;
 
-/// The physical network: a queue of words per directed link.
+/// The physical network: queued words per directed link, carried by a
+/// pluggable [`Transport`] backend.
 ///
-/// `flush` executes synchronous rounds until all queues drain; in each round a
-/// link moves exactly one word, so the number of executed rounds equals the
-/// maximum queue length. Self-addressed words (`src == dst`) are local memory
-/// moves and cost nothing, matching the model (a node need not use the
-/// network to talk to itself).
+/// `flush` executes synchronous rounds until all queues drain; in each round
+/// a link moves exactly one word, so the number of executed rounds equals
+/// the maximum queue length. Self-addressed words (`src == dst`) are local
+/// memory moves and cost nothing, matching the model (a node need not use
+/// the network to talk to itself).
 ///
-/// Queues are laid out destination-major so that one destination's incoming
-/// links occupy a contiguous block: under a parallel executor, `flush` shards
-/// the drain by destination and each worker owns a disjoint block, replacing
-/// the historical `O(n²)` serial queue walk. Loads are merged back into
-/// canonical `(src, dst)` order, so round counts and pattern fingerprints are
-/// identical to sequential execution.
+/// Where the traffic physically travels is the transport's business: the
+/// in-memory backend keeps the historical destination-major sharded flush,
+/// the channel backend moves frames through per-node thread queues, and the
+/// socket backend ships them to worker processes. All are bit-identical in
+/// deliveries, loads, and therefore rounds and pattern fingerprints.
 #[derive(Debug)]
 pub struct Network {
     n: usize,
-    /// `queues[dst * n + src]` (destination-major; see struct docs).
-    queues: Vec<Vec<Word>>,
+    transport: Box<dyn Transport>,
 }
 
 impl Network {
-    pub(crate) fn new(n: usize) -> Self {
-        Self {
-            n,
-            queues: vec![Vec::new(); n * n],
-        }
+    pub(crate) fn new(n: usize, transport: Box<dyn Transport>) -> Self {
+        assert_eq!(transport.n(), n, "transport sized for a different clique");
+        Self { n, transport }
     }
 
     pub(crate) fn enqueue(&mut self, src: usize, dst: usize, words: &[Word]) {
@@ -42,93 +41,95 @@ impl Network {
             "node index out of range (n={})",
             self.n
         );
-        self.queues[dst * self.n + src].extend_from_slice(words);
+        self.transport.send(src, dst, words);
     }
 
-    /// Drains all queues, returning the delivered messages and the loads that
-    /// determine the round cost. The drain is sharded by destination — each
-    /// piece of `map_chunks_mut` is one destination's contiguous block of
-    /// `n` per-source queues, owned by exactly one worker — and runs the
-    /// same code on both backends (a sequential executor processes the
-    /// pieces in order inline), so results are bit-identical by
-    /// construction.
-    pub(crate) fn flush(&mut self, exec: &Executor) -> (Inboxes, LinkLoads) {
-        let n = self.n;
-        /// One destination's flush result: its link loads and its
-        /// per-source delivery row.
-        type DstFlush = (Vec<(usize, usize, usize)>, Vec<Vec<Word>>);
+    /// Queues a broadcast slab from `src` (delivered to every node, the
+    /// sender included; charged on the `n - 1` outgoing links).
+    pub(crate) fn enqueue_broadcast(&mut self, src: usize, slab: Arc<[Word]>) {
+        assert!(src < self.n, "node index out of range (n={})", self.n);
+        self.transport.broadcast(src, slab);
+    }
 
-        let per_dst: Vec<DstFlush> = exec.map_chunks_mut(&mut self.queues, n, |dst, block| {
-            let mut loads = Vec::new();
-            let mut row = Vec::with_capacity(n);
-            for (src, q) in block.iter_mut().enumerate() {
-                let words = std::mem::take(q);
-                if !words.is_empty() && src != dst {
-                    loads.push((src, dst, words.len()));
-                }
-                row.push(words);
-            }
-            (loads, row)
-        });
-        let mut all_loads = Vec::new();
-        let mut rows = Vec::with_capacity(n);
-        for (loads, row) in per_dst {
-            all_loads.extend(loads);
-            rows.push(row);
-        }
-        let inboxes = Inboxes::from_rows(rows);
-        // Canonical (src, dst) order — the historical serial walk's order —
-        // so fingerprints and load traces never depend on the executor.
-        all_loads.sort_unstable();
-        let mut loads = LinkLoads::new();
-        for (src, dst, words) in all_loads {
-            loads.add(src, dst, words);
-        }
-        (inboxes, loads)
+    /// Executes the round barrier, returning the delivered unicast messages
+    /// and the loads that determine the round cost.
+    pub(crate) fn flush(&mut self) -> (Inboxes, LinkLoads) {
+        let round = self.transport.finish_round();
+        let rows = round.inboxes.into_iter().map(|d| d.unicast).collect();
+        (Inboxes::from_rows(rows), round.loads)
+    }
+
+    /// Executes the round barrier, returning the full per-node deliveries
+    /// (unicast and broadcast lanes) for primitives that ship slabs.
+    pub(crate) fn flush_full(&mut self) -> RoundDelivery {
+        self.transport.finish_round()
+    }
+
+    /// The transport carrying this network's traffic.
+    pub(crate) fn transport_mut(&mut self) -> &mut dyn Transport {
+        &mut *self.transport
+    }
+
+    /// Completed round barriers (the transport epoch).
+    pub(crate) fn epochs(&self) -> u64 {
+        self.transport.epoch()
+    }
+
+    /// The backend's name, for diagnostics.
+    pub(crate) fn transport_name(&self) -> &'static str {
+        self.transport.name()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cc_runtime::ExecutorKind;
+    use cc_runtime::{Executor, ExecutorKind};
+    use cc_transport::{InMemoryTransport, TransportKind};
 
-    fn seq() -> Executor {
-        Executor::new(ExecutorKind::Sequential)
+    fn net(n: usize) -> Network {
+        Network::new(
+            n,
+            Box::new(InMemoryTransport::new(
+                n,
+                Executor::new(ExecutorKind::Sequential),
+            )),
+        )
     }
 
     #[test]
     fn flush_counts_max_queue_as_rounds() {
-        let mut net = Network::new(3);
+        let mut net = net(3);
         net.enqueue(0, 1, &[1, 2, 3]);
         net.enqueue(1, 2, &[4]);
         net.enqueue(2, 0, &[5, 6]);
-        let (ib, loads) = net.flush(&seq());
+        let (ib, loads) = net.flush();
         assert_eq!(loads.rounds(), 3);
         assert_eq!(loads.words(), 6);
         assert_eq!(ib.received(1, 0), &[1, 2, 3]);
         assert_eq!(ib.received(2, 1), &[4]);
         assert_eq!(ib.received(0, 2), &[5, 6]);
         // Queues are drained.
-        let (_, loads2) = net.flush(&seq());
+        let (_, loads2) = net.flush();
         assert_eq!(loads2.rounds(), 0);
+        assert_eq!(net.epochs(), 2);
     }
 
     #[test]
     fn self_messages_are_free() {
-        let mut net = Network::new(2);
+        let mut net = net(2);
         net.enqueue(0, 0, &[7, 8, 9]);
         net.enqueue(0, 1, &[1]);
-        let (ib, loads) = net.flush(&seq());
+        let (ib, loads) = net.flush();
         assert_eq!(loads.rounds(), 1);
         assert_eq!(loads.words(), 1);
         assert_eq!(ib.received(0, 0), &[7, 8, 9]);
     }
 
     #[test]
-    fn sharded_flush_matches_serial() {
+    fn every_backend_matches_the_sequential_reference() {
         let fill = |net: &mut Network| {
-            // A mix of hot links, self messages, and empty queues.
+            // A mix of hot links, self messages, empty queues, broadcasts.
             for src in 0..7 {
                 for dst in 0..7 {
                     if (src + 2 * dst) % 3 == 0 {
@@ -140,32 +141,34 @@ mod tests {
                 }
             }
             net.enqueue(0, 1, &[99, 98, 97]);
+            net.enqueue_broadcast(4, vec![1, 2].into());
         };
-        let mut a = Network::new(7);
-        fill(&mut a);
-        let (ib_a, loads_a) = a.flush(&seq());
-        let mut b = Network::new(7);
-        fill(&mut b);
-        let (ib_b, loads_b) = b.flush(&Executor::new(ExecutorKind::Parallel { threads: 3 }));
-        assert_eq!(loads_a.rounds(), loads_b.rounds());
-        assert_eq!(loads_a.words(), loads_b.words());
-        let la: Vec<_> = loads_a.iter().collect();
-        let lb: Vec<_> = loads_b.iter().collect();
-        assert_eq!(la, lb, "load order must match the serial walk");
-        for dst in 0..7 {
-            for src in 0..7 {
-                assert_eq!(ib_a.received(dst, src), ib_b.received(dst, src));
-            }
+        let mut reference = net(7);
+        fill(&mut reference);
+        let reference = reference.flush_full();
+        let backends: Vec<Box<dyn Transport>> = vec![
+            Box::new(InMemoryTransport::new(
+                7,
+                Executor::new(ExecutorKind::Parallel { threads: 3 }),
+            )),
+            TransportKind::Channel.build(7, Executor::default()),
+            TransportKind::Socket { workers: 3 }.build(7, Executor::default()),
+        ];
+        for backend in backends {
+            let name = backend.name();
+            let mut n = Network::new(7, backend);
+            fill(&mut n);
+            assert_eq!(n.flush_full(), reference, "{name} diverged");
+            // Backend drains its queues too.
+            let (_, after) = n.flush();
+            assert_eq!(after.rounds(), 0, "{name} left traffic queued");
         }
-        // Parallel flush drains queues too.
-        let (_, after) = b.flush(&seq());
-        assert_eq!(after.rounds(), 0);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn enqueue_validates_indices() {
-        let mut net = Network::new(2);
+        let mut net = net(2);
         net.enqueue(0, 5, &[1]);
     }
 }

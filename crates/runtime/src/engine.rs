@@ -20,6 +20,53 @@ pub struct RunReport<P> {
     pub words: u64,
 }
 
+/// The engine's round barrier: merges one round's outboxes into the next
+/// round's inboxes and accounts the per-link traffic.
+///
+/// This is the seam that makes the barrier *pluggable*: the default
+/// [`EngineFabric`] performs the classical in-process delivery (sharded by
+/// destination on the engine's executor), while `cc-transport` adapts the
+/// same contract onto message fabrics whose rendezvous crosses threads or
+/// processes. Implementations must be deterministic — for a given outbox
+/// sequence, the returned inboxes and canonical `(src, dst)`-ordered
+/// [`LinkLoads`] may not depend on scheduling — which is what keeps
+/// results, round counts, and pattern fingerprints bit-identical across
+/// fabrics.
+pub trait Fabric {
+    /// Delivers one engine round: consumes the per-node outboxes (node
+    /// order) and returns the next inboxes (node order) plus this round's
+    /// link loads in canonical `(src, dst)` order.
+    fn deliver_round(&mut self, n: usize, outboxes: Vec<NodeOutbox>)
+        -> (Vec<NodeInbox>, LinkLoads);
+}
+
+/// The default in-process [`Fabric`]: per-link loads computed in canonical
+/// order, inboxes assembled sharded by destination on the executor, and
+/// broadcast slabs delivered zero-copy.
+#[derive(Debug, Clone)]
+pub struct EngineFabric {
+    exec: Executor,
+}
+
+impl EngineFabric {
+    /// Creates the fabric, delivering on `exec`.
+    #[must_use]
+    pub fn new(exec: Executor) -> Self {
+        Self { exec }
+    }
+}
+
+impl Fabric for EngineFabric {
+    fn deliver_round(
+        &mut self,
+        n: usize,
+        outboxes: Vec<NodeOutbox>,
+    ) -> (Vec<NodeInbox>, LinkLoads) {
+        let loads = link_loads(n, &outboxes);
+        (deliver(&self.exec, n, outboxes), loads)
+    }
+}
+
 /// Drives a set of [`NodeProgram`]s through synchronous rounds.
 ///
 /// Per round the engine: (1) steps every live node — in parallel shards
@@ -27,8 +74,9 @@ pub struct RunReport<P> {
 /// outboxes at the barrier in node order, computing per-link loads in the
 /// canonical `(src, dst)` order; (3) charges rounds equal to the maximum
 /// per-link load; (4) builds the next inboxes sharded by destination. Steps
-/// 2–4 are deterministic by construction, so the executor choice never
-/// changes results.
+/// 2–4 live behind the [`Fabric`] seam (default: [`EngineFabric`]) and are
+/// deterministic by construction, so neither the executor choice nor the
+/// fabric ever changes results.
 ///
 /// All fan-out goes through the [`Executor`] handle, so a pooled executor's
 /// persistent workers serve both the stepping and the delivery shards — the
@@ -75,6 +123,27 @@ impl Engine {
     /// Panics if `programs` is empty.
     pub fn run_traced<P: NodeProgram>(
         &self,
+        programs: Vec<P>,
+        on_loads: impl FnMut(&LinkLoads),
+    ) -> RunReport<P> {
+        let mut fabric = EngineFabric::new(self.exec.clone());
+        self.run_traced_on(&mut fabric, programs, on_loads)
+    }
+
+    /// Like [`Engine::run_traced`], delivering each round barrier through an
+    /// explicit [`Fabric`] instead of the default in-process one. This is
+    /// how transport backends plug in: the engine still steps node state
+    /// machines on its executor, while outbox merging, inbox assembly, and
+    /// link accounting happen wherever the fabric puts them (another
+    /// thread's queue, another process's socket) — with results guaranteed
+    /// identical by the fabric's determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty.
+    pub fn run_traced_on<P: NodeProgram>(
+        &self,
+        fabric: &mut dyn Fabric,
         mut programs: Vec<P>,
         mut on_loads: impl FnMut(&LinkLoads),
     ) -> RunReport<P> {
@@ -92,12 +161,11 @@ impl Engine {
             live = halted.iter().filter(|&&h| !h).count();
             engine_rounds += 1;
 
-            let loads = link_loads(n, &outboxes);
+            let (delivered, loads) = fabric.deliver_round(n, outboxes);
             on_loads(&loads);
             rounds += loads.rounds();
             words += loads.words();
-
-            inboxes = self.deliver(n, outboxes);
+            inboxes = delivered;
         }
 
         RunReport {
@@ -142,47 +210,47 @@ impl Engine {
             outbox
         })
     }
+}
 
-    /// Builds the next round's inboxes, sharded by destination.
-    fn deliver(&self, n: usize, mut outboxes: Vec<NodeOutbox>) -> Vec<NodeInbox> {
-        /// One destination's pending `(src, payload)` deliveries.
-        type Bucket = Vec<(usize, Vec<Word>)>;
+/// Builds the next round's inboxes, sharded by destination.
+fn deliver(exec: &Executor, n: usize, mut outboxes: Vec<NodeOutbox>) -> Vec<NodeInbox> {
+    /// One destination's pending `(src, payload)` deliveries.
+    type Bucket = Vec<(usize, Vec<Word>)>;
 
-        // Shard step: bucket unicast payloads by destination. Entries land
-        // in (src, send-order) order because sources are drained in index
-        // order — the per-destination assembly below is order-preserving.
-        let mut buckets: Vec<Bucket> = (0..n).map(|_| Vec::new()).collect();
-        for (src, outbox) in outboxes.iter_mut().enumerate() {
-            for (dst, payload) in outbox.unicast.drain(..) {
-                buckets[dst].push((src, payload));
+    // Shard step: bucket unicast payloads by destination. Entries land
+    // in (src, send-order) order because sources are drained in index
+    // order — the per-destination assembly below is order-preserving.
+    let mut buckets: Vec<Bucket> = (0..n).map(|_| Vec::new()).collect();
+    for (src, outbox) in outboxes.iter_mut().enumerate() {
+        for (dst, payload) in outbox.unicast.drain(..) {
+            buckets[dst].push((src, payload));
+        }
+    }
+    let broadcasts: Vec<Vec<Arc<[Word]>>> = outboxes
+        .iter_mut()
+        .map(|o| std::mem::take(&mut o.broadcast))
+        .collect();
+
+    // Per-destination assembly runs on the executor; `map_chunks_mut`
+    // hands each worker exclusive ownership of its bucket.
+    exec.map_chunks_mut(&mut buckets, 1, |_dst, piece| {
+        let entries = std::mem::take(&mut piece[0]);
+        let mut inbox = NodeInbox::empty(n);
+        for (src, payload) in entries {
+            if inbox.unicast[src].is_empty() {
+                inbox.unicast[src] = payload;
+            } else {
+                inbox.unicast[src].extend(payload);
             }
         }
-        let broadcasts: Vec<Vec<Arc<[Word]>>> = outboxes
-            .iter_mut()
-            .map(|o| std::mem::take(&mut o.broadcast))
-            .collect();
-
-        // Per-destination assembly runs on the executor; `map_chunks_mut`
-        // hands each worker exclusive ownership of its bucket.
-        self.exec.map_chunks_mut(&mut buckets, 1, |_dst, piece| {
-            let entries = std::mem::take(&mut piece[0]);
-            let mut inbox = NodeInbox::empty(n);
-            for (src, payload) in entries {
-                if inbox.unicast[src].is_empty() {
-                    inbox.unicast[src] = payload;
-                } else {
-                    inbox.unicast[src].extend(payload);
-                }
+        for (src, slabs) in broadcasts.iter().enumerate() {
+            if !slabs.is_empty() {
+                // Zero-copy: recipients share the sender's slabs.
+                inbox.broadcast[src] = slabs.clone();
             }
-            for (src, slabs) in broadcasts.iter().enumerate() {
-                if !slabs.is_empty() {
-                    // Zero-copy: recipients share the sender's slabs.
-                    inbox.broadcast[src] = slabs.clone();
-                }
-            }
-            inbox
-        })
-    }
+        }
+        inbox
+    })
 }
 
 /// Per-link loads of one engine round in canonical `(src, dst)` order.

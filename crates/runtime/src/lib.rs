@@ -92,7 +92,7 @@ mod loads;
 mod pool;
 mod program;
 
-pub use crate::engine::{Engine, RunReport};
+pub use crate::engine::{Engine, EngineFabric, Fabric, RunReport};
 pub use crate::executor::{Executor, ExecutorKind, DEFAULT_SEQ_CUTOVER};
 pub use crate::loads::LinkLoads;
 pub use crate::pool::threads_spawned as pool_threads_spawned;

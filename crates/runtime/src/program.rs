@@ -45,6 +45,24 @@ impl NodeInbox {
         }
     }
 
+    /// Builds an inbox from per-source lanes: `unicast[src]` is the
+    /// concatenated unicast payload from `src`, `broadcast[src]` its slabs.
+    /// Used by [`crate::Fabric`] implementations that assemble deliveries
+    /// outside the engine (transport backends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two lane vectors have different lengths.
+    #[must_use]
+    pub fn from_parts(unicast: Vec<Vec<Word>>, broadcast: Vec<Vec<Arc<[Word]>>>) -> Self {
+        assert_eq!(
+            unicast.len(),
+            broadcast.len(),
+            "inbox lanes must cover the same node range"
+        );
+        Self { unicast, broadcast }
+    }
+
     /// Unicast words received from `src` this round, in send order.
     #[must_use]
     pub fn received(&self, src: usize) -> &[Word] {
@@ -80,6 +98,15 @@ pub struct NodeOutbox {
 impl NodeOutbox {
     pub(crate) fn is_empty(&self) -> bool {
         self.unicast.is_empty() && self.broadcast.is_empty()
+    }
+
+    /// Consumes the outbox into its `(dst, words)` unicast payloads (send
+    /// order) and broadcast slabs (send order). Used by [`crate::Fabric`]
+    /// implementations that ship outboxes onto an external transport.
+    #[must_use]
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(self) -> (Vec<(usize, Vec<Word>)>, Vec<Arc<[Word]>>) {
+        (self.unicast, self.broadcast)
     }
 }
 

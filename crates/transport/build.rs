@@ -1,0 +1,21 @@
+//! Bakes the build's profile directory (`target/<profile>`) into the crate
+//! so the socket transport can locate the `cc-clique-node` worker binary at
+//! runtime even from contexts whose `current_exe` lives elsewhere (rustdoc
+//! compiles doctests into temporary directories). `OUT_DIR` is
+//! `target/<profile>/build/cc-transport-<hash>/out`, three levels below the
+//! profile directory.
+
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir = PathBuf::from(std::env::var("OUT_DIR").expect("cargo sets OUT_DIR"));
+    let profile_dir = out_dir
+        .ancestors()
+        .nth(3)
+        .expect("OUT_DIR is nested under the profile directory")
+        .to_path_buf();
+    println!(
+        "cargo:rustc-env=CC_TRANSPORT_PROFILE_DIR={}",
+        profile_dir.display()
+    );
+}

@@ -1,0 +1,28 @@
+//! The worker process of the unix-socket transport: simulates a contiguous
+//! shard of clique nodes on behalf of an orchestrator (see
+//! `cc_transport::SocketTransport`), speaking length-prefixed frames over a
+//! unix domain socket.
+//!
+//! Usage: `cc-clique-node <socket-path> <worker> <lo> <count> <n>`
+
+use std::path::Path;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 6 {
+        eprintln!("usage: cc-clique-node <socket-path> <worker> <lo> <count> <n>");
+        exit(2);
+    }
+    let parse = |i: usize| -> usize {
+        args[i].parse().unwrap_or_else(|_| {
+            eprintln!("cc-clique-node: bad numeric argument {:?}", args[i]);
+            exit(2);
+        })
+    };
+    let (worker, lo, count, n) = (parse(2), parse(3), parse(4), parse(5));
+    if let Err(e) = cc_transport::worker_main(Path::new(&args[1]), worker as u32, lo, count, n) {
+        eprintln!("cc-clique-node worker {worker}: {e}");
+        exit(1);
+    }
+}

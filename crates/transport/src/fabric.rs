@@ -1,0 +1,51 @@
+//! Adapter plugging a [`Transport`] into the runtime engine's round barrier.
+
+use crate::Transport;
+use cc_runtime::{Fabric, LinkLoads, NodeInbox, NodeOutbox};
+
+/// Routes [`cc_runtime::Engine`] round barriers through a [`Transport`]:
+/// each engine round's outboxes are shipped onto the fabric, the barrier is
+/// the transport's round rendezvous, and the returned accounting comes from
+/// the transport's per-link word counts. On the in-memory backend this is
+/// behaviourally identical to the engine's built-in
+/// [`cc_runtime::EngineFabric`] (same loads, same inbox assembly, shared
+/// broadcast slabs); on channel and socket backends the same program
+/// traffic physically crosses thread queues or process boundaries.
+#[derive(Debug)]
+pub struct TransportFabric<'a> {
+    transport: &'a mut dyn Transport,
+}
+
+impl<'a> TransportFabric<'a> {
+    /// Wraps a transport for the duration of one engine run.
+    #[must_use]
+    pub fn new(transport: &'a mut dyn Transport) -> Self {
+        Self { transport }
+    }
+}
+
+impl Fabric for TransportFabric<'_> {
+    fn deliver_round(
+        &mut self,
+        n: usize,
+        outboxes: Vec<NodeOutbox>,
+    ) -> (Vec<NodeInbox>, LinkLoads) {
+        assert_eq!(n, self.transport.n(), "engine and transport disagree on n");
+        for (src, outbox) in outboxes.into_iter().enumerate() {
+            let (unicast, broadcast) = outbox.into_parts();
+            for (dst, words) in unicast {
+                self.transport.send_vec(src, dst, words);
+            }
+            for slab in broadcast {
+                self.transport.broadcast(src, slab);
+            }
+        }
+        let round = self.transport.finish_round();
+        let inboxes = round
+            .inboxes
+            .into_iter()
+            .map(|d| NodeInbox::from_parts(d.unicast, d.broadcast))
+            .collect();
+        (inboxes, round.loads)
+    }
+}

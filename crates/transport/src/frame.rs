@@ -1,0 +1,367 @@
+//! The wire format shared by every non-shared-memory backend.
+//!
+//! A frame is a self-describing unit of transport traffic: payload words for
+//! one link, a broadcast slab, a round delimiter, a worker greeting, or a
+//! round-commit token. On byte streams (unix sockets) frames travel
+//! length-prefixed (`u32` little-endian byte count, then the encoded frame);
+//! the channel backend ships the same encoded bytes through per-node queues,
+//! so one codec — and one set of round-trip property tests — covers every
+//! backend that leaves shared memory.
+//!
+//! All integers are little-endian. [`Word`]s are transmitted verbatim as 8
+//! bytes, so the full 64-bit width survives the wire (property-tested with
+//! `Word::MAX`).
+
+use cc_runtime::Word;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard upper bound on one frame's encoded size (1 GiB). A length prefix
+/// beyond this is treated as stream corruption rather than honoured with an
+/// allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// One unit of transport traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Worker → parent greeting identifying the connecting worker process.
+    Hello {
+        /// Index of the worker in the orchestrator's spawn order.
+        worker: u32,
+    },
+    /// Unicast payload for the `(src, dst)` link in round `epoch`. Words
+    /// are in send order; several payload frames for one link concatenate.
+    Payload {
+        /// Round this payload belongs to.
+        epoch: u64,
+        /// Sending node.
+        src: u32,
+        /// Receiving node.
+        dst: u32,
+        /// The payload words, in send order.
+        words: Vec<Word>,
+    },
+    /// One broadcast slab from `src` in round `epoch`: delivered to every
+    /// node (the sender included), charged on each `src → dst` link with
+    /// `dst ≠ src`.
+    Bcast {
+        /// Round this slab belongs to.
+        epoch: u64,
+        /// Broadcasting node.
+        src: u32,
+        /// The slab words.
+        words: Vec<Word>,
+    },
+    /// Round delimiter: all of round `epoch`'s traffic has been sent. An
+    /// empty round is a `RoundEnd` with no preceding payload frames.
+    RoundEnd {
+        /// The round being closed.
+        epoch: u64,
+    },
+    /// Round-commit token: the sender has delivered round `epoch` and
+    /// reports the per-link word counts it accounted (canonical
+    /// `(src, dst, words)` triples). The barrier rendezvous completes when
+    /// every peer's commit for the epoch has been collected.
+    Commit {
+        /// The round being committed.
+        epoch: u64,
+        /// Per-link `(src, dst, words)` accounting entries.
+        loads: Vec<(u32, u32, u64)>,
+    },
+    /// Orderly teardown: the peer should exit its receive loop.
+    Shutdown,
+}
+
+/// Decode-side failure: the bytes are not a well-formed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ended before the frame was complete.
+    Truncated,
+    /// Bytes remained after a complete frame was decoded.
+    Trailing(usize),
+    /// Unknown frame tag byte.
+    BadTag(u8),
+    /// A declared length exceeds [`MAX_FRAME_BYTES`].
+    Oversized(u64),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::Trailing(n) => write!(f, "{n} trailing bytes after frame"),
+            FrameError::BadTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            FrameError::Oversized(n) => write!(f, "declared length {n} exceeds frame cap"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_PAYLOAD: u8 = 1;
+const TAG_BCAST: u8 = 2;
+const TAG_ROUND_END: u8 = 3;
+const TAG_COMMIT: u8 = 4;
+const TAG_SHUTDOWN: u8 = 5;
+
+impl Frame {
+    /// Encodes the frame body (no length prefix).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16);
+        match self {
+            Frame::Hello { worker } => {
+                buf.push(TAG_HELLO);
+                buf.extend_from_slice(&worker.to_le_bytes());
+            }
+            Frame::Payload {
+                epoch,
+                src,
+                dst,
+                words,
+            } => {
+                buf.push(TAG_PAYLOAD);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                buf.extend_from_slice(&src.to_le_bytes());
+                buf.extend_from_slice(&dst.to_le_bytes());
+                put_words(&mut buf, words);
+            }
+            Frame::Bcast { epoch, src, words } => {
+                buf.push(TAG_BCAST);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                buf.extend_from_slice(&src.to_le_bytes());
+                put_words(&mut buf, words);
+            }
+            Frame::RoundEnd { epoch } => {
+                buf.push(TAG_ROUND_END);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+            }
+            Frame::Commit { epoch, loads } => {
+                buf.push(TAG_COMMIT);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                buf.extend_from_slice(&(loads.len() as u32).to_le_bytes());
+                for (src, dst, words) in loads {
+                    buf.extend_from_slice(&src.to_le_bytes());
+                    buf.extend_from_slice(&dst.to_le_bytes());
+                    buf.extend_from_slice(&words.to_le_bytes());
+                }
+            }
+            Frame::Shutdown => buf.push(TAG_SHUTDOWN),
+        }
+        buf
+    }
+
+    /// Decodes one frame body, requiring the buffer to contain exactly one
+    /// frame (no trailing bytes).
+    pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let frame = match r.u8()? {
+            TAG_HELLO => Frame::Hello { worker: r.u32()? },
+            TAG_PAYLOAD => Frame::Payload {
+                epoch: r.u64()?,
+                src: r.u32()?,
+                dst: r.u32()?,
+                words: r.words()?,
+            },
+            TAG_BCAST => Frame::Bcast {
+                epoch: r.u64()?,
+                src: r.u32()?,
+                words: r.words()?,
+            },
+            TAG_ROUND_END => Frame::RoundEnd { epoch: r.u64()? },
+            TAG_COMMIT => {
+                let epoch = r.u64()?;
+                let n = r.u32()? as usize;
+                if n.saturating_mul(16) > MAX_FRAME_BYTES {
+                    return Err(FrameError::Oversized(n as u64));
+                }
+                let mut loads = Vec::with_capacity(n.min(r.remaining() / 16));
+                for _ in 0..n {
+                    loads.push((r.u32()?, r.u32()?, r.u64()?));
+                }
+                Frame::Commit { epoch, loads }
+            }
+            TAG_SHUTDOWN => Frame::Shutdown,
+            t => return Err(FrameError::BadTag(t)),
+        };
+        if r.remaining() > 0 {
+            return Err(FrameError::Trailing(r.remaining()));
+        }
+        Ok(frame)
+    }
+}
+
+fn put_words(buf: &mut Vec<u8>, words: &[Word]) {
+    buf.extend_from_slice(&(words.len() as u32).to_le_bytes());
+    for w in words {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn words(&mut self) -> Result<Vec<Word>, FrameError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(8) > MAX_FRAME_BYTES {
+            return Err(FrameError::Oversized(n as u64));
+        }
+        if self.remaining() < n * 8 {
+            return Err(FrameError::Truncated);
+        }
+        let mut words = Vec::with_capacity(n);
+        for _ in 0..n {
+            words.push(self.u64()?);
+        }
+        Ok(words)
+    }
+}
+
+/// Writes one length-prefixed frame to a byte stream. The caller flushes
+/// when the round's traffic is complete.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let body = frame.encode();
+    assert!(body.len() <= MAX_FRAME_BYTES, "frame exceeds wire cap");
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)
+}
+
+/// Reads one length-prefixed frame from a byte stream.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized(len as u64).into());
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Frame::decode(&body).map_err(Into::into)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn codec_round_trips_each_variant() {
+        let frames = [
+            Frame::Hello { worker: 7 },
+            Frame::Payload {
+                epoch: 3,
+                src: 1,
+                dst: 2,
+                words: vec![0, 1, Word::MAX],
+            },
+            Frame::Bcast {
+                epoch: u64::MAX,
+                src: 0,
+                words: vec![],
+            },
+            Frame::RoundEnd { epoch: 0 },
+            Frame::Commit {
+                epoch: 9,
+                loads: vec![(0, 1, 5), (2, 0, u64::MAX)],
+            },
+            Frame::Shutdown,
+        ];
+        for f in frames {
+            assert_eq!(Frame::decode(&f.encode()), Ok(f.clone()), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn stream_round_trips_a_frame_sequence() {
+        let frames = vec![
+            Frame::RoundEnd { epoch: 0 }, // an empty round is just its delimiter
+            Frame::Payload {
+                epoch: 1,
+                src: 0,
+                dst: 3,
+                words: vec![Word::MAX, 0, 42],
+            },
+            Frame::RoundEnd { epoch: 1 },
+            Frame::Commit {
+                epoch: 1,
+                loads: vec![(0, 3, 3)],
+            },
+            Frame::Shutdown,
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut cursor = Cursor::new(wire);
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_inputs() {
+        assert_eq!(Frame::decode(&[]), Err(FrameError::Truncated));
+        assert_eq!(Frame::decode(&[99]), Err(FrameError::BadTag(99)));
+        // Truncated payload: declares 2 words, carries none.
+        let mut bytes = Frame::Payload {
+            epoch: 1,
+            src: 0,
+            dst: 1,
+            words: vec![1, 2],
+        }
+        .encode();
+        bytes.truncate(bytes.len() - 8);
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::Truncated));
+        // Trailing garbage after a complete frame.
+        let mut bytes = Frame::RoundEnd { epoch: 5 }.encode();
+        bytes.push(0);
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::Trailing(1)));
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,300 @@
+//! # cc-transport: pluggable message transports for the congested clique
+//!
+//! Every simulated round ends at a barrier where each node's sends become
+//! each node's next inbox and the per-link word counts are charged. This
+//! crate makes the fabric carrying that traffic **pluggable**: the
+//! [`Transport`] trait covers per-round send/recv, the barrier rendezvous,
+//! and per-link word accounting, and three deterministic backends implement
+//! it:
+//!
+//! * [`InMemoryTransport`] — the classical single-process fabric: a
+//!   destination-major queue matrix drained by a sharded flush on the
+//!   configured [`Executor`]. The reference semantics, and the fastest.
+//! * [`ChannelTransport`] — cross-thread message passing: one OS thread and
+//!   one MPSC inbox queue per simulated node; the parent feeds encoded
+//!   [`Frame`]s into each inbox, and rounds are delimited by an epoch
+//!   rendezvous (every node returns its assembled inbox and accounting for
+//!   the epoch before the round is charged).
+//! * [`SocketTransport`] — true multi-process simulation: a parent
+//!   orchestrator spawns `cc-clique-node` worker processes, each owning a
+//!   contiguous shard of nodes, and exchanges length-prefixed frames over
+//!   unix domain sockets. The round barrier is a round-commit token: the
+//!   round completes only when every worker has committed the epoch with
+//!   its accounting.
+//!
+//! ## Determinism contract
+//!
+//! For any send pattern, every backend produces the same deliveries, the
+//! same canonical `(src, dst)`-ordered [`LinkLoads`], and therefore the same
+//! round counts and pattern fingerprints, bit for bit. Backends differ only
+//! in *where* the traffic physically travels: thread queues, socket buffers,
+//! or shared memory.
+//!
+//! The backend is chosen through [`TransportKind`]; like the executor's
+//! `CC_EXECUTOR`, the `CC_TRANSPORT` environment variable retargets every
+//! default-configured simulation in the process
+//! ([`TransportKind::from_env_or`]), which is how CI runs the full suite on
+//! each fabric.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod fabric;
+pub mod frame;
+mod inmemory;
+mod pending;
+mod socket;
+
+pub use crate::channel::ChannelTransport;
+pub use crate::fabric::TransportFabric;
+pub use crate::frame::{read_frame, write_frame, Frame, FrameError, MAX_FRAME_BYTES};
+pub use crate::inmemory::InMemoryTransport;
+pub use crate::socket::{worker_main, SocketTransport, DEFAULT_SOCKET_WORKERS};
+
+use cc_runtime::{Executor, LinkLoads, Word};
+use std::fmt;
+use std::sync::Arc;
+
+/// What one node received at a round barrier.
+///
+/// Unicast words from each source are concatenated in send order; broadcast
+/// slabs keep their per-slab identity (and, on the in-memory backend, their
+/// allocation — recipients share the sender's `Arc`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Delivered {
+    /// `unicast[src]` — words this node received from `src`, in send order.
+    pub unicast: Vec<Vec<Word>>,
+    /// `broadcast[src]` — broadcast slabs from `src`, in send order. Every
+    /// node receives every slab, the sender included.
+    pub broadcast: Vec<Vec<Arc<[Word]>>>,
+}
+
+impl Delivered {
+    /// An empty delivery for a clique of `n` nodes.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Self {
+            unicast: vec![Vec::new(); n],
+            broadcast: vec![Vec::new(); n],
+        }
+    }
+}
+
+/// Everything a round barrier yields: per-node deliveries (node order) and
+/// the round's per-link word accounting in canonical `(src, dst)` order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundDelivery {
+    /// One [`Delivered`] per node, in node order.
+    pub inboxes: Vec<Delivered>,
+    /// Canonical `(src, dst)`-ordered link loads; self-links are free and
+    /// never appear.
+    pub loads: LinkLoads,
+}
+
+/// A synchronous-round message fabric for `n` clique nodes.
+///
+/// Usage is strictly round-structured: any number of [`Transport::send`] /
+/// [`Transport::broadcast`] calls queue the current round's traffic, then
+/// one [`Transport::finish_round`] executes the barrier — rendezvous with
+/// every peer, deliver, account — and advances the epoch. All backends are
+/// deterministic: identical call sequences yield identical
+/// [`RoundDelivery`]s on every backend.
+pub trait Transport: fmt::Debug + Send {
+    /// Human-readable backend name (`"inmemory"`, `"channel"`, `"socket"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of simulated nodes.
+    fn n(&self) -> usize;
+
+    /// Queues `words` on the `(src, dst)` link for the current round.
+    /// Payloads for one link concatenate in send order. Self-addressed
+    /// traffic (`src == dst`) is delivered but never charged.
+    fn send(&mut self, src: usize, dst: usize, words: &[Word]);
+
+    /// Queues `words` on the `(src, dst)` link, taking ownership (backends
+    /// may move the buffer instead of copying it).
+    fn send_vec(&mut self, src: usize, dst: usize, words: Vec<Word>) {
+        self.send(src, dst, &words);
+    }
+
+    /// Queues a broadcast slab from `src` for the current round: delivered
+    /// to every node (the sender included), charged on every `src → dst`
+    /// link with `dst ≠ src`.
+    fn broadcast(&mut self, src: usize, slab: Arc<[Word]>);
+
+    /// Executes the round barrier: every peer rendezvous on the current
+    /// epoch, queued traffic is delivered, and the round's link loads are
+    /// returned in canonical order. Advances the epoch. A round with no
+    /// queued traffic is legal and yields empty deliveries and loads.
+    fn finish_round(&mut self) -> RoundDelivery;
+
+    /// Rounds completed so far (the current epoch).
+    fn epoch(&self) -> u64;
+}
+
+/// Which [`Transport`] backend a simulation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Single-process shared-memory fabric (the reference semantics and the
+    /// default): destination-major queues drained by an executor-sharded
+    /// flush.
+    #[default]
+    InMemory,
+    /// Cross-thread fabric: one node thread + MPSC inbox queue per node,
+    /// rounds delimited by an epoch rendezvous.
+    Channel,
+    /// Multi-process fabric: `cc-clique-node` worker processes over unix
+    /// domain sockets, barrier via per-epoch round-commit tokens.
+    Socket {
+        /// Worker process count; `0` means [`DEFAULT_SOCKET_WORKERS`]
+        /// (clamped to `n`).
+        workers: usize,
+    },
+}
+
+impl TransportKind {
+    /// Parses a backend spec: `inmemory`/`memory`/`mem`, `channel`/`mpsc`,
+    /// or `socket`/`unix` (optionally suffixed `:<workers>` as in
+    /// `socket:8`). `None` for unknown names **or** malformed worker
+    /// suffixes — `socket:banana` must not silently mean "default workers".
+    #[must_use]
+    pub fn parse(raw: &str) -> Option<Self> {
+        let (name, workers) = match raw.split_once(':') {
+            Some((name, w)) => (name, Some(w.parse::<usize>().ok()?)),
+            None => (raw, None),
+        };
+        match (name.to_ascii_lowercase().as_str(), workers) {
+            ("inmemory" | "in-memory" | "memory" | "mem", None) => Some(TransportKind::InMemory),
+            ("channel" | "mpsc", None) => Some(TransportKind::Channel),
+            ("socket" | "unix", w) => Some(TransportKind::Socket {
+                workers: w.unwrap_or(0),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Resolves a `CC_TRANSPORT` spec: `None` (unset) resolves to the
+    /// fallback, a parseable value to its kind, and a malformed value to an
+    /// error carrying the raw spec so the caller can report the
+    /// misconfiguration instead of swallowing it.
+    pub fn resolve(spec: Option<&str>, fallback: TransportKind) -> Result<Self, String> {
+        match spec {
+            None => Ok(fallback),
+            Some(raw) => Self::parse(raw).ok_or_else(|| raw.to_string()),
+        }
+    }
+
+    /// Reads the backend from the `CC_TRANSPORT` environment variable,
+    /// falling back to `fallback` when unset. An unrecognised value is a
+    /// misconfiguration, not a preference for the default: it is reported
+    /// once per process (mirroring the `CC_EXEC_CUTOVER` warning) before
+    /// falling back.
+    #[must_use]
+    pub fn from_env_or(fallback: TransportKind) -> Self {
+        match Self::resolve(std::env::var("CC_TRANSPORT").ok().as_deref(), fallback) {
+            Ok(kind) => kind,
+            Err(raw) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "cc-transport: ignoring unrecognised CC_TRANSPORT={raw:?} (expected \
+                         inmemory, channel, or socket[:workers]); using {fallback:?}"
+                    );
+                });
+                fallback
+            }
+        }
+    }
+
+    /// Builds a transport of this kind for `n` nodes. The executor is used
+    /// by the in-memory backend to shard its flush; other backends have
+    /// their own concurrency (node threads, worker processes) and ignore
+    /// it.
+    #[must_use]
+    pub fn build(self, n: usize, exec: Executor) -> Box<dyn Transport> {
+        match self {
+            TransportKind::InMemory => Box::new(InMemoryTransport::new(n, exec)),
+            TransportKind::Channel => Box::new(ChannelTransport::new(n)),
+            TransportKind::Socket { workers } => Box::new(SocketTransport::new(n, workers)),
+        }
+    }
+}
+
+/// Merges per-destination load triples into one canonical [`LinkLoads`]:
+/// globally sorted by `(src, dst)`, zero and self entries already excluded
+/// by construction of the inputs (and re-filtered by `add`).
+pub(crate) fn merge_loads(mut triples: Vec<(usize, usize, usize)>) -> LinkLoads {
+    triples.sort_unstable();
+    let mut loads = LinkLoads::new();
+    for (src, dst, words) in triples {
+        loads.add(src, dst, words);
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_accepts_known_names() {
+        assert_eq!(
+            TransportKind::parse("inmemory"),
+            Some(TransportKind::InMemory)
+        );
+        assert_eq!(TransportKind::parse("MEM"), Some(TransportKind::InMemory));
+        assert_eq!(
+            TransportKind::parse("channel"),
+            Some(TransportKind::Channel)
+        );
+        assert_eq!(TransportKind::parse("mpsc"), Some(TransportKind::Channel));
+        assert_eq!(
+            TransportKind::parse("socket"),
+            Some(TransportKind::Socket { workers: 0 })
+        );
+        assert_eq!(
+            TransportKind::parse("unix:8"),
+            Some(TransportKind::Socket { workers: 8 })
+        );
+        assert_eq!(
+            TransportKind::parse("socket:0"),
+            Some(TransportKind::Socket { workers: 0 }),
+            "an explicit 0 means the default worker count"
+        );
+        assert_eq!(TransportKind::parse("telepathy"), None);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_worker_suffixes() {
+        // `socket:banana` must not silently mean "default workers" — the
+        // whole spec is rejected so `from_env_or` falls back (and warns).
+        assert_eq!(TransportKind::parse("socket:banana"), None);
+        assert_eq!(TransportKind::parse("socket:"), None, "empty suffix");
+        assert_eq!(TransportKind::parse("socket:-1"), None);
+        assert_eq!(TransportKind::parse("socket:4x"), None);
+        assert_eq!(
+            TransportKind::parse("channel:2"),
+            None,
+            "worker suffixes are socket-only"
+        );
+    }
+
+    #[test]
+    fn resolution_reports_malformed_specs() {
+        // Unset and well-formed specs resolve silently; malformed specs
+        // surface as errors (from_env_or prints the warning once), never
+        // resolve silently to anything.
+        let fb = TransportKind::InMemory;
+        assert_eq!(TransportKind::resolve(None, fb), Ok(fb));
+        assert_eq!(
+            TransportKind::resolve(Some("channel"), fb),
+            Ok(TransportKind::Channel)
+        );
+        assert_eq!(
+            TransportKind::resolve(Some("sockets"), fb),
+            Err("sockets".to_string())
+        );
+        assert_eq!(TransportKind::resolve(Some(""), fb), Err(String::new()));
+    }
+}

@@ -1,0 +1,78 @@
+//! The parent-side buffer accumulating one round's outgoing traffic.
+
+use cc_runtime::Word;
+use std::sync::Arc;
+
+/// One round's queued traffic, laid out exactly like the historical
+/// `Network`: a destination-major `n × n` queue matrix
+/// (`queues[dst * n + src]`) so one destination's incoming links occupy a
+/// contiguous block, plus per-source broadcast slab lists. The outer
+/// allocations persist across rounds; the barrier drains entries in place.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    n: usize,
+    /// `queues[dst * n + src]` (destination-major).
+    pub(crate) queues: Vec<Vec<Word>>,
+    /// `bcasts[src]` — broadcast slabs queued by `src`, in send order.
+    pub(crate) bcasts: Vec<Vec<Arc<[Word]>>>,
+}
+
+impl Pending {
+    pub(crate) fn new(n: usize) -> Self {
+        assert!(n >= 1, "transport needs at least one node");
+        Self {
+            n,
+            queues: vec![Vec::new(); n * n],
+            bcasts: vec![Vec::new(); n],
+        }
+    }
+
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    pub(crate) fn send(&mut self, src: usize, dst: usize, words: &[Word]) {
+        self.check(src, dst);
+        self.queues[dst * self.n + src].extend_from_slice(words);
+    }
+
+    pub(crate) fn send_vec(&mut self, src: usize, dst: usize, words: Vec<Word>) {
+        self.check(src, dst);
+        let q = &mut self.queues[dst * self.n + src];
+        if q.is_empty() {
+            *q = words;
+        } else {
+            q.extend(words);
+        }
+    }
+
+    pub(crate) fn broadcast(&mut self, src: usize, slab: Arc<[Word]>) {
+        assert!(src < self.n, "node index out of range (n={})", self.n);
+        if !slab.is_empty() {
+            self.bcasts[src].push(slab);
+        }
+    }
+
+    /// Per-source broadcast word totals (what each slab set charges on
+    /// every outgoing link).
+    pub(crate) fn bcast_words(&self) -> Vec<usize> {
+        self.bcasts
+            .iter()
+            .map(|slabs| slabs.iter().map(|s| s.len()).sum())
+            .collect()
+    }
+
+    /// Removes and returns the queued broadcast slabs, leaving the buffer
+    /// ready for the next round.
+    pub(crate) fn take_bcasts(&mut self) -> Vec<Vec<Arc<[Word]>>> {
+        std::mem::replace(&mut self.bcasts, vec![Vec::new(); self.n])
+    }
+
+    fn check(&self, src: usize, dst: usize) {
+        assert!(
+            src < self.n && dst < self.n,
+            "node index out of range (n={})",
+            self.n
+        );
+    }
+}

@@ -1,0 +1,484 @@
+//! The multi-process backend: a parent orchestrator and `cc-clique-node`
+//! worker processes exchanging length-prefixed frames over unix sockets.
+
+use crate::frame::{read_frame, write_frame, Frame};
+use crate::pending::Pending;
+use crate::{merge_loads, Delivered, RoundDelivery, Transport};
+use cc_runtime::Word;
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default worker-process count when [`crate::TransportKind::Socket`] has
+/// `workers: 0` (clamped to `n`). Two processes is the cheapest
+/// configuration that still exercises every cross-process code path; raise
+/// it (`CC_TRANSPORT=socket:8`) to spread node shards wider.
+pub const DEFAULT_SOCKET_WORKERS: usize = 2;
+
+/// How long the orchestrator waits for all workers to connect before
+/// declaring the spawn failed.
+const ACCEPT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// True multi-process simulation: the orchestrator spawns `cc-clique-node`
+/// worker processes, each simulating a contiguous shard of destination
+/// nodes, and ships every round's traffic to them as length-prefixed
+/// [`Frame`]s over a unix domain socket. Each worker assembles its nodes'
+/// inboxes, computes its shard of the per-link accounting, echoes the
+/// assembled rows back, and closes the round with a **round-commit token**
+/// ([`Frame::Commit`]) carrying the epoch; the barrier completes only when
+/// every worker has committed the epoch, so a lost or reordered round fails
+/// loudly.
+///
+/// Broadcast slabs cross the socket once per worker (real traffic, counted
+/// by the workers); the delivered broadcast lanes are reassembled from the
+/// orchestrator's copy of the slabs rather than echoed back, exactly as a
+/// distributed deployment would avoid returning immutable shared data to
+/// the node that published it.
+///
+/// The worker binary is located via the `CC_NODE_BIN` environment variable,
+/// next to the current executable, or in the build's target directory.
+#[derive(Debug)]
+pub struct SocketTransport {
+    pending: Pending,
+    epoch: u64,
+    workers: Vec<Worker>,
+    socket_path: PathBuf,
+}
+
+#[derive(Debug)]
+struct Worker {
+    child: Child,
+    reader: BufReader<UnixStream>,
+    writer: BufWriter<UnixStream>,
+    /// Destination shard `[lo, hi)` this worker simulates.
+    lo: usize,
+    hi: usize,
+}
+
+impl SocketTransport {
+    /// Spawns `workers` `cc-clique-node` processes (`0` means
+    /// [`DEFAULT_SOCKET_WORKERS`], always clamped to `n`) and connects them
+    /// over a fresh unix socket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker binary cannot be found or the processes fail to
+    /// connect — a broken multi-process setup must fail loudly, not degrade
+    /// into a different backend.
+    #[must_use]
+    pub fn new(n: usize, workers: usize) -> Self {
+        let w = if workers == 0 {
+            DEFAULT_SOCKET_WORKERS
+        } else {
+            workers
+        }
+        .clamp(1, n);
+        let socket_path = fresh_socket_path();
+        let listener = UnixListener::bind(&socket_path)
+            .unwrap_or_else(|e| panic!("bind {}: {e}", socket_path.display()));
+        listener
+            .set_nonblocking(true)
+            .expect("non-blocking accept loop");
+        let bin = node_binary();
+
+        let mut children = Vec::with_capacity(w);
+        for worker in 0..w {
+            let (lo, hi) = shard(n, w, worker);
+            let child = Command::new(&bin)
+                .arg(&socket_path)
+                .args([
+                    worker.to_string(),
+                    lo.to_string(),
+                    (hi - lo).to_string(),
+                    n.to_string(),
+                ])
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawn {}: {e}", bin.display()));
+            children.push(Some(child));
+        }
+
+        // Workers connect in arbitrary order and identify themselves with a
+        // Hello frame.
+        let mut slots: Vec<Option<Worker>> = (0..w).map(|_| None).collect();
+        let deadline = Instant::now() + ACCEPT_DEADLINE;
+        for _ in 0..w {
+            let stream = accept_one(&listener, &mut children, deadline);
+            stream
+                .set_nonblocking(false)
+                .expect("blocking worker stream");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone worker stream"));
+            let writer = BufWriter::new(stream);
+            let worker = match read_frame(&mut reader).expect("worker greeting") {
+                Frame::Hello { worker } => worker as usize,
+                other => panic!("expected Hello from worker, got {other:?}"),
+            };
+            let (lo, hi) = shard(n, w, worker);
+            assert!(slots[worker].is_none(), "worker {worker} connected twice");
+            slots[worker] = Some(Worker {
+                child: children[worker].take().expect("child handle"),
+                reader,
+                writer,
+                lo,
+                hi,
+            });
+        }
+
+        Self {
+            pending: Pending::new(n),
+            epoch: 0,
+            workers: slots
+                .into_iter()
+                .map(|s| s.expect("every worker connected"))
+                .collect(),
+            socket_path,
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn name(&self) -> &'static str {
+        "socket"
+    }
+
+    fn n(&self) -> usize {
+        self.pending.n()
+    }
+
+    fn send(&mut self, src: usize, dst: usize, words: &[Word]) {
+        self.pending.send(src, dst, words);
+    }
+
+    fn send_vec(&mut self, src: usize, dst: usize, words: Vec<Word>) {
+        self.pending.send_vec(src, dst, words);
+    }
+
+    fn broadcast(&mut self, src: usize, slab: Arc<[Word]>) {
+        self.pending.broadcast(src, slab);
+    }
+
+    fn finish_round(&mut self) -> RoundDelivery {
+        let n = self.pending.n();
+        let epoch = self.epoch;
+        let bcasts = self.pending.take_bcasts();
+        let bcast_frames: Vec<Vec<u8>> = bcasts
+            .iter()
+            .enumerate()
+            .flat_map(|(src, slabs)| {
+                slabs.iter().map(move |slab| {
+                    Frame::Bcast {
+                        epoch,
+                        src: src as u32,
+                        words: slab.to_vec(),
+                    }
+                    .encode()
+                })
+            })
+            .collect();
+
+        // Ship phase: every worker receives its shard's unicast queues, all
+        // broadcast slabs, and the round delimiter. Workers drain their
+        // input completely before echoing, so these writes cannot deadlock
+        // against the echo phase.
+        for wk in &mut self.workers {
+            for dst in wk.lo..wk.hi {
+                for src in 0..n {
+                    let words = std::mem::take(&mut self.pending.queues[dst * n + src]);
+                    if words.is_empty() {
+                        continue;
+                    }
+                    let frame = Frame::Payload {
+                        epoch,
+                        src: src as u32,
+                        dst: dst as u32,
+                        words,
+                    };
+                    write_frame(&mut wk.writer, &frame).expect("ship round to worker");
+                }
+            }
+            for bytes in &bcast_frames {
+                wk.writer
+                    .write_all(&(bytes.len() as u32).to_le_bytes())
+                    .and_then(|()| wk.writer.write_all(bytes))
+                    .expect("ship broadcast to worker");
+            }
+            write_frame(&mut wk.writer, &Frame::RoundEnd { epoch }).expect("delimit round");
+            wk.writer.flush().expect("flush round to worker");
+        }
+
+        // Barrier: collect every worker's echoed inbox rows and its
+        // round-commit token for this epoch.
+        let mut inboxes = vec![Delivered::empty(n); n];
+        let mut all_loads = Vec::new();
+        for wk in &mut self.workers {
+            loop {
+                match read_frame(&mut wk.reader).expect("read worker round") {
+                    Frame::Payload {
+                        epoch: e,
+                        src,
+                        dst,
+                        words,
+                    } => {
+                        assert_eq!(e, epoch, "worker echoed a different epoch");
+                        let (src, dst) = (src as usize, dst as usize);
+                        assert!(
+                            (wk.lo..wk.hi).contains(&dst),
+                            "worker echoed a destination outside its shard"
+                        );
+                        let lane = &mut inboxes[dst].unicast[src];
+                        if lane.is_empty() {
+                            *lane = words;
+                        } else {
+                            lane.extend(words);
+                        }
+                    }
+                    Frame::Commit { epoch: e, loads } => {
+                        assert_eq!(e, epoch, "round-commit token for a different epoch");
+                        all_loads.extend(
+                            loads
+                                .into_iter()
+                                .map(|(s, d, w)| (s as usize, d as usize, w as usize)),
+                        );
+                        break;
+                    }
+                    other => panic!("unexpected frame from worker: {other:?}"),
+                }
+            }
+        }
+
+        // Broadcast lanes: reassembled from the orchestrator's slabs (the
+        // workers counted them; see the struct docs).
+        for delivered in &mut inboxes {
+            for (src, slabs) in bcasts.iter().enumerate() {
+                if !slabs.is_empty() {
+                    delivered.broadcast[src] = slabs.clone();
+                }
+            }
+        }
+
+        self.epoch += 1;
+        RoundDelivery {
+            inboxes,
+            loads: merge_loads(all_loads),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        for wk in &mut self.workers {
+            let _ = write_frame(&mut wk.writer, &Frame::Shutdown);
+            let _ = wk.writer.flush();
+        }
+        for wk in &mut self.workers {
+            let _ = wk.child.wait();
+        }
+        let _ = std::fs::remove_file(&self.socket_path);
+    }
+}
+
+/// The contiguous destination shard `[lo, hi)` of `worker` among `w`
+/// workers over `n` nodes.
+fn shard(n: usize, w: usize, worker: usize) -> (usize, usize) {
+    (worker * n / w, (worker + 1) * n / w)
+}
+
+fn fresh_socket_path() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("cc-clique-{}-{id}.sock", std::process::id()))
+}
+
+/// Locates the `cc-clique-node` worker binary: the `CC_NODE_BIN` override,
+/// then next to (or one/two levels above) the current executable — which
+/// covers installed binaries, test executables in `target/<profile>/deps`,
+/// and examples in `target/<profile>/examples` — then the build-time target
+/// directory baked in by `build.rs` (which covers doctests, whose
+/// executables live in temporary directories).
+fn node_binary() -> PathBuf {
+    if let Ok(path) = std::env::var("CC_NODE_BIN") {
+        return PathBuf::from(path);
+    }
+    let mut candidates = Vec::new();
+    if let Ok(exe) = std::env::current_exe() {
+        if let Some(dir) = exe.parent() {
+            candidates.push(dir.join("cc-clique-node"));
+            candidates.push(dir.join("..").join("cc-clique-node"));
+            candidates.push(dir.join("..").join("..").join("cc-clique-node"));
+        }
+    }
+    candidates.push(PathBuf::from(env!("CC_TRANSPORT_PROFILE_DIR")).join("cc-clique-node"));
+    for c in &candidates {
+        if c.is_file() {
+            return c.clone();
+        }
+    }
+    panic!(
+        "cc-clique-node worker binary not found (searched {candidates:?}); build it with \
+         `cargo build -p cc-transport` or point CC_NODE_BIN at it"
+    );
+}
+
+/// Accepts one worker connection, polling so that a worker that died before
+/// connecting (bad binary, crash on startup) is reported instead of hanging
+/// the orchestrator forever.
+fn accept_one(
+    listener: &UnixListener,
+    children: &mut [Option<Child>],
+    deadline: Instant,
+) -> UnixStream {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => return stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                for (i, child) in children.iter_mut().enumerate() {
+                    if let Some(c) = child {
+                        if let Ok(Some(status)) = c.try_wait() {
+                            panic!("cc-clique-node worker {i} exited before connecting: {status}");
+                        }
+                    }
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "cc-clique-node workers did not connect within {ACCEPT_DEADLINE:?}"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => panic!("accept worker connection: {e}"),
+        }
+    }
+}
+
+/// The `cc-clique-node` worker process body: connect to the orchestrator,
+/// greet, then serve rounds — buffer the epoch's frames, assemble the owned
+/// destination shard's inbox rows and per-link accounting, echo the rows,
+/// and commit the epoch — until told to shut down.
+///
+/// `lo` is the first owned destination, `count` the shard width, `n` the
+/// clique size.
+pub fn worker_main(
+    socket: &std::path::Path,
+    worker: u32,
+    lo: usize,
+    count: usize,
+    n: usize,
+) -> io::Result<()> {
+    let stream = UnixStream::connect(socket)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, &Frame::Hello { worker })?;
+    writer.flush()?;
+
+    let mut epoch = 0u64;
+    loop {
+        // rows[(dst - lo) * n + src]: assembled unicast lanes for the shard.
+        let mut rows: Vec<Vec<Word>> = vec![Vec::new(); count * n];
+        let mut bcast_words = vec![0usize; n];
+        loop {
+            match read_frame(&mut reader)? {
+                Frame::Payload {
+                    epoch: e,
+                    src,
+                    dst,
+                    words,
+                } => {
+                    check(e == epoch, "payload from a different epoch")?;
+                    let (src, dst) = (src as usize, dst as usize);
+                    check(
+                        src < n && (lo..lo + count).contains(&dst),
+                        "misrouted payload",
+                    )?;
+                    let lane = &mut rows[(dst - lo) * n + src];
+                    if lane.is_empty() {
+                        *lane = words;
+                    } else {
+                        lane.extend(words);
+                    }
+                }
+                Frame::Bcast {
+                    epoch: e,
+                    src,
+                    words,
+                } => {
+                    check(e == epoch, "broadcast from a different epoch")?;
+                    check((src as usize) < n, "broadcast source out of range")?;
+                    bcast_words[src as usize] += words.len();
+                }
+                Frame::RoundEnd { epoch: e } => {
+                    check(e == epoch, "round delimiter epoch mismatch")?;
+                    break;
+                }
+                Frame::Shutdown => return Ok(()),
+                other => return Err(protocol_error(&format!("unexpected frame {other:?}"))),
+            }
+        }
+
+        let mut loads: Vec<(u32, u32, u64)> = Vec::new();
+        for d in 0..count {
+            let dst = lo + d;
+            for src in 0..n {
+                let row = std::mem::take(&mut rows[d * n + src]);
+                let charged = if src == dst {
+                    0 // self messages are local moves and free
+                } else {
+                    row.len() + bcast_words[src]
+                };
+                if !row.is_empty() {
+                    let frame = Frame::Payload {
+                        epoch,
+                        src: src as u32,
+                        dst: dst as u32,
+                        words: row,
+                    };
+                    write_frame(&mut writer, &frame)?;
+                }
+                if charged > 0 {
+                    loads.push((src as u32, dst as u32, charged as u64));
+                }
+            }
+        }
+        write_frame(&mut writer, &Frame::Commit { epoch, loads })?;
+        writer.flush()?;
+        epoch += 1;
+    }
+}
+
+fn check(ok: bool, msg: &str) -> io::Result<()> {
+    if ok {
+        Ok(())
+    } else {
+        Err(protocol_error(msg))
+    }
+}
+
+fn protocol_error(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_partition_the_node_range() {
+        for n in [1, 2, 5, 16, 257] {
+            for w in 1..=n.min(8) {
+                let mut covered = 0;
+                for worker in 0..w {
+                    let (lo, hi) = shard(n, w, worker);
+                    assert_eq!(lo, covered, "shards must be contiguous");
+                    assert!(hi > lo || n < w, "no empty shards when n >= w");
+                    covered = hi;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+}

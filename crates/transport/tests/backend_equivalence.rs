@@ -1,0 +1,115 @@
+//! Cross-backend equivalence at the transport level: for any round
+//! sequence, the channel and socket fabrics must reproduce the in-memory
+//! fabric's deliveries and accounting bit for bit — including empty rounds,
+//! self messages, and broadcast lanes.
+
+use cc_runtime::{Executor, ExecutorKind};
+use cc_transport::{RoundDelivery, Transport, TransportKind};
+use proptest::prelude::*;
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Drives `rounds` pseudo-random rounds (unicast bursts, self messages,
+/// broadcast slabs, and one deliberately empty round) and returns every
+/// round's delivery.
+fn drive(t: &mut dyn Transport, n: usize, rounds: u64, seed: u64) -> Vec<RoundDelivery> {
+    let mut out = Vec::new();
+    for r in 0..rounds {
+        if r == 1 {
+            // An empty round: the rendezvous must still fire.
+            out.push(t.finish_round());
+            continue;
+        }
+        for src in 0..n {
+            let h = splitmix(seed ^ (r << 32) ^ src as u64);
+            for shot in 0..h % 4 {
+                let hh = splitmix(h ^ shot);
+                let dst = (hh % n as u64) as usize;
+                let words: Vec<u64> = (0..1 + (hh >> 8) % 5).map(|j| hh ^ j).collect();
+                t.send(src, dst, &words);
+            }
+            if h.is_multiple_of(3) {
+                let slab: Vec<u64> = (0..1 + h % 3).map(|j| h.wrapping_mul(j + 1)).collect();
+                t.broadcast(src, slab.into());
+            }
+        }
+        out.push(t.finish_round());
+    }
+    assert_eq!(t.epoch(), rounds);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn channel_and_socket_match_inmemory(
+        n in 2usize..10,
+        rounds in 1u64..5,
+        seed in 0u64..1_000_000,
+        workers in 1usize..4,
+    ) {
+        let exec = || Executor::new(ExecutorKind::Sequential);
+        let mut reference = TransportKind::InMemory.build(n, exec());
+        let expected = drive(&mut *reference, n, rounds, seed);
+        for kind in [TransportKind::Channel, TransportKind::Socket { workers }] {
+            let mut t = kind.build(n, exec());
+            let got = drive(&mut *t, n, rounds, seed);
+            prop_assert_eq!(&got, &expected, "{:?} diverged", kind);
+        }
+    }
+}
+
+#[test]
+fn loads_are_canonical_on_every_backend() {
+    for kind in [
+        TransportKind::InMemory,
+        TransportKind::Channel,
+        TransportKind::Socket { workers: 2 },
+    ] {
+        let mut t = kind.build(5, Executor::new(ExecutorKind::Sequential));
+        t.send(3, 1, &[1, 2]);
+        t.send(0, 4, &[7]);
+        t.broadcast(2, vec![9].into());
+        t.send(1, 1, &[5]); // self: free
+        let rd = t.finish_round();
+        let got: Vec<_> = rd.loads.iter().collect();
+        assert_eq!(
+            got,
+            vec![
+                (0, 4, 1),
+                (2, 0, 1),
+                (2, 1, 1),
+                (2, 3, 1),
+                (2, 4, 1),
+                (3, 1, 2)
+            ],
+            "{kind:?} loads must be in canonical (src, dst) order"
+        );
+        assert_eq!(rd.inboxes[1].unicast[1], vec![5], "self delivery");
+    }
+}
+
+#[test]
+fn single_node_clique_is_all_self_traffic() {
+    // Degenerate but legal at the transport level: everything is a local
+    // move, nothing is ever charged.
+    for kind in [
+        TransportKind::InMemory,
+        TransportKind::Channel,
+        TransportKind::Socket { workers: 1 },
+    ] {
+        let mut t = kind.build(1, Executor::new(ExecutorKind::Sequential));
+        t.send(0, 0, &[1, 2, 3]);
+        t.broadcast(0, vec![4].into());
+        let rd = t.finish_round();
+        assert_eq!(rd.loads.words(), 0, "{kind:?}");
+        assert_eq!(rd.inboxes[0].unicast[0], vec![1, 2, 3]);
+        assert_eq!(&*rd.inboxes[0].broadcast[0][0], &[4]);
+    }
+}

@@ -7,6 +7,9 @@
 //! * [`runtime`] — the sharded, multi-threaded execution engine
 //!   ([`NodeProgram`](runtime::NodeProgram) state machines, pluggable
 //!   [`Sequential`/`Parallel`](runtime::ExecutorKind) executors).
+//! * [`transport`] — pluggable message fabrics carrying the simulation's
+//!   traffic: in-memory, cross-thread channels, multi-process unix
+//!   sockets.
 //! * [`clique`] — the congested clique simulator (rounds, links, routing).
 //! * [`algebra`] — semirings, rings, matrices, bilinear (Strassen) algorithms.
 //! * [`graph`] — graph types, generators, and centralized reference oracles.
@@ -154,6 +157,45 @@
 //! its results and accounting are bit-identical across backends (pinned in
 //! `tests/runtime_determinism.rs`); `BENCH_sparse.json` holds the nnz
 //! sweep (sparse vs dense rounds/words/wall-clock at `n ∈ {64, 128, 256}`).
+//!
+//! ## Transport layer
+//!
+//! Executors decide *who computes*; the [`transport`] layer decides *where
+//! the words travel*. Every communication step — exchange flushes, both
+//! balanced-routing phases, broadcasts, gossip, and each
+//! [`NodeProgram`](runtime::NodeProgram) engine round — ships its traffic
+//! through a pluggable [`Transport`](transport::Transport) whose round
+//! barrier is a rendezvous, selected by
+//! [`CliqueConfig::transport`](clique::CliqueConfig):
+//!
+//! * [`TransportKind::InMemory`](transport::TransportKind) — the classical
+//!   shared-memory fabric: a destination-major queue matrix drained by an
+//!   executor-sharded flush (the default, and the reference semantics);
+//! * [`TransportKind::Channel`](transport::TransportKind) — one OS thread
+//!   and one MPSC inbox queue per simulated node; rounds are delimited by
+//!   an epoch rendezvous in which every node returns its assembled inbox
+//!   and per-link accounting;
+//! * [`TransportKind::Socket`](transport::TransportKind) — **true
+//!   multi-process simulation**: the parent spawns `cc-clique-node` worker
+//!   processes, each simulating a shard of nodes, and every round's words
+//!   cross unix domain sockets as length-prefixed frames
+//!   ([`transport::Frame`], property-tested to round-trip bit-exactly).
+//!   The barrier is a *round-commit token*: a round is charged only after
+//!   every worker commits its epoch.
+//!
+//! The determinism contract extends across fabrics: deliveries, rounds,
+//! words, pattern fingerprints, and barrier epochs are **bit-identical**
+//! on all three (pinned across the transport × executor matrix in
+//! `tests/runtime_determinism.rs`), so where the traffic travels is a
+//! deployment choice, never a semantics choice. `CC_TRANSPORT`
+//! (`inmemory` / `channel` / `socket[:workers]`) retargets every
+//! default-configured simulation the way `CC_EXECUTOR` does for
+//! executors — CI runs the full suite on each fabric — and an
+//! unrecognised value is reported once, not silently swallowed.
+//! `BENCH_transport.json` quantifies the overhead (fast_mm at
+//! `n ∈ {64, 128, 256}`: thread queues ≈ 3–4.5×, worker processes ≈
+//! 2.5–3× the shared-memory wall-clock on the CI host); the
+//! `multi_process` example drives the socket orchestrator end to end.
 
 pub use cc_algebra as algebra;
 pub use cc_apsp as apsp;
@@ -164,3 +206,4 @@ pub use cc_core as core;
 pub use cc_graph as graph;
 pub use cc_runtime as runtime;
 pub use cc_subgraph as subgraph;
+pub use cc_transport as transport;

@@ -5,7 +5,7 @@
 
 use congested_clique::algebra::{IntRing, Matrix};
 use congested_clique::apsp;
-use congested_clique::clique::{Clique, CliqueConfig, ExecutorKind};
+use congested_clique::clique::{Clique, CliqueConfig, ExecutorKind, TransportKind};
 use congested_clique::core::{fast_mm, semiring_mm, RowMatrix};
 use congested_clique::graph::generators;
 use congested_clique::subgraph;
@@ -20,6 +20,26 @@ fn cfg(kind: ExecutorKind) -> CliqueConfig {
         exec_cutover: Some(2),
         ..CliqueConfig::default()
     }
+}
+
+fn cfg_transport(kind: TransportKind) -> CliqueConfig {
+    CliqueConfig {
+        record_patterns: true,
+        transport: kind,
+        ..CliqueConfig::default()
+    }
+}
+
+/// The transport axis of the determinism matrix: the in-memory reference,
+/// the cross-thread channel fabric, and the multi-process socket fabric
+/// (both worker-count extremes the test budget allows).
+fn transport_axis() -> [TransportKind; 4] {
+    [
+        TransportKind::InMemory,
+        TransportKind::Channel,
+        TransportKind::Socket { workers: 1 },
+        TransportKind::Socket { workers: 3 },
+    ]
 }
 fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -153,13 +173,18 @@ struct AlgoOutcome {
     rounds: u64,
     words: u64,
     fingerprints: Vec<u64>,
+    epochs: u64,
 }
 
 fn run_algorithms(kind: ExecutorKind, n: usize, seed: u64) -> AlgoOutcome {
+    run_algorithms_with(cfg(kind), n, seed)
+}
+
+fn run_algorithms_with(config: CliqueConfig, n: usize, seed: u64) -> AlgoOutcome {
     let weighted = generators::weighted_gnp(n, 0.3, 9, true, seed);
     let undirected = generators::gnp(n, 0.25, seed ^ 0x5a5a);
 
-    let mut c = Clique::with_config(n, cfg(kind));
+    let mut c = Clique::with_config(n, config);
     let tables = apsp::apsp_exact(&mut c, &weighted);
     let apsp_hops = (0..n)
         .flat_map(|u| (0..n).map(move |v| (u, v)))
@@ -181,6 +206,7 @@ fn run_algorithms(kind: ExecutorKind, n: usize, seed: u64) -> AlgoOutcome {
         rounds: c.rounds(),
         words: c.stats().words(),
         fingerprints: c.stats().pattern_fingerprints().to_vec(),
+        epochs: c.transport_epochs(),
     }
 }
 
@@ -410,6 +436,120 @@ fn pooled_clique_spawns_workers_exactly_once() {
         3,
         "no per-call spawns on the pooled backend"
     );
+}
+
+/// The transport axis of the determinism matrix (mirroring the executor
+/// axis above): APSP tables, triangle counts (closure and NodeProgram),
+/// 4-cycle detection, girth, rounds, words, pattern fingerprints, AND
+/// barrier epochs are bit-identical whether the traffic moves through the
+/// in-memory sharded flush, per-node thread queues, or worker processes on
+/// the far side of a unix socket.
+#[test]
+fn algorithms_are_transport_independent() {
+    let n = 12;
+    let seed = 41;
+    let reference = run_algorithms_with(cfg_transport(TransportKind::InMemory), n, seed);
+    assert!(reference.rounds > 0 && reference.epochs > 0);
+    for kind in transport_axis() {
+        let got = run_algorithms_with(cfg_transport(kind), n, seed);
+        assert_eq!(reference, got, "transport {kind:?} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random primitive workloads — exchanges, balanced routing, gossip,
+    /// broadcasts — deliver the same inboxes and charge the same rounds,
+    /// words, and fingerprints on every transport backend.
+    #[test]
+    fn random_send_patterns_are_transport_independent(
+        n in 2usize..14,
+        seed in 0u64..1_000_000,
+    ) {
+        let run = |kind: TransportKind| {
+            let mut c = Clique::with_config(n, cfg_transport(kind));
+            let via_links = c.exchange_par(pattern(n, seed));
+            let via_relays = c.route_dynamic(pattern(n, seed ^ 0xabc));
+            let union = c.gossip(|v| vec![seed ^ v as u64; v % 3]);
+            let knowledge = c.broadcast(|v| seed.wrapping_mul(v as u64 + 1));
+            let inboxes: Vec<Vec<Vec<u64>>> = (0..n)
+                .map(|dst| {
+                    (0..n)
+                        .map(|src| {
+                            let mut all = via_links.received(dst, src).to_vec();
+                            all.extend_from_slice(via_relays.received(dst, src));
+                            all
+                        })
+                        .collect()
+                })
+                .collect();
+            (
+                inboxes,
+                union,
+                knowledge,
+                c.rounds(),
+                c.stats().words(),
+                c.stats().pattern_fingerprints().to_vec(),
+                c.transport_epochs(),
+            )
+        };
+        let reference = run(TransportKind::InMemory);
+        for kind in [TransportKind::Channel, TransportKind::Socket { workers: 2 }] {
+            let got = run(kind);
+            prop_assert_eq!(&got, &reference, "transport {:?} diverged", kind);
+        }
+    }
+}
+
+/// Transports compose with executors: the full backend matrix (pooled and
+/// spawn executors × channel and socket fabrics) reproduces the
+/// sequential/in-memory reference on the paper's multiplication engines.
+#[test]
+fn matrix_multiplication_is_transport_and_executor_independent() {
+    let n = 24;
+    let a = rand_matrix(n, 91);
+    let b = rand_matrix(n, 17);
+    let expected = Matrix::mul(&IntRing, &a, &b);
+
+    let run = |config: CliqueConfig| {
+        let mut c = Clique::with_config(n, config);
+        let fast = fast_mm::multiply_auto(
+            &mut c,
+            &IntRing,
+            &RowMatrix::from_matrix(&a),
+            &RowMatrix::from_matrix(&b),
+        );
+        (
+            fast.to_matrix(),
+            c.rounds(),
+            c.stats().words(),
+            c.stats().pattern_fingerprints().to_vec(),
+            c.transport_epochs(),
+        )
+    };
+
+    let reference = run(cfg_transport(TransportKind::InMemory));
+    assert_eq!(reference.0, expected, "fast_mm must be correct");
+    for transport in [TransportKind::Channel, TransportKind::Socket { workers: 2 }] {
+        for executor in [
+            ExecutorKind::Sequential,
+            ExecutorKind::Parallel { threads: 3 },
+            ExecutorKind::Spawn { threads: 2 },
+        ] {
+            let config = CliqueConfig {
+                transport,
+                executor,
+                exec_cutover: Some(2),
+                ..cfg_transport(transport)
+            };
+            assert_eq!(
+                run(config),
+                reference,
+                "{transport:?} × {executor:?} diverged"
+            );
+        }
+    }
 }
 
 #[test]
