@@ -9,8 +9,9 @@ use cc_graph::Graph;
 /// Distances and routing tables produced by [`apsp_exact`].
 ///
 /// `routing[u][v]` is the first hop of a shortest `u → v` path (an
-/// out-neighbour of `u`), the paper's `R[u, v]`.
-#[derive(Debug, Clone)]
+/// out-neighbour of `u`), the paper's `R[u, v]`. Equality compares both
+/// tables entry-wise (the cached-result tests pin bit-identical replay).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApspTables {
     /// Exact shortest-path distances.
     pub dist: RowMatrix<Dist>,

@@ -102,8 +102,12 @@ impl CliqueConfig {
         }
     }
 
-    /// Builds the executor this configuration describes.
-    fn build_executor(&self) -> Executor {
+    /// Builds the executor this configuration describes. Public so hosts
+    /// that create many cliques (e.g. a `cc-service` warm pool) can build
+    /// the executor **once** and share the handle across instances via
+    /// [`Clique::with_config_and_executor`].
+    #[must_use]
+    pub fn build_executor(&self) -> Executor {
         match self.exec_cutover {
             Some(cutover) => Executor::with_cutover(self.executor, cutover),
             None => Executor::new(self.executor),
@@ -158,11 +162,27 @@ impl Clique {
     /// Panics if `n < 2`.
     #[must_use]
     pub fn with_config(n: usize, cfg: CliqueConfig) -> Self {
+        let exec = cfg.build_executor();
+        Self::with_config_and_executor(n, cfg, exec)
+    }
+
+    /// Creates a clique with an explicit configuration **and** a pre-built
+    /// executor handle, instead of building one from the config. Executor
+    /// handles are cheap clones sharing one persistent worker pool, so this
+    /// is the seam that lets many cliques — e.g. every instance of a
+    /// `cc-service` warm pool — share a single pool of OS threads rather
+    /// than spawning one per instance. Results are identical either way;
+    /// only thread ownership changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn with_config_and_executor(n: usize, cfg: CliqueConfig, exec: Executor) -> Self {
         assert!(
             n >= 2,
             "a congested clique needs at least 2 nodes (got {n})"
         );
-        let exec = cfg.build_executor();
         Self {
             n,
             net: Network::new(n, cfg.transport.build(n, exec.clone())),
@@ -170,6 +190,20 @@ impl Clique {
             exec,
             cfg,
         }
+    }
+
+    /// Resets the accounting — rounds, words, phases, pattern fingerprints
+    /// — to a fresh-clique state while keeping the warm infrastructure: the
+    /// executor (and its worker pool), the transport (and its node threads
+    /// or worker processes), and the configuration all survive. This is the
+    /// instance-reuse seam warm pools are built on: because every
+    /// primitive's relay draws depend only on the configuration and the
+    /// messages of the current call — never on history — a reset clique
+    /// produces answers, rounds, words, and fingerprints bit-identical to
+    /// a newly built one. (Transport barrier epochs keep counting across
+    /// resets; they are a lifetime diagnostic, not per-run accounting.)
+    pub fn reset(&mut self) {
+        self.stats = Stats::new(self.cfg.record_patterns);
     }
 
     /// Creates a clique of `n` nodes executing on a parallel backend sized
@@ -817,5 +851,51 @@ mod tests {
     #[should_panic(expected = "at least 2 nodes")]
     fn tiny_clique_rejected() {
         let _ = Clique::new(1);
+    }
+
+    #[test]
+    fn reset_replays_a_fresh_clique_bit_for_bit() {
+        let cfg = CliqueConfig {
+            record_patterns: true,
+            ..CliqueConfig::default()
+        };
+        let workload = |c: &mut Clique| {
+            let ib = c.route(|v| vec![((v + 1) % 6, vec![v as u64 * 3, v as u64])]);
+            let sum = c.sum_all(|v| v as i64);
+            let received: Vec<_> = (0..6)
+                .map(|d| ib.received(d, (d + 5) % 6).to_vec())
+                .collect();
+            (
+                received,
+                sum,
+                c.rounds(),
+                c.stats().words(),
+                c.stats().pattern_fingerprints().to_vec(),
+            )
+        };
+        let mut fresh = Clique::with_config(6, cfg.clone());
+        let reference = workload(&mut fresh);
+
+        // A warm instance, reset between runs, replays the fresh run
+        // exactly — the contract warm pools rely on.
+        let mut warm = Clique::with_config(6, cfg);
+        for _ in 0..3 {
+            warm.reset();
+            assert_eq!(warm.rounds(), 0, "reset zeroes the accounting");
+            assert_eq!(workload(&mut warm), reference);
+        }
+        assert!(warm.transport_epochs() > 0, "epochs survive resets");
+    }
+
+    #[test]
+    fn shared_executor_handle_is_used_not_rebuilt() {
+        let exec = Executor::new(ExecutorKind::Parallel { threads: 3 });
+        assert_eq!(exec.threads_spawned(), 2);
+        let a = Clique::with_config_and_executor(4, CliqueConfig::default(), exec.clone());
+        let b = Clique::with_config_and_executor(4, CliqueConfig::default(), exec.clone());
+        // Neither clique spawned workers of its own: both share the pool.
+        assert_eq!(exec.threads_spawned(), 2);
+        assert_eq!(a.executor().threads_spawned(), 2);
+        assert_eq!(b.executor().threads_spawned(), 2);
     }
 }

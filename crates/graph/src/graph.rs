@@ -197,6 +197,38 @@ impl Graph {
         self.edges().iter().map(|&(_, _, w)| w).max()
     }
 
+    /// A deterministic 64-bit content fingerprint: two graphs have equal
+    /// fingerprints exactly when they have the same node count, direction,
+    /// and weighted edge set (up to the astronomically unlikely hash
+    /// collision). Unlike `Hash`-derived values this is stable across
+    /// processes and runs — no per-process `RandomState` — so it can key
+    /// registries and result caches that promise bit-identical replay
+    /// (the `cc-service` graph registry is the primary consumer).
+    ///
+    /// The hash is FNV-1a over `(n, directed, m)` and the canonical edge
+    /// list (each undirected edge once with `u < v`, in sorted order).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.n as u64);
+        mix(u64::from(self.directed));
+        mix(self.m as u64);
+        for u in 0..self.n {
+            for (&v, &w) in &self.adj[u] {
+                if self.directed || u < v {
+                    mix(u as u64);
+                    mix(v as u64);
+                    mix(w as u64);
+                }
+            }
+        }
+        h
+    }
+
     /// Returns a copy with `extra` additional isolated nodes appended —
     /// the padding used to reach clique sizes with convenient arithmetic
     /// structure. Isolated nodes change no cycle counts and no finite
@@ -268,6 +300,32 @@ mod tests {
         assert_eq!(p.n(), 5);
         assert_eq!(p.m(), 1);
         assert_eq!(p.degree(4), 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_construction_order() {
+        let mut a = Graph::undirected(4);
+        a.add_edge(0, 1);
+        a.add_weighted_edge(2, 3, 5);
+        let mut b = Graph::undirected(4);
+        b.add_weighted_edge(3, 2, 5); // same edge set, different call order
+        b.add_edge(1, 0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // Every content axis moves the fingerprint: node count, direction,
+        // edge set, weights.
+        assert_ne!(a.fingerprint(), a.padded(1).fingerprint());
+        let mut directed = Graph::directed(4);
+        directed.add_edge(0, 1);
+        directed.add_weighted_edge(2, 3, 5);
+        assert_ne!(a.fingerprint(), directed.fingerprint());
+        let mut heavier = Graph::undirected(4);
+        heavier.add_edge(0, 1);
+        heavier.add_weighted_edge(2, 3, 6);
+        assert_ne!(a.fingerprint(), heavier.fingerprint());
+        let mut extra = a.clone();
+        extra.add_edge(0, 2);
+        assert_ne!(a.fingerprint(), extra.fingerprint());
     }
 
     #[test]

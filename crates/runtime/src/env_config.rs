@@ -1,0 +1,131 @@
+//! One shared environment-knob parser for every `CC_*` configuration
+//! variable.
+//!
+//! Several layers read their defaults from the environment — `CC_EXECUTOR`
+//! (execution backend), `CC_EXEC_CUTOVER` (small-`n` inline threshold),
+//! `CC_TRANSPORT` (message fabric), `CC_SERVICE` (query-serving scheduler) —
+//! and all of them want the same contract:
+//!
+//! * **unset** means "use the fallback", silently;
+//! * a **parseable** value wins;
+//! * a **malformed** value is a misconfiguration, not a preference for the
+//!   default: it is reported once per process *per variable* on stderr, and
+//!   then the fallback is used.
+//!
+//! Before this module existed that contract was hand-cloned (with its
+//! `static Once` warning guard) in every crate that read a variable; now
+//! each knob is one [`from_env_or`] call, and [`resolve`] exposes the pure
+//! spec-resolution step for unit tests that must not touch the process
+//! environment (the variables are process-global, and CI sets them for
+//! whole suite runs).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Resolves an environment spec against a parser without touching the
+/// environment: `None` (variable unset) resolves to the fallback, a
+/// parseable value to its parse, and a malformed value to an `Err` carrying
+/// the raw spec so the caller can report the misconfiguration instead of
+/// swallowing it.
+pub fn resolve<T>(
+    spec: Option<&str>,
+    fallback: T,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> Result<T, String> {
+    match spec {
+        None => Ok(fallback),
+        Some(raw) => parse(raw).ok_or_else(|| raw.to_string()),
+    }
+}
+
+/// Reads `var` from the process environment and parses it with `parse`,
+/// falling back to `fallback` when the variable is unset. A value `parse`
+/// rejects is reported once per process per variable ([`warn_once`]) before
+/// falling back — silently running with the wrong configuration is how CI
+/// lanes stop testing what they claim to.
+///
+/// `owner` names the reporting crate (`"cc-runtime"`, `"cc-transport"`, …)
+/// and `expected` describes the accepted grammar for the warning text.
+pub fn from_env_or<T: fmt::Debug>(
+    owner: &str,
+    var: &'static str,
+    expected: &str,
+    fallback: T,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> T {
+    match std::env::var(var).ok() {
+        None => fallback,
+        Some(raw) => match parse(&raw) {
+            Some(v) => v,
+            None => {
+                warn_once(owner, var, &raw, expected, &format!("{fallback:?}"));
+                fallback
+            }
+        },
+    }
+}
+
+/// Registry of variables whose malformed values were already reported, so
+/// each knob warns at most once per process no matter how many executors,
+/// transports, or services are constructed.
+fn warned_vars() -> &'static Mutex<BTreeSet<&'static str>> {
+    static WARNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    WARNED.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Reports a malformed environment value on stderr, once per process per
+/// variable. Exposed for callers whose fallback construction does not fit
+/// [`from_env_or`].
+pub fn warn_once(owner: &str, var: &'static str, raw: &str, expected: &str, using: &str) {
+    let mut warned = warned_vars().lock().expect("env warning registry");
+    if warned.insert(var) {
+        eprintln!(
+            "{owner}: ignoring unrecognised {var}={raw:?} (expected {expected}); using {using}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The generic resolution contract, ported from the per-crate copies
+    // (`resolve_cutover` in the executor, `TransportKind::resolve` in the
+    // transport), which are now thin wrappers over this helper.
+
+    #[test]
+    fn unset_specs_resolve_to_the_fallback_silently() {
+        assert_eq!(resolve(None, 96usize, |r| r.parse().ok()), Ok(96));
+        assert_eq!(resolve(None, "fb", |_| Some("parsed")), Ok("fb"));
+    }
+
+    #[test]
+    fn parseable_specs_win_over_the_fallback() {
+        assert_eq!(resolve(Some("0"), 96usize, |r| r.parse().ok()), Ok(0));
+        assert_eq!(resolve(Some("128"), 96usize, |r| r.parse().ok()), Ok(128));
+    }
+
+    #[test]
+    fn malformed_specs_surface_as_errors_carrying_the_raw_value() {
+        // The historical bug class this guards: `parallel:banana` silently
+        // meaning "machine-sized", `socket:banana` silently meaning
+        // "default workers". A rejected spec must never resolve silently.
+        let parse = |r: &str| r.parse::<usize>().ok();
+        assert_eq!(resolve(Some("banana"), 96, parse), Err("banana".into()));
+        assert_eq!(resolve(Some("-3"), 96, parse), Err("-3".into()));
+        assert_eq!(resolve(Some(""), 96, parse), Err(String::new()));
+        assert_eq!(resolve(Some("96ms"), 96, parse), Err("96ms".into()));
+    }
+
+    #[test]
+    fn warning_registry_fires_once_per_variable() {
+        // `warn_once` only prints on first insertion; the registry itself
+        // is the observable contract (stderr is not capturable here).
+        let before = warned_vars().lock().unwrap().contains("CC_TEST_VAR");
+        assert!(!before, "test variable must start unreported");
+        warn_once("cc-runtime", "CC_TEST_VAR", "junk", "anything", "default");
+        warn_once("cc-runtime", "CC_TEST_VAR", "junk2", "anything", "default");
+        assert!(warned_vars().lock().unwrap().contains("CC_TEST_VAR"));
+    }
+}

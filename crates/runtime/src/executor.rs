@@ -48,14 +48,18 @@ impl ExecutorKind {
     /// Reads the backend from the `CC_EXECUTOR` environment variable
     /// (`sequential`, `parallel`/`pooled`, or `spawn`, optionally suffixed
     /// `:<threads>` as in `parallel:4`), falling back to `fallback` when
-    /// unset or unparseable. This is how CI forces the whole test suite
-    /// onto the parallel backend without touching call sites.
+    /// unset. This is how CI forces the whole test suite onto the parallel
+    /// backend without touching call sites. A malformed value is reported
+    /// once per process (see [`crate::env_config`]) before falling back.
     #[must_use]
     pub fn from_env_or(fallback: ExecutorKind) -> Self {
-        std::env::var("CC_EXECUTOR")
-            .ok()
-            .and_then(|raw| Self::parse(&raw))
-            .unwrap_or(fallback)
+        crate::env_config::from_env_or(
+            "cc-runtime",
+            "CC_EXECUTOR",
+            "sequential, parallel[:threads], or spawn[:threads]",
+            fallback,
+            Self::parse,
+        )
     }
 
     /// Parses a backend spec (`sequential`, `parallel`/`pooled`, `spawn`,
@@ -145,23 +149,13 @@ impl Executor {
     /// lifetime (see the pool-lifecycle notes on [`Executor`]).
     #[must_use]
     pub fn new(kind: ExecutorKind) -> Self {
-        let cutover = match resolve_cutover(std::env::var("CC_EXEC_CUTOVER").ok().as_deref()) {
-            Ok(v) => v,
-            Err(raw) => {
-                // A malformed override is a misconfiguration, not a
-                // preference for the default — say so (once per process)
-                // instead of silently running with the wrong cutover.
-                static WARNED: std::sync::Once = std::sync::Once::new();
-                WARNED.call_once(|| {
-                    eprintln!(
-                        "cc-runtime: ignoring malformed CC_EXEC_CUTOVER={raw:?} \
-                         (expected a non-negative integer); using default \
-                         {DEFAULT_SEQ_CUTOVER}"
-                    );
-                });
-                DEFAULT_SEQ_CUTOVER
-            }
-        };
+        let cutover = crate::env_config::from_env_or(
+            "cc-runtime",
+            "CC_EXEC_CUTOVER",
+            "a non-negative integer",
+            DEFAULT_SEQ_CUTOVER,
+            |raw| raw.parse().ok(),
+        );
         Self::with_cutover(kind, cutover)
     }
 
@@ -192,6 +186,22 @@ impl Executor {
     #[must_use]
     pub fn kind(&self) -> ExecutorKind {
         self.kind
+    }
+
+    /// A handle to the **same** backend — pooled kinds share this
+    /// executor's worker pool, no threads are spawned — but with a
+    /// different small-`n` cutover. The cutover heuristic prices jobs by
+    /// *piece count*, which is right for fine-grained node-local loops and
+    /// wrong for coarse fan-outs whose few pieces are each an entire
+    /// algorithm run (e.g. a service batch spread over pool instances);
+    /// such callers take an override handle with the cutover disabled
+    /// while every nested dispatch keeps the configured one.
+    #[must_use]
+    pub fn with_cutover_override(&self, cutover: usize) -> Executor {
+        Executor {
+            cutover,
+            ..self.clone()
+        }
     }
 
     /// The small-`n` cutover threshold (see [`Executor::with_cutover`]).
@@ -338,14 +348,13 @@ impl Executor {
 }
 
 /// Resolves a `CC_EXEC_CUTOVER` spec: `None` (unset) and parseable values
-/// resolve normally; a malformed value is an error carrying the raw spec so
-/// [`Executor::new`] can report the misconfiguration instead of swallowing
-/// it.
+/// resolve normally; a malformed value is an error carrying the raw spec —
+/// [`Executor::new`] reports the misconfiguration instead of swallowing it.
+/// A thin wrapper over the shared [`crate::env_config::resolve`], kept so
+/// the historical contract stays unit-tested against the helper.
+#[cfg(test)]
 fn resolve_cutover(spec: Option<&str>) -> Result<usize, String> {
-    match spec {
-        None => Ok(DEFAULT_SEQ_CUTOVER),
-        Some(raw) => raw.parse().map_err(|_| raw.to_string()),
-    }
+    crate::env_config::resolve(spec, DEFAULT_SEQ_CUTOVER, |raw| raw.parse().ok())
 }
 
 /// Runs `work(slot)` for slots `0..=pool.workers()` on the persistent pool
@@ -490,6 +499,23 @@ mod tests {
         let _ = po.map(64, |i| i);
         let _ = po.map(64, |i| i);
         assert_eq!(po.threads_spawned(), 2, "pool pays only at construction");
+    }
+
+    #[test]
+    fn cutover_override_shares_the_pool_and_changes_only_the_threshold() {
+        let par = Executor::with_cutover(ExecutorKind::Parallel { threads: 4 }, 96);
+        let coarse = par.with_cutover_override(0);
+        // Same pool: no new threads; the original keeps its cutover.
+        assert_eq!(coarse.threads_spawned(), 3, "override must not spawn");
+        assert_eq!(
+            par.threads_for(3),
+            1,
+            "original still runs small jobs inline"
+        );
+        assert_eq!(coarse.threads_for(3), 3, "override dispatches small jobs");
+        let f = |i: usize| i as u64 * 7;
+        assert_eq!(coarse.map(3, f), par.map(3, f));
+        assert_eq!(par.threads_spawned(), 3, "no spawns after dispatch either");
     }
 
     #[test]

@@ -87,6 +87,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod env_config;
 mod executor;
 mod loads;
 mod pool;

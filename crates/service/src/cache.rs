@@ -1,0 +1,52 @@
+//! The fingerprint-keyed [`ResultCache`].
+
+use crate::query::{ComputeKind, Response};
+use std::collections::BTreeMap;
+
+/// The canonical key of one distributed computation: the graph's content
+/// fingerprint, the computation kind, and a digest of the config-relevant
+/// knobs (route seed, relay policy, girth parameters — everything that can
+/// move the *accounting* of a run). Executor and transport are deliberately
+/// **absent**: the determinism contract makes them deployment choices that
+/// cannot change answers, rounds, words, or fingerprints, so a result
+/// primed on one backend is valid on every other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct CacheKey {
+    pub(crate) fingerprint: u64,
+    pub(crate) kind: ComputeKind,
+    pub(crate) knobs: u64,
+}
+
+/// One primed computation: the answer plus the simulated cost the priming
+/// run paid. Replays return the same triple bit-for-bit — with **zero**
+/// additional simulated rounds.
+#[derive(Debug, Clone)]
+pub(crate) struct Primed {
+    pub(crate) response: Response,
+    pub(crate) rounds: u64,
+    pub(crate) words: u64,
+}
+
+/// Fingerprint-keyed store of primed computations.
+#[derive(Debug, Default)]
+pub(crate) struct ResultCache {
+    entries: BTreeMap<CacheKey, Primed>,
+}
+
+impl ResultCache {
+    pub(crate) fn get(&self, key: &CacheKey) -> Option<&Primed> {
+        self.entries.get(key)
+    }
+
+    pub(crate) fn insert(&mut self, key: CacheKey, primed: Primed) {
+        self.entries.insert(key, primed);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+}

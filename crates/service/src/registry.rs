@@ -1,0 +1,134 @@
+//! The [`GraphRegistry`]: graphs registered once, content-fingerprinted,
+//! shared by `Arc` with every query that touches them.
+
+use cc_graph::Graph;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Opaque handle to a registered graph. Cheap to copy and to submit with
+/// every query; the registry maps it back to the shared adjacency and the
+/// content fingerprint that keys the result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GraphId(usize);
+
+impl GraphId {
+    /// The registry slot index (diagnostics; not stable across services).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Graphs a service knows about: each registered **once**, deduplicated by
+/// content fingerprint ([`Graph::fingerprint`]), adjacency shared via
+/// [`Arc`] so a thousand in-flight queries on one graph cost one copy.
+///
+/// Registration is idempotent by content: registering a graph equal to an
+/// already-registered one returns the existing [`GraphId`] — which is what
+/// makes the fingerprint-keyed result cache coherent (two routes to the
+/// same graph cannot create two cache universes).
+#[derive(Debug, Default)]
+pub struct GraphRegistry {
+    graphs: Vec<Arc<Graph>>,
+    fingerprints: Vec<u64>,
+    by_fingerprint: BTreeMap<u64, usize>,
+}
+
+impl GraphRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a graph, taking shared ownership. Content-deduplicated:
+    /// a graph equal to an existing entry returns that entry's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph.n() < 2` (a congested clique needs two nodes), or
+    /// on a fingerprint collision between *unequal* graphs — astronomically
+    /// unlikely with a 64-bit content hash, and failing loudly beats
+    /// silently serving one graph's cached answers for another.
+    pub fn register(&mut self, graph: Arc<Graph>) -> GraphId {
+        assert!(
+            graph.n() >= 2,
+            "a service graph needs at least 2 nodes (got {})",
+            graph.n()
+        );
+        let fp = graph.fingerprint();
+        if let Some(&slot) = self.by_fingerprint.get(&fp) {
+            assert_eq!(
+                *self.graphs[slot], *graph,
+                "fingerprint collision between unequal graphs"
+            );
+            return GraphId(slot);
+        }
+        let slot = self.graphs.len();
+        self.graphs.push(graph);
+        self.fingerprints.push(fp);
+        self.by_fingerprint.insert(fp, slot);
+        GraphId(slot)
+    }
+
+    /// The shared adjacency for `id`.
+    ///
+    /// Ids are plain slot indices: one from a *different* registry is only
+    /// caught when it is out of range here — an in-range foreign id
+    /// resolves to whatever graph occupies that slot. Keep each service's
+    /// ids with that service.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    #[must_use]
+    pub fn graph(&self, id: GraphId) -> &Arc<Graph> {
+        &self.graphs[id.0]
+    }
+
+    /// The content fingerprint for `id` (the cache-key ingredient).
+    #[must_use]
+    pub fn fingerprint(&self, id: GraphId) -> u64 {
+        self.fingerprints[id.0]
+    }
+
+    /// Number of distinct graphs registered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// `true` when no graph has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators;
+
+    #[test]
+    fn registration_deduplicates_by_content() {
+        let mut reg = GraphRegistry::new();
+        let g = generators::cycle(6);
+        let a = reg.register(Arc::new(g.clone()));
+        let b = reg.register(Arc::new(g.clone())); // same content, new Arc
+        assert_eq!(a, b, "equal graphs must share one registration");
+        assert_eq!(reg.len(), 1);
+        let c = reg.register(Arc::new(generators::complete(6)));
+        assert_ne!(a, c);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.fingerprint(a), g.fingerprint());
+        assert_eq!(reg.graph(a).m(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn tiny_graphs_are_rejected_at_registration() {
+        let mut reg = GraphRegistry::new();
+        let _ = reg.register(Arc::new(cc_graph::Graph::undirected(1)));
+    }
+}

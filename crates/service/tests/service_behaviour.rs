@@ -1,0 +1,302 @@
+//! Behavioural contract of the serving layer: batched scheduling,
+//! duplicate coalescing, cache replay, pool warmth, and agreement with the
+//! one-shot algorithm layer it fronts.
+
+use cc_algebra::INFINITY;
+use cc_clique::{Clique, CliqueConfig};
+use cc_graph::generators;
+use cc_service::{Query, Service, ServiceConfig, ServiceMode};
+
+fn batch_service(instances: usize) -> Service {
+    Service::new(ServiceConfig {
+        mode: ServiceMode::Batch { instances },
+        ..ServiceConfig::default()
+    })
+}
+
+#[test]
+fn answers_agree_with_the_one_shot_algorithm_layer() {
+    let n = 12;
+    let g = generators::gnp(n, 0.35, 7);
+    let mut svc = batch_service(2);
+    let id = svc.register(g.clone());
+
+    let mut reference = Clique::with_config(n, CliqueConfig::default());
+    let triangles = cc_subgraph::count_triangles_auto(&mut reference, &g);
+    let tables = cc_apsp::apsp_exact(&mut reference, &g);
+    let has_4cycle = cc_subgraph::detect_4cycle(&mut reference, &g);
+
+    assert_eq!(
+        svc.query(id, Query::TriangleCount).response.triangles(),
+        Some(triangles)
+    );
+    assert_eq!(
+        svc.query(id, Query::SubgraphFlag).response.subgraph_flag(),
+        Some(has_4cycle)
+    );
+    let table_outcome = svc.query(id, Query::ApspTable);
+    assert_eq!(
+        **table_outcome.response.apsp().expect("APSP response"),
+        tables,
+        "served tables must equal the one-shot tables"
+    );
+    for (s, t) in [(0, n - 1), (3, 4), (5, 5)] {
+        assert_eq!(
+            svc.query(id, Query::Distance { s, t }).response.distance(),
+            Some(tables.dist.row(s)[t])
+        );
+    }
+}
+
+#[test]
+fn duplicates_coalesce_within_a_batch_and_hit_cache_across_batches() {
+    let g = generators::gnp(14, 0.3, 3);
+    let mut svc = batch_service(3);
+    let id = svc.register(g);
+
+    // One batch of 6 submissions over 2 distinct computations.
+    let tickets: Vec<_> = [
+        Query::TriangleCount,
+        Query::TriangleCount,
+        Query::ApspTable,
+        Query::TriangleCount,
+        Query::ApspTable,
+        Query::TriangleCount,
+    ]
+    .into_iter()
+    .map(|q| svc.submit(id, q))
+    .collect();
+    assert_eq!(svc.pending(), 6);
+    assert_eq!(svc.drain(), 6);
+    assert_eq!(svc.pending(), 0);
+
+    let outcomes: Vec<_> = tickets
+        .iter()
+        .map(|&t| svc.take(t).expect("drained ticket resolves"))
+        .collect();
+    let stats = svc.stats();
+    assert_eq!(stats.computations, 2, "6 submissions, 2 computations");
+    assert_eq!(stats.coalesced, 4, "4 duplicates coalesced in flight");
+    assert_eq!(stats.cache_hits, 0, "nothing was cached before this batch");
+    assert_eq!(
+        outcomes.iter().filter(|o| !o.cached).count(),
+        2,
+        "exactly one submission per computation paid for it"
+    );
+    // All triangle outcomes are identical, cached or not.
+    let triangle: Vec<_> = [0usize, 1, 3, 5]
+        .iter()
+        .map(|&i| (&outcomes[i].response, outcomes[i].rounds, outcomes[i].words))
+        .collect();
+    assert!(triangle.windows(2).all(|w| w[0] == w[1]));
+
+    // A second identical batch is pure cache: zero new simulated rounds,
+    // zero new computations, bit-identical outcomes.
+    let rounds_before = stats.simulated_rounds;
+    let replay = svc.query(id, Query::TriangleCount);
+    let stats = svc.stats();
+    assert!(replay.cached);
+    assert_eq!(stats.computations, 2, "no new computation ran");
+    assert_eq!(
+        stats.simulated_rounds, rounds_before,
+        "a cache hit simulates zero additional rounds"
+    );
+    assert_eq!((&replay.response, replay.rounds, replay.words), triangle[0]);
+}
+
+#[test]
+fn cached_apsp_tables_memoize_distance_lookups() {
+    let g = generators::weighted_gnp(10, 0.4, 9, true, 5);
+    let mut svc = batch_service(2);
+    let id = svc.register(g);
+
+    // The first distance query primes the full table...
+    let first = svc.query(id, Query::Distance { s: 0, t: 9 });
+    assert!(!first.cached);
+    let computations = svc.stats().computations;
+    // ...and every further distance (and the table itself) is a lookup.
+    for (s, t) in [(1, 2), (9, 0), (4, 4), (0, 9)] {
+        assert!(svc.query(id, Query::Distance { s, t }).cached);
+    }
+    assert!(svc.query(id, Query::ApspTable).cached);
+    assert_eq!(svc.stats().computations, computations, "lookups are O(1)");
+}
+
+#[test]
+fn unreachable_distances_are_infinite() {
+    // Two components: 0-1-2 cycle and isolated 3,4.
+    let mut g = cc_graph::Graph::undirected(5);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    let mut svc = batch_service(1);
+    let id = svc.register(g);
+    let d = svc.query(id, Query::Distance { s: 0, t: 4 });
+    assert_eq!(d.response.distance(), Some(INFINITY));
+}
+
+#[test]
+fn direct_and_batch_modes_serve_identical_outcomes() {
+    let g = generators::gnp(12, 0.3, 11);
+    let digraph = generators::gnp_directed(10, 0.25, 13);
+    let queries = [
+        Query::TriangleCount,
+        Query::GirthBound,
+        Query::ApspTable,
+        Query::Distance { s: 2, t: 7 },
+        Query::SubgraphFlag,
+    ];
+
+    let run = |mode: ServiceMode| {
+        let mut svc = Service::new(ServiceConfig {
+            mode,
+            ..ServiceConfig::default()
+        });
+        let id = svc.register(g.clone());
+        let did = svc.register(digraph.clone());
+        let mut out: Vec<_> = queries
+            .iter()
+            .map(|&q| {
+                let o = svc.query(id, q);
+                (o.response, o.rounds, o.words)
+            })
+            .collect();
+        // Directed graphs ride the service too (girth switches detector).
+        let o = svc.query(did, Query::GirthBound);
+        out.push((o.response, o.rounds, o.words));
+        out
+    };
+
+    let direct = run(ServiceMode::Direct);
+    for instances in [1, 2, 4] {
+        assert_eq!(
+            direct,
+            run(ServiceMode::Batch { instances }),
+            "batch:{instances} diverged from direct mode"
+        );
+    }
+}
+
+#[test]
+fn batches_fan_mixed_graphs_and_sizes_through_the_warm_pool() {
+    let graphs = [
+        generators::gnp(10, 0.3, 1),
+        generators::gnp(14, 0.3, 2),
+        generators::complete(10),
+        generators::cycle(14),
+    ];
+    let mut svc = batch_service(3);
+    let ids: Vec<_> = graphs.iter().map(|g| svc.register(g.clone())).collect();
+
+    // Round one: everything cold.
+    let tickets: Vec<_> = ids
+        .iter()
+        .map(|&id| svc.submit(id, Query::TriangleCount))
+        .collect();
+    svc.drain();
+    let round_one: Vec<_> = tickets.iter().map(|&t| svc.take(t).unwrap()).collect();
+    let built_after_one = svc.pool().built();
+    assert!(
+        built_after_one >= 2,
+        "two distinct sizes need two instances"
+    );
+
+    // Round two on fresh queries of the same sizes: the pool serves warm
+    // instances, builds nothing new.
+    svc.clear_cache();
+    let tickets: Vec<_> = ids
+        .iter()
+        .map(|&id| svc.submit(id, Query::TriangleCount))
+        .collect();
+    svc.drain();
+    let round_two: Vec<_> = tickets.iter().map(|&t| svc.take(t).unwrap()).collect();
+    assert_eq!(
+        svc.pool().built(),
+        built_after_one,
+        "round two must reuse warm instances"
+    );
+    assert!(svc.pool().reused() > 0);
+    // Warm instances replay the cold run bit-for-bit.
+    for (a, b) in round_one.iter().zip(&round_two) {
+        assert_eq!(
+            (&a.response, a.rounds, a.words),
+            (&b.response, b.rounds, b.words)
+        );
+    }
+
+    // Expected counts: complete(10) has C(10,3) triangles, cycle has none.
+    assert_eq!(round_one[2].response.triangles(), Some(120));
+    assert_eq!(round_one[3].response.triangles(), Some(0));
+}
+
+#[test]
+fn equal_graphs_registered_twice_share_one_cache_universe() {
+    let g = generators::gnp(12, 0.3, 21);
+    let mut svc = batch_service(2);
+    let a = svc.register(g.clone());
+    let b = svc.register(g);
+    assert_eq!(a, b);
+    let fresh = svc.query(a, Query::TriangleCount);
+    assert!(!fresh.cached);
+    assert!(
+        svc.query(b, Query::TriangleCount).cached,
+        "the second registration must hit the first's cache entries"
+    );
+}
+
+#[test]
+fn take_is_single_redemption_and_pending_tracks_the_queue() {
+    let mut svc = batch_service(1);
+    let id = svc.register(generators::cycle(6));
+    let t = svc.submit(id, Query::GirthBound);
+    assert_eq!(svc.pending(), 1);
+    assert!(svc.take(t).is_none(), "not drained yet");
+    svc.drain();
+    let o = svc.take(t).expect("resolved");
+    assert_eq!(o.response.girth(), Some(Some(6)));
+    assert!(svc.take(t).is_none(), "tickets redeem once");
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn distance_endpoints_are_validated_at_submission() {
+    let mut svc = batch_service(1);
+    let id = svc.register(generators::cycle(5));
+    let _ = svc.submit(id, Query::Distance { s: 0, t: 5 });
+}
+
+#[test]
+#[should_panic(expected = "undirected")]
+fn subgraph_flag_rejects_directed_graphs_at_submission() {
+    let mut svc = batch_service(1);
+    let id = svc.register(generators::gnp_directed(6, 0.4, 1));
+    let _ = svc.submit(id, Query::SubgraphFlag);
+}
+
+#[test]
+fn service_mode_parser_accepts_known_specs_and_rejects_malformed_ones() {
+    assert_eq!(ServiceMode::parse("direct"), Some(ServiceMode::Direct));
+    assert_eq!(
+        ServiceMode::parse("batch"),
+        Some(ServiceMode::Batch { instances: 0 })
+    );
+    assert_eq!(
+        ServiceMode::parse("BATCH:4"),
+        Some(ServiceMode::Batch { instances: 4 })
+    );
+    assert_eq!(
+        ServiceMode::parse("batched:0"),
+        Some(ServiceMode::Batch { instances: 0 }),
+        "an explicit 0 means the default width"
+    );
+    // The shared contract: a malformed suffix rejects the whole spec so
+    // `from_env_or` falls back (and warns once), never misconfigures.
+    assert_eq!(ServiceMode::parse("batch:banana"), None);
+    assert_eq!(ServiceMode::parse("batch:"), None);
+    assert_eq!(
+        ServiceMode::parse("direct:2"),
+        None,
+        "direct takes no suffix"
+    );
+    assert_eq!(ServiceMode::parse("turbo"), None);
+}

@@ -265,6 +265,38 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
     w.write_all(&body)
 }
 
+/// Appends one length-prefixed frame to a batch buffer, producing exactly
+/// the bytes [`write_frame`] would put on the wire. Batching lets a sender
+/// coalesce a whole round's frames into **one** buffer and hand the kernel
+/// a single write — the writev-style syscall cut of the socket backend —
+/// while the receive side keeps reading frame by frame, none the wiser.
+pub fn push_frame(batch: &mut Vec<u8>, frame: &Frame) {
+    push_frame_bytes(batch, &frame.encode());
+}
+
+/// Appends an already-encoded frame body (from [`Frame::encode`]) to a
+/// batch buffer with its length prefix. For senders that encode a frame
+/// once and fan it out to several receivers (e.g. broadcast slabs shipped
+/// to every worker).
+pub fn push_frame_bytes(batch: &mut Vec<u8>, body: &[u8]) {
+    assert!(body.len() <= MAX_FRAME_BYTES, "frame exceeds wire cap");
+    batch.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    batch.extend_from_slice(body);
+}
+
+/// Encodes a frame sequence as one contiguous length-prefixed byte batch —
+/// bit-identical to writing each frame with [`write_frame`] in order
+/// (property-tested in `prop_frames.rs`), so batched and unbatched senders
+/// produce the same byte stream.
+#[must_use]
+pub fn encode_frame_batch(frames: &[Frame]) -> Vec<u8> {
+    let mut batch = Vec::new();
+    for frame in frames {
+        push_frame(&mut batch, frame);
+    }
+    batch
+}
+
 /// Reads one length-prefixed frame from a byte stream.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
     let mut len = [0u8; 4];

@@ -48,7 +48,10 @@ mod socket;
 
 pub use crate::channel::ChannelTransport;
 pub use crate::fabric::TransportFabric;
-pub use crate::frame::{read_frame, write_frame, Frame, FrameError, MAX_FRAME_BYTES};
+pub use crate::frame::{
+    encode_frame_batch, push_frame, push_frame_bytes, read_frame, write_frame, Frame, FrameError,
+    MAX_FRAME_BYTES,
+};
 pub use crate::inmemory::InMemoryTransport;
 pub use crate::socket::{worker_main, SocketTransport, DEFAULT_SOCKET_WORKERS};
 
@@ -177,34 +180,26 @@ impl TransportKind {
     /// Resolves a `CC_TRANSPORT` spec: `None` (unset) resolves to the
     /// fallback, a parseable value to its kind, and a malformed value to an
     /// error carrying the raw spec so the caller can report the
-    /// misconfiguration instead of swallowing it.
+    /// misconfiguration instead of swallowing it. A thin wrapper over the
+    /// shared [`cc_runtime::env_config::resolve`].
     pub fn resolve(spec: Option<&str>, fallback: TransportKind) -> Result<Self, String> {
-        match spec {
-            None => Ok(fallback),
-            Some(raw) => Self::parse(raw).ok_or_else(|| raw.to_string()),
-        }
+        cc_runtime::env_config::resolve(spec, fallback, Self::parse)
     }
 
     /// Reads the backend from the `CC_TRANSPORT` environment variable,
     /// falling back to `fallback` when unset. An unrecognised value is a
     /// misconfiguration, not a preference for the default: it is reported
-    /// once per process (mirroring the `CC_EXEC_CUTOVER` warning) before
-    /// falling back.
+    /// once per process (the shared [`cc_runtime::env_config`] contract)
+    /// before falling back.
     #[must_use]
     pub fn from_env_or(fallback: TransportKind) -> Self {
-        match Self::resolve(std::env::var("CC_TRANSPORT").ok().as_deref(), fallback) {
-            Ok(kind) => kind,
-            Err(raw) => {
-                static WARNED: std::sync::Once = std::sync::Once::new();
-                WARNED.call_once(|| {
-                    eprintln!(
-                        "cc-transport: ignoring unrecognised CC_TRANSPORT={raw:?} (expected \
-                         inmemory, channel, or socket[:workers]); using {fallback:?}"
-                    );
-                });
-                fallback
-            }
-        }
+        cc_runtime::env_config::from_env_or(
+            "cc-transport",
+            "CC_TRANSPORT",
+            "inmemory, channel, or socket[:workers]",
+            fallback,
+            Self::parse,
+        )
     }
 
     /// Builds a transport of this kind for `n` nodes. The executor is used

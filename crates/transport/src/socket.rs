@@ -1,7 +1,7 @@
 //! The multi-process backend: a parent orchestrator and `cc-clique-node`
 //! worker processes exchanging length-prefixed frames over unix sockets.
 
-use crate::frame::{read_frame, write_frame, Frame};
+use crate::frame::{push_frame, push_frame_bytes, read_frame, write_frame, Frame};
 use crate::pending::Pending;
 use crate::{merge_loads, Delivered, RoundDelivery, Transport};
 use cc_runtime::Word;
@@ -180,10 +180,14 @@ impl Transport for SocketTransport {
             .collect();
 
         // Ship phase: every worker receives its shard's unicast queues, all
-        // broadcast slabs, and the round delimiter. Workers drain their
-        // input completely before echoing, so these writes cannot deadlock
-        // against the echo phase.
+        // broadcast slabs, and the round delimiter — coalesced into **one**
+        // length-prefixed batch per (worker, round), handed to the kernel
+        // as a single write instead of one syscall per frame (the byte
+        // stream is identical either way; `prop_frames.rs` pins that).
+        // Workers drain their input completely before echoing, so these
+        // writes cannot deadlock against the echo phase.
         for wk in &mut self.workers {
+            let mut batch = Vec::new();
             for dst in wk.lo..wk.hi {
                 for src in 0..n {
                     let words = std::mem::take(&mut self.pending.queues[dst * n + src]);
@@ -196,17 +200,17 @@ impl Transport for SocketTransport {
                         dst: dst as u32,
                         words,
                     };
-                    write_frame(&mut wk.writer, &frame).expect("ship round to worker");
+                    push_frame(&mut batch, &frame);
                 }
             }
             for bytes in &bcast_frames {
-                wk.writer
-                    .write_all(&(bytes.len() as u32).to_le_bytes())
-                    .and_then(|()| wk.writer.write_all(bytes))
-                    .expect("ship broadcast to worker");
+                push_frame_bytes(&mut batch, bytes);
             }
-            write_frame(&mut wk.writer, &Frame::RoundEnd { epoch }).expect("delimit round");
-            wk.writer.flush().expect("flush round to worker");
+            push_frame(&mut batch, &Frame::RoundEnd { epoch });
+            wk.writer
+                .write_all(&batch)
+                .and_then(|()| wk.writer.flush())
+                .expect("ship round batch to worker");
         }
 
         // Barrier: collect every worker's echoed inbox rows and its
@@ -420,7 +424,11 @@ pub fn worker_main(
             }
         }
 
+        // Echo phase, batched like the parent's ship phase: the shard's
+        // assembled rows and the round-commit token travel back as one
+        // length-prefixed batch — one write per (worker, round).
         let mut loads: Vec<(u32, u32, u64)> = Vec::new();
+        let mut batch = Vec::new();
         for d in 0..count {
             let dst = lo + d;
             for src in 0..n {
@@ -437,14 +445,15 @@ pub fn worker_main(
                         dst: dst as u32,
                         words: row,
                     };
-                    write_frame(&mut writer, &frame)?;
+                    push_frame(&mut batch, &frame);
                 }
                 if charged > 0 {
                     loads.push((src as u32, dst as u32, charged as u64));
                 }
             }
         }
-        write_frame(&mut writer, &Frame::Commit { epoch, loads })?;
+        push_frame(&mut batch, &Frame::Commit { epoch, loads });
+        writer.write_all(&batch)?;
         writer.flush()?;
         epoch += 1;
     }

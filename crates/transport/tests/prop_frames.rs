@@ -4,7 +4,7 @@
 //! a product. Corrupted bytes must fail to decode rather than alias a
 //! different frame.
 
-use cc_transport::{read_frame, write_frame, Frame};
+use cc_transport::{encode_frame_batch, push_frame_bytes, read_frame, write_frame, Frame};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::io::Cursor;
@@ -76,6 +76,32 @@ proptest! {
             prop_assert_eq!(&read_frame(&mut cursor).expect("read back"), f);
         }
         // The stream is exactly consumed: no trailing bytes invented.
+        prop_assert_eq!(cursor.position(), cursor.get_ref().len() as u64);
+    }
+
+    #[test]
+    fn batched_frames_are_byte_stream_equivalent(frames in vec(frame(), 0..12)) {
+        // The socket backend's syscall cut: a whole round's frames coalesce
+        // into one writev-style batch. The receiver must not be able to
+        // tell — the batch's bytes are exactly the frame-by-frame stream.
+        let mut frame_by_frame = Vec::new();
+        for f in &frames {
+            write_frame(&mut frame_by_frame, f).expect("write to Vec");
+        }
+        let batch = encode_frame_batch(&frames);
+        prop_assert_eq!(&batch, &frame_by_frame, "batching must not change the byte stream");
+        // Pre-encoded bodies (the broadcast fan-out path) batch to the
+        // same bytes as whole frames.
+        let mut from_bodies = Vec::new();
+        for f in &frames {
+            push_frame_bytes(&mut from_bodies, &f.encode());
+        }
+        prop_assert_eq!(&from_bodies, &frame_by_frame);
+        // And the batch reads back frame by frame, exactly consumed.
+        let mut cursor = Cursor::new(batch);
+        for f in &frames {
+            prop_assert_eq!(&read_frame(&mut cursor).expect("read from batch"), f);
+        }
         prop_assert_eq!(cursor.position(), cursor.get_ref().len() as u64);
     }
 

@@ -17,6 +17,9 @@
 //!   (the paper's primary contribution).
 //! * [`subgraph`] — triangle/4-cycle counting, k-cycle detection, girth.
 //! * [`apsp`] — all-pairs shortest path algorithms and routing tables.
+//! * [`service`] — the batched query-serving layer: graph registry, warm
+//!   clique pools, fingerprint-keyed result caching, deterministic batch
+//!   scheduling.
 //! * [`baselines`] — prior-work baselines (Dolev et al., naive algorithms).
 //! * [`congest`] — the CONGEST model substrate (the paper's §5 future-work
 //!   direction) with classical comparison algorithms.
@@ -196,6 +199,55 @@
 //! `n ∈ {64, 128, 256}`: thread queues ≈ 3–4.5×, worker processes ≈
 //! 2.5–3× the shared-memory wall-clock on the CI host); the
 //! `multi_process` example drives the socket orchestrator end to end.
+//! Socket frames are coalesced per `(worker, round)` into one
+//! writev-style length-prefixed batch — the byte stream is identical to
+//! frame-by-frame writes (property-tested), only the syscall count drops.
+//!
+//! ## Service layer
+//!
+//! Everything above answers *one* question per simulator; the [`service`]
+//! layer ([`cc_service`]) is the front door for *traffic*. The request
+//! lifecycle is **register → submit → batch → cache**:
+//!
+//! 1. **Register** — [`Service::register`](service::Service::register)
+//!    content-fingerprints the graph
+//!    ([`Graph::fingerprint`](graph::Graph::fingerprint)), deduplicates it
+//!    against every earlier registration, and shares the adjacency via
+//!    `Arc`. Equal graphs get equal ids — and therefore one cache
+//!    universe.
+//! 2. **Submit** — typed queries
+//!    ([`Query::TriangleCount`](service::Query::TriangleCount),
+//!    [`ApspTable`](service::Query::ApspTable),
+//!    [`Distance`](service::Query::Distance),
+//!    [`GirthBound`](service::Query::GirthBound),
+//!    [`SubgraphFlag`](service::Query::SubgraphFlag)) queue against a
+//!    registered graph and return a [`Ticket`](service::Ticket).
+//! 3. **Batch** — [`Service::drain`](service::Service::drain) processes
+//!    the queue as one batch: a seeded deterministic drain order,
+//!    duplicate in-flight queries coalesced into a single computation,
+//!    and the coalesced computations fanned over **warm pool instances**
+//!    ([`CliquePool`](service::CliquePool)) on the shared executor.
+//!    Instances are checked out, [`reset`](clique::Clique::reset) (warm
+//!    threads/processes kept, accounting zeroed), and checked back in —
+//!    never rebuilt; a reset clique replays a fresh one bit-for-bit.
+//! 4. **Cache** — every computation is stored under graph fingerprint +
+//!    computation kind + config-relevant knobs. A repeated query is
+//!    served with **zero additional simulated rounds** and a
+//!    bit-identical [`QueryOutcome`](service::QueryOutcome) (answer *and*
+//!    the priming run's rounds/words); cached APSP tables memoize
+//!    point-to-point distance queries into O(1) lookups. Executor and
+//!    transport are deliberately absent from the key: the determinism
+//!    contract makes backends interchangeable, so a result primed
+//!    anywhere is valid everywhere.
+//!
+//! `CC_SERVICE` (`direct` or `batch[:instances]`) retargets every
+//! default-configured service the way `CC_EXECUTOR` and `CC_TRANSPORT`
+//! do theirs (all three ride one shared warn-once parser,
+//! [`runtime::env_config`]); CI runs the suite with the batch scheduler
+//! forced on. `BENCH_service.json` quantifies the point of the layer:
+//! warm-pool, duplicate-heavy batches against cold one-shot calls at
+//! duplicate ratios {0%, 50%, 90%}. The `query_service` example drives a
+//! mixed workload end to end.
 
 pub use cc_algebra as algebra;
 pub use cc_apsp as apsp;
@@ -205,5 +257,6 @@ pub use cc_congest as congest;
 pub use cc_core as core;
 pub use cc_graph as graph;
 pub use cc_runtime as runtime;
+pub use cc_service as service;
 pub use cc_subgraph as subgraph;
 pub use cc_transport as transport;

@@ -552,6 +552,89 @@ fn matrix_multiplication_is_transport_and_executor_independent() {
     }
 }
 
+/// The service-layer cache contract, pinned across the executor ×
+/// transport matrix: for every backend pair, a cached replay of a query is
+/// **bit-identical** to the fresh (priming) outcome — the answer and the
+/// priming run's rounds and words — and runs zero additional simulated
+/// rounds. And because the cache key excludes the backend (the determinism
+/// contract makes backends interchangeable), every backend pair's
+/// fresh/cached outcomes are also identical to every other's.
+#[test]
+fn cached_queries_replay_fresh_results_across_backends() {
+    use congested_clique::service::{Query, Service, ServiceConfig, ServiceMode};
+
+    let n = 12;
+    let graph = generators::gnp(n, 0.3, 17);
+    let weighted = generators::weighted_gnp(n, 0.35, 9, true, 29);
+    let queries = [
+        Query::TriangleCount,
+        Query::ApspTable,
+        Query::Distance { s: 1, t: n - 2 },
+        Query::GirthBound,
+        Query::SubgraphFlag,
+    ];
+
+    let run = |executor: ExecutorKind, transport: TransportKind| {
+        let mut svc = Service::new(ServiceConfig {
+            clique: CliqueConfig {
+                executor,
+                transport,
+                exec_cutover: Some(2),
+                ..CliqueConfig::default()
+            },
+            mode: ServiceMode::Batch { instances: 2 },
+            ..ServiceConfig::default()
+        });
+        let g = svc.register(graph.clone());
+        let w = svc.register(weighted.clone());
+
+        let pass = |svc: &mut Service| {
+            let mut out: Vec<_> = queries.iter().map(|&q| svc.query(g, q)).collect();
+            out.push(svc.query(w, Query::ApspTable));
+            out
+        };
+
+        // Priming pass: every computation runs on the simulator.
+        let fresh = pass(&mut svc);
+        let rounds_primed = svc.stats().simulated_rounds;
+        assert!(rounds_primed > 0, "priming must simulate");
+
+        // Replay pass: bit-identical outcomes, zero additional rounds.
+        let replay = pass(&mut svc);
+        assert!(replay.iter().all(|o| o.cached), "replays must hit cache");
+        assert_eq!(
+            svc.stats().simulated_rounds,
+            rounds_primed,
+            "a cached query executes zero additional simulated rounds \
+             ({executor:?} × {transport:?})"
+        );
+        for (f, r) in fresh.iter().zip(&replay) {
+            assert_eq!(f.response, r.response, "{executor:?} × {transport:?}");
+            assert_eq!((f.rounds, f.words), (r.rounds, r.words));
+        }
+        // Return the full outcome set for the cross-backend comparison
+        // (minus the `cached` flag, which legitimately differs).
+        fresh
+            .into_iter()
+            .map(|o| (o.response, o.rounds, o.words))
+            .collect::<Vec<_>>()
+    };
+
+    let reference = run(ExecutorKind::Sequential, TransportKind::InMemory);
+    for executor in [
+        ExecutorKind::Sequential,
+        ExecutorKind::Parallel { threads: 3 },
+    ] {
+        for transport in [TransportKind::InMemory, TransportKind::Channel] {
+            assert_eq!(
+                reference,
+                run(executor, transport),
+                "service outcomes diverged on {executor:?} × {transport:?}"
+            );
+        }
+    }
+}
+
 #[test]
 fn round_counts_match_the_seed_link_level_semantics() {
     // The ported primitives must charge exactly what the historical serial
