@@ -269,12 +269,29 @@ impl Clique {
         self.exec.clone()
     }
 
-    /// Runs `f` inside a named accounting phase; rounds and words charged
-    /// while `f` runs are attributed to `name` (and to enclosing phases).
+    /// Runs `f` inside a named accounting phase; rounds, words, and
+    /// wall-clock accrued while `f` runs are attributed to `name` (and to
+    /// enclosing phases). At `CC_TRACE=summary` and above the phase also
+    /// emits start/end events into the telemetry capture.
     pub fn phase<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let tel = cc_telemetry::global();
+        tel.emit(cc_telemetry::TraceLevel::Summary, || {
+            cc_telemetry::Event::PhaseStart {
+                name: name.to_string(),
+            }
+        });
+        let before = (self.stats.rounds(), self.stats.words());
         self.stats.push_phase(name);
         let r = f(self);
-        self.stats.pop_phase();
+        let (popped, wall_ns) = self.stats.pop_phase();
+        tel.emit(cc_telemetry::TraceLevel::Summary, || {
+            cc_telemetry::Event::PhaseEnd {
+                name: popped,
+                rounds: self.stats.rounds() - before.0,
+                words: self.stats.words() - before.1,
+                wall_ns,
+            }
+        });
         r
     }
 

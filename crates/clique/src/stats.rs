@@ -2,27 +2,34 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 
-/// Per-phase round and word counters.
+/// Per-phase round, word, and wall-clock counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseStats {
     /// Synchronous rounds executed while the phase was active.
     pub rounds: u64,
     /// Total words delivered while the phase was active.
     pub words: u64,
+    /// Wall-clock spent inside the phase, in nanoseconds. Like rounds and
+    /// words, nested phases attribute their time to every enclosing phase
+    /// (an enclosing phase's interval contains its inner phases').
+    pub wall_ns: u64,
 }
 
 /// Cumulative execution statistics for a [`crate::Clique`].
 ///
 /// Phases are named by [`crate::Clique::phase`]; nested phases attribute their
 /// cost to every enclosing phase, so a top-level phase reports the full cost
-/// of the algorithm it wraps.
+/// of the algorithm it wraps. Wall-clock follows the same rule: each phase is
+/// charged the real time between its push and its pop, which spans any inner
+/// phases.
 #[derive(Debug, Clone, Default)]
 pub struct Stats {
     rounds: u64,
     words: u64,
     phases: BTreeMap<String, PhaseStats>,
-    stack: Vec<String>,
+    stack: Vec<(String, Instant)>,
     /// Fingerprints of flush-level communication patterns (for obliviousness
     /// tests); populated only when pattern recording is enabled.
     fingerprints: Vec<u64>,
@@ -73,7 +80,7 @@ impl Stats {
     pub(crate) fn charge(&mut self, rounds: u64, words: u64) {
         self.rounds += rounds;
         self.words += words;
-        for name in &self.stack {
+        for (name, _) in &self.stack {
             let e = self.phases.entry(name.clone()).or_default();
             e.rounds += rounds;
             e.words += words;
@@ -81,12 +88,20 @@ impl Stats {
     }
 
     pub(crate) fn push_phase(&mut self, name: &str) {
-        self.stack.push(name.to_owned());
+        self.stack.push((name.to_owned(), Instant::now()));
         self.phases.entry(name.to_owned()).or_default();
     }
 
-    pub(crate) fn pop_phase(&mut self) {
-        self.stack.pop().expect("phase stack underflow");
+    /// Closes the innermost phase, charging its elapsed wall-clock, and
+    /// returns `(name, this run's elapsed ns)`. Only the popped frame is
+    /// charged here: enclosing frames' own intervals span this one, so
+    /// nested attribution falls out when *they* pop.
+    pub(crate) fn pop_phase(&mut self) -> (String, u64) {
+        let (name, started) = self.stack.pop().expect("phase stack underflow");
+        let elapsed = started.elapsed().as_nanos() as u64;
+        let e = self.phases.entry(name.clone()).or_default();
+        e.wall_ns += elapsed;
+        (name, elapsed)
     }
 
     pub(crate) fn record_fingerprint(
@@ -115,7 +130,13 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "rounds={} words={}", self.rounds, self.words)?;
         for (name, p) in &self.phases {
-            writeln!(f, "  {name}: rounds={} words={}", p.rounds, p.words)?;
+            writeln!(
+                f,
+                "  {name}: rounds={} words={} wall={:.3}ms",
+                p.rounds,
+                p.words,
+                p.wall_ns as f64 / 1_000_000.0
+            )?;
         }
         Ok(())
     }
@@ -124,6 +145,16 @@ impl fmt::Display for Stats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Burns a little CPU so elapsed intervals are reliably non-zero
+    /// (sleeping would slow the suite for no extra confidence).
+    fn spin() {
+        let mut acc = 0u64;
+        for i in 0..20_000u64 {
+            acc = acc.wrapping_add(std::hint::black_box(i).wrapping_mul(31));
+        }
+        std::hint::black_box(acc);
+    }
 
     #[test]
     fn nested_phase_attribution() {
@@ -137,21 +168,54 @@ mod tests {
         s.pop_phase();
         assert_eq!(s.rounds(), 6);
         assert_eq!(s.words(), 60);
-        assert_eq!(
-            s.phase("outer").unwrap(),
-            PhaseStats {
-                rounds: 6,
-                words: 60
-            }
-        );
-        assert_eq!(
-            s.phase("inner").unwrap(),
-            PhaseStats {
-                rounds: 2,
-                words: 20
-            }
-        );
+        let outer = s.phase("outer").unwrap();
+        assert_eq!((outer.rounds, outer.words), (6, 60));
+        let inner = s.phase("inner").unwrap();
+        assert_eq!((inner.rounds, inner.words), (2, 20));
         assert!(s.phase("missing").is_none());
+    }
+
+    #[test]
+    fn nested_phases_attribute_wall_clock_to_every_enclosing_phase() {
+        let mut s = Stats::new(false);
+        s.push_phase("outer");
+        spin();
+        s.push_phase("inner");
+        spin();
+        let (name, inner_ns) = s.pop_phase();
+        assert_eq!(name, "inner");
+        assert!(inner_ns > 0, "spinning must register on the clock");
+        spin();
+        let (name, outer_ns) = s.pop_phase();
+        assert_eq!(name, "outer");
+        assert_eq!(s.phase("inner").unwrap().wall_ns, inner_ns);
+        assert_eq!(s.phase("outer").unwrap().wall_ns, outer_ns);
+        // The outer interval spans the inner one plus its own work.
+        assert!(
+            outer_ns > inner_ns,
+            "outer ({outer_ns}ns) must include inner ({inner_ns}ns)"
+        );
+    }
+
+    #[test]
+    fn repeated_phases_accumulate_monotonically() {
+        let mut s = Stats::new(false);
+        let mut last_total = 0;
+        let mut elapsed_sum = 0;
+        for _ in 0..3 {
+            s.push_phase("mm");
+            spin();
+            let (_, elapsed_ns) = s.pop_phase();
+            assert!(elapsed_ns > 0, "each run must register on the clock");
+            elapsed_sum += elapsed_ns;
+            let total = s.phase("mm").unwrap().wall_ns;
+            assert!(
+                total > last_total,
+                "wall-clock must be monotone across runs"
+            );
+            last_total = total;
+        }
+        assert_eq!(s.phase("mm").unwrap().wall_ns, elapsed_sum);
     }
 
     #[test]

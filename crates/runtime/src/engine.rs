@@ -156,15 +156,34 @@ impl Engine {
         let mut words = 0u64;
         let mut engine_rounds = 0u64;
 
+        let tel = cc_telemetry::global();
+        // Observer-only: timestamps are taken only when round tracing is on,
+        // and nothing below ever reads an emitted event back.
+        let timed = tel.enabled(cc_telemetry::TraceLevel::Rounds);
+
         while live > 0 {
+            let step_start = timed.then(std::time::Instant::now);
             let outboxes = self.step_all(&mut programs, &inboxes, &mut halted, engine_rounds);
+            let step_ns = step_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
             live = halted.iter().filter(|&&h| !h).count();
             engine_rounds += 1;
 
+            let barrier_start = timed.then(std::time::Instant::now);
             let (delivered, loads) = fabric.deliver_round(n, outboxes);
+            let barrier_ns = barrier_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
             on_loads(&loads);
             rounds += loads.rounds();
             words += loads.words();
+            tel.emit(cc_telemetry::TraceLevel::Rounds, || {
+                cc_telemetry::Event::EngineRound {
+                    round: engine_rounds - 1,
+                    live,
+                    step_ns,
+                    barrier_ns,
+                    rounds: loads.rounds(),
+                    words: loads.words(),
+                }
+            });
             inboxes = delivered;
         }
 

@@ -243,6 +243,7 @@ impl Executor {
         F: Fn(usize) -> T + Sync,
     {
         let threads = self.threads_for(n);
+        emit_dispatch(n, threads);
         if threads <= 1 || n <= 1 {
             return (0..n).map(f).collect();
         }
@@ -294,6 +295,7 @@ impl Executor {
         let pieces: Vec<&mut [T]> = data.chunks_mut(chunk_len).collect();
         let n_pieces = pieces.len();
         let threads = self.threads_for(n_pieces);
+        emit_dispatch(n_pieces, threads);
         if threads <= 1 {
             return pieces
                 .into_iter()
@@ -345,6 +347,18 @@ impl Executor {
             .map(|s| s.expect("every piece processed exactly once"))
             .collect()
     }
+}
+
+/// Reports one fan-out decision — piece count and the thread count the
+/// cutover heuristic chose (`1` = inline) — at [`TraceLevel::Full`].
+/// Observer-only and a single branch when tracing is off.
+///
+/// [`TraceLevel::Full`]: cc_telemetry::TraceLevel::Full
+#[inline]
+fn emit_dispatch(pieces: usize, threads: usize) {
+    cc_telemetry::global().emit(cc_telemetry::TraceLevel::Full, || {
+        cc_telemetry::Event::ExecutorDispatch { pieces, threads }
+    });
 }
 
 /// Resolves a `CC_EXEC_CUTOVER` spec: `None` (unset) and parseable values

@@ -87,17 +87,21 @@
 #![warn(missing_docs)]
 
 mod engine;
-pub mod env_config;
 mod executor;
 mod loads;
 mod pool;
 mod program;
 
 pub use crate::engine::{Engine, EngineFabric, Fabric, RunReport};
+// The shared `CC_*` knob parser moved to the bottom of the crate stack
+// (`cc-telemetry`) so malformed-env warnings can flow through the telemetry
+// sink; re-exported here so `cc_runtime::env_config::*` call sites are
+// unchanged.
 pub use crate::executor::{Executor, ExecutorKind, DEFAULT_SEQ_CUTOVER};
 pub use crate::loads::LinkLoads;
 pub use crate::pool::threads_spawned as pool_threads_spawned;
 pub use crate::program::{Control, NodeInbox, NodeOutbox, NodeProgram, RoundCtx};
+pub use cc_telemetry::env_config;
 
 /// A single `O(log n)`-bit message word (the same convention as the wire
 /// simulator: one `u64` per word).

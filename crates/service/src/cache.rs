@@ -46,6 +46,18 @@ impl ResultCache {
         self.entries.len()
     }
 
+    /// Approximate bytes held by the cache: each entry's response payload
+    /// ([`Response::approx_bytes`]) plus its key and cost counters. The
+    /// ROADMAP names unbounded cache growth as the service's open leak —
+    /// this is the number that makes the growth observable.
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        let per_entry = (std::mem::size_of::<CacheKey>() + std::mem::size_of::<Primed>()) as u64;
+        self.entries
+            .values()
+            .map(|p| per_entry + p.response.approx_bytes())
+            .sum()
+    }
+
     pub(crate) fn clear(&mut self) {
         self.entries.clear();
     }

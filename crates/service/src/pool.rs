@@ -96,6 +96,12 @@ impl CliquePool {
     pub fn idle_instances(&self, n: usize) -> usize {
         self.idle.get(&n).map_or(0, Vec::len)
     }
+
+    /// Idle warm instances across every size (the occupancy gauge).
+    #[must_use]
+    pub fn idle_total(&self) -> usize {
+        self.idle.values().map(Vec::len).sum()
+    }
 }
 
 #[cfg(test)]

@@ -122,4 +122,23 @@ impl Response {
             _ => None,
         }
     }
+
+    /// Approximate heap + inline size of this response in bytes, for the
+    /// cache-size gauges. Scalar answers count their value; the APSP tables
+    /// count both `n × n` matrices (distances and routing), which is where
+    /// cache memory actually goes.
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        match self {
+            Response::TriangleCount(_) => size_of::<u64>() as u64,
+            Response::ApspTable(t) => {
+                let n = t.dist.n() as u64;
+                n * n * (size_of::<Dist>() + size_of::<usize>()) as u64
+            }
+            Response::Distance(_) => size_of::<Dist>() as u64,
+            Response::GirthBound(_) => size_of::<Option<usize>>() as u64,
+            Response::SubgraphFlag(_) => size_of::<bool>() as u64,
+        }
+    }
 }

@@ -173,6 +173,11 @@ pub struct ServiceStats {
     pub simulated_rounds: u64,
     /// Total words those computations moved.
     pub simulated_words: u64,
+    /// Primed computations currently cached (updated at each drain; the
+    /// growth gauge for the ROADMAP's unbounded-cache item).
+    pub cache_entries: u64,
+    /// Approximate bytes those cached computations hold.
+    pub cache_bytes: u64,
 }
 
 /// One queued submission.
@@ -358,6 +363,15 @@ impl Service {
         self.cache.len()
     }
 
+    /// Approximate bytes the cache holds right now (entry payloads plus
+    /// keys and cost counters). The cache has no eviction yet, so this —
+    /// with [`Service::cached_computations`] — is how its growth is
+    /// watched.
+    #[must_use]
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache.approx_bytes()
+    }
+
     /// Drops every cached computation (the warm pool is untouched). The
     /// next submission of each query re-primes it; useful for memory
     /// pressure and for benchmarks isolating pool warmth from caching.
@@ -380,6 +394,13 @@ impl Service {
             return 0;
         }
         self.stats.batches += 1;
+        let tel = cc_telemetry::global();
+        // Observer-only: the clock is read only when summary tracing is on,
+        // and every emission below happens after the batch's results are
+        // already fixed.
+        let drain_start = tel
+            .enabled(cc_telemetry::TraceLevel::Summary)
+            .then(std::time::Instant::now);
 
         // Seeded deterministic drain order: the queue is a permutation of
         // submission order, fixed by the batch seed — which submission of a
@@ -515,7 +536,45 @@ impl Service {
                 },
             );
         }
+
+        self.stats.cache_entries = self.cache.len() as u64;
+        self.stats.cache_bytes = self.cache.approx_bytes();
+        if let Some(start) = drain_start {
+            self.emit_drain_gauges(done, start.elapsed().as_nanos() as u64);
+        }
         done
+    }
+
+    /// Emits the batch's service gauges at `CC_TRACE=summary` and above:
+    /// cache occupancy, lifetime hit/coalescing ratios, warm-pool
+    /// occupancy, and this drain's per-query latency.
+    fn emit_drain_gauges(&self, drained: usize, drain_ns: u64) {
+        let tel = cc_telemetry::global();
+        let at = cc_telemetry::TraceLevel::Summary;
+        let gauge = |name: &'static str, value: f64| {
+            tel.emit(at, || cc_telemetry::Event::Gauge { name, value });
+        };
+        gauge("service_cache_entries", self.stats.cache_entries as f64);
+        gauge("service_cache_bytes", self.stats.cache_bytes as f64);
+        if self.stats.queries > 0 {
+            gauge(
+                "service_hit_rate",
+                self.stats.cache_hits as f64 / self.stats.queries as f64,
+            );
+            gauge(
+                "service_coalesce_ratio",
+                self.stats.coalesced as f64 / self.stats.queries as f64,
+            );
+        }
+        gauge("service_pool_built", self.pool.built() as f64);
+        gauge("service_pool_reused", self.pool.reused() as f64);
+        gauge("service_pool_idle", self.pool.idle_total() as f64);
+        if drained > 0 {
+            gauge(
+                "service_batch_ns_per_query",
+                drain_ns as f64 / drained as f64,
+            );
+        }
     }
 }
 

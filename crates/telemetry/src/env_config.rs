@@ -3,25 +3,32 @@
 //!
 //! Several layers read their defaults from the environment — `CC_EXECUTOR`
 //! (execution backend), `CC_EXEC_CUTOVER` (small-`n` inline threshold),
-//! `CC_TRANSPORT` (message fabric), `CC_SERVICE` (query-serving scheduler) —
-//! and all of them want the same contract:
+//! `CC_TRANSPORT` (message fabric), `CC_SERVICE` (query-serving scheduler),
+//! `CC_TRACE` (this crate's own trace level) — and all of them want the
+//! same contract:
 //!
 //! * **unset** means "use the fallback", silently;
 //! * a **parseable** value wins;
 //! * a **malformed** value is a misconfiguration, not a preference for the
-//!   default: it is reported once per process *per variable* on stderr, and
-//!   then the fallback is used.
+//!   default: it is reported once per process *per variable*, and then the
+//!   fallback is used.
 //!
-//! Before this module existed that contract was hand-cloned (with its
-//! `static Once` warning guard) in every crate that read a variable; now
-//! each knob is one [`from_env_or`] call, and [`resolve`] exposes the pure
-//! spec-resolution step for unit tests that must not touch the process
-//! environment (the variables are process-global, and CI sets them for
-//! whole suite runs).
+//! This module lives in `cc-telemetry` (the bottom of the crate stack) so
+//! the warning path can flow through the telemetry sink: when the global
+//! [`crate::Telemetry`] is installed and enabled, a malformed value becomes
+//! an [`Event::ConfigWarning`] plus a `config_warnings` counter increment in
+//! the capture; otherwise it falls back to stderr exactly as before.
+//! `cc-runtime` re-exports it as `cc_runtime::env_config`, so existing call
+//! sites are unchanged.
+//!
+//! [`Event::ConfigWarning`]: crate::Event::ConfigWarning
 
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
+
+use crate::event::Event;
+use crate::TraceLevel;
 
 /// Resolves an environment spec against a parser without touching the
 /// environment: `None` (variable unset) resolves to the fallback, a
@@ -74,12 +81,61 @@ fn warned_vars() -> &'static Mutex<BTreeSet<&'static str>> {
     WARNED.get_or_init(|| Mutex::new(BTreeSet::new()))
 }
 
-/// Reports a malformed environment value on stderr, once per process per
-/// variable. Exposed for callers whose fallback construction does not fit
-/// [`from_env_or`].
+/// Inserts `var` into the once-per-process registry; `true` means this is
+/// the first report for the variable and the warning should be delivered.
+fn first_report(var: &'static str) -> bool {
+    warned_vars()
+        .lock()
+        .expect("env warning registry")
+        .insert(var)
+}
+
+/// Reports a malformed environment value once per process per variable.
+/// When the global telemetry handle is already installed and enabled at
+/// [`TraceLevel::Summary`], the warning is emitted into the sink as an
+/// [`Event::ConfigWarning`] and the `config_warnings` counter is bumped;
+/// otherwise it prints to stderr. Exposed for callers whose fallback
+/// construction does not fit [`from_env_or`].
+///
+/// [`Event::ConfigWarning`]: crate::Event::ConfigWarning
 pub fn warn_once(owner: &str, var: &'static str, raw: &str, expected: &str, using: &str) {
-    let mut warned = warned_vars().lock().expect("env warning registry");
-    if warned.insert(var) {
+    if !first_report(var) {
+        return;
+    }
+    // Deliberately `global_if_initialised`, not `global()`: a warning fired
+    // *while* `Telemetry::from_env` is initialising the global (e.g. some
+    // other knob parsed during sink construction) must not re-enter the
+    // `OnceLock` initialiser.
+    let delivered = crate::global_if_initialised().is_some_and(|tel| {
+        if !tel.enabled(TraceLevel::Summary) {
+            return false;
+        }
+        tel.emit(TraceLevel::Summary, || Event::ConfigWarning {
+            owner: owner.to_string(),
+            var,
+            raw: raw.to_string(),
+            expected: expected.to_string(),
+            using: using.to_string(),
+        });
+        tel.emit(TraceLevel::Summary, || Event::Counter {
+            name: "config_warnings",
+            delta: 1,
+        });
+        true
+    });
+    if !delivered {
+        eprintln!(
+            "{owner}: ignoring unrecognised {var}={raw:?} (expected {expected}); using {using}"
+        );
+    }
+}
+
+/// Stderr-only variant of [`warn_once`], for the one caller that runs
+/// *inside* global-telemetry initialisation ([`crate::Telemetry::from_env`]
+/// reporting a malformed `CC_TRACE`): it shares the once-per-process
+/// registry but never consults the global handle.
+pub fn warn_once_stderr(owner: &str, var: &'static str, raw: &str, expected: &str, using: &str) {
+    if first_report(var) {
         eprintln!(
             "{owner}: ignoring unrecognised {var}={raw:?} (expected {expected}); using {using}"
         );
@@ -120,12 +176,32 @@ mod tests {
 
     #[test]
     fn warning_registry_fires_once_per_variable() {
-        // `warn_once` only prints on first insertion; the registry itself
+        // `warn_once` only delivers on first insertion; the registry itself
         // is the observable contract (stderr is not capturable here).
         let before = warned_vars().lock().unwrap().contains("CC_TEST_VAR");
         assert!(!before, "test variable must start unreported");
         warn_once("cc-runtime", "CC_TEST_VAR", "junk", "anything", "default");
         warn_once("cc-runtime", "CC_TEST_VAR", "junk2", "anything", "default");
         assert!(warned_vars().lock().unwrap().contains("CC_TEST_VAR"));
+    }
+
+    #[test]
+    fn stderr_variant_shares_the_registry() {
+        warn_once_stderr(
+            "cc-telemetry",
+            "CC_TEST_VAR_2",
+            "junk",
+            "anything",
+            "default",
+        );
+        assert!(warned_vars().lock().unwrap().contains("CC_TEST_VAR_2"));
+        // A later sink-routed warn for the same variable is suppressed.
+        warn_once(
+            "cc-telemetry",
+            "CC_TEST_VAR_2",
+            "junk",
+            "anything",
+            "default",
+        );
     }
 }

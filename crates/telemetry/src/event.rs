@@ -1,0 +1,373 @@
+//! The structured events instrumented layers emit.
+
+/// Power-of-two histogram of per-link word counts within one transport
+/// round: bucket `i` counts links that carried `w` words with
+/// `floor(log2(w)) == i` (clamped to the last bucket), so bucket 0 is
+/// single-word links, bucket 3 is links carrying 8–15 words, and so on.
+/// Merging across rounds is element-wise addition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkHistogram {
+    /// `buckets[i]` — links whose word count lies in `[2^i, 2^(i+1))`.
+    pub buckets: [u64; Self::BUCKETS],
+}
+
+impl LinkHistogram {
+    /// Number of buckets; the last bucket absorbs everything at or above
+    /// `2^(BUCKETS-1)` words.
+    pub const BUCKETS: usize = 16;
+
+    /// Counts one link that carried `words` words (zero-word links are
+    /// never charged and never counted).
+    pub fn add(&mut self, words: u64) {
+        if words == 0 {
+            return;
+        }
+        let bucket = (63 - words.leading_zeros() as usize).min(Self::BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Element-wise merge of another histogram into this one.
+    pub fn merge(&mut self, other: &LinkHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total links counted.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// One structured observation from an instrumented layer. Events are data,
+/// not behaviour: sinks aggregate or serialise them, and nothing in the
+/// simulation ever reads one back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A malformed `CC_*` environment value was ignored (the
+    /// [`crate::env_config::warn_once`] contract routed through the sink).
+    ConfigWarning {
+        /// Reporting crate (`"cc-runtime"`, `"cc-transport"`, …).
+        owner: String,
+        /// The environment variable.
+        var: &'static str,
+        /// The rejected raw value.
+        raw: String,
+        /// The accepted grammar.
+        expected: String,
+        /// The fallback that was used instead.
+        using: String,
+    },
+    /// A named monotone counter increment.
+    Counter {
+        /// Counter name (aggregated by name in the memory sink).
+        name: &'static str,
+        /// Increment.
+        delta: u64,
+    },
+    /// A named gauge observation (last value wins in the memory sink).
+    Gauge {
+        /// Gauge name.
+        name: &'static str,
+        /// Observed value.
+        value: f64,
+    },
+    /// A clique accounting phase opened ([`TraceLevel::Summary`]).
+    ///
+    /// [`TraceLevel::Summary`]: crate::TraceLevel::Summary
+    PhaseStart {
+        /// Phase name.
+        name: String,
+    },
+    /// A clique accounting phase closed, with the rounds/words charged to
+    /// the whole clique while it ran and its own wall-clock
+    /// ([`TraceLevel::Summary`]).
+    ///
+    /// [`TraceLevel::Summary`]: crate::TraceLevel::Summary
+    PhaseEnd {
+        /// Phase name.
+        name: String,
+        /// Link-level rounds charged while the phase was open.
+        rounds: u64,
+        /// Words delivered while the phase was open.
+        words: u64,
+        /// Wall-clock the phase body took.
+        wall_ns: u64,
+    },
+    /// One engine round barrier ([`TraceLevel::Rounds`]): node stepping
+    /// wall-clock, barrier (delivery) wall-clock, and the round's link
+    /// accounting.
+    ///
+    /// [`TraceLevel::Rounds`]: crate::TraceLevel::Rounds
+    EngineRound {
+        /// Engine round index (0-based).
+        round: u64,
+        /// Nodes still live entering this round.
+        live: usize,
+        /// Wall-clock of stepping all live nodes.
+        step_ns: u64,
+        /// Wall-clock of the fabric barrier (merge + deliver + account).
+        barrier_ns: u64,
+        /// Link-level rounds this barrier charged (the max per-link load).
+        rounds: u64,
+        /// Words delivered at this barrier.
+        words: u64,
+    },
+    /// One executor fan-out decision ([`TraceLevel::Full`]): how many
+    /// independent pieces were queued and whether they dispatched to worker
+    /// threads or ran inline under the `CC_EXEC_CUTOVER` heuristic.
+    ///
+    /// [`TraceLevel::Full`]: crate::TraceLevel::Full
+    ExecutorDispatch {
+        /// Independent pieces in the job (the dispatch queue depth).
+        pieces: usize,
+        /// Worker threads used; `1` means the job ran inline.
+        threads: usize,
+    },
+    /// One transport round barrier ([`TraceLevel::Rounds`]): per-link load
+    /// distribution and the barrier wait (rendezvous) wall-clock.
+    ///
+    /// [`TraceLevel::Rounds`]: crate::TraceLevel::Rounds
+    TransportRound {
+        /// Backend name (`"inmemory"`, `"channel"`, `"socket"`).
+        backend: &'static str,
+        /// Barrier epoch this round committed.
+        epoch: u64,
+        /// Charged links this round.
+        links: usize,
+        /// Total words across all links.
+        words: u64,
+        /// Heaviest link (the round cost).
+        max_link: u64,
+        /// Mean words per charged link.
+        mean_link: f64,
+        /// Wall-clock of the barrier (ship + rendezvous + reassembly).
+        barrier_ns: u64,
+        /// Per-link word-count histogram.
+        hist: LinkHistogram,
+    },
+    /// One coalesced frame batch shipped by a batching backend
+    /// ([`TraceLevel::Full`]).
+    ///
+    /// [`TraceLevel::Full`]: crate::TraceLevel::Full
+    FrameBatch {
+        /// Backend name.
+        backend: &'static str,
+        /// Frames coalesced into the batch.
+        frames: usize,
+        /// Encoded batch size in bytes.
+        bytes: usize,
+    },
+}
+
+/// Serialises one event as a single-line JSON object (the [`crate::JsonlSink`]
+/// wire format). Hand-rolled — the workspace carries no serde — with string
+/// fields escaped.
+#[must_use]
+pub fn event_json(event: &Event) -> String {
+    match event {
+        Event::ConfigWarning {
+            owner,
+            var,
+            raw,
+            expected,
+            using,
+        } => format!(
+            "{{\"event\":\"config_warning\",\"owner\":{},\"var\":{},\"raw\":{},\
+             \"expected\":{},\"using\":{}}}",
+            js(owner),
+            js(var),
+            js(raw),
+            js(expected),
+            js(using)
+        ),
+        Event::Counter { name, delta } => {
+            format!(
+                "{{\"event\":\"counter\",\"name\":{},\"delta\":{delta}}}",
+                js(name)
+            )
+        }
+        Event::Gauge { name, value } => {
+            format!(
+                "{{\"event\":\"gauge\",\"name\":{},\"value\":{value}}}",
+                js(name)
+            )
+        }
+        Event::PhaseStart { name } => {
+            format!("{{\"event\":\"phase_start\",\"name\":{}}}", js(name))
+        }
+        Event::PhaseEnd {
+            name,
+            rounds,
+            words,
+            wall_ns,
+        } => format!(
+            "{{\"event\":\"phase_end\",\"name\":{},\"rounds\":{rounds},\"words\":{words},\
+             \"wall_ns\":{wall_ns}}}",
+            js(name)
+        ),
+        Event::EngineRound {
+            round,
+            live,
+            step_ns,
+            barrier_ns,
+            rounds,
+            words,
+        } => format!(
+            "{{\"event\":\"engine_round\",\"round\":{round},\"live\":{live},\
+             \"step_ns\":{step_ns},\"barrier_ns\":{barrier_ns},\"rounds\":{rounds},\
+             \"words\":{words}}}"
+        ),
+        Event::ExecutorDispatch { pieces, threads } => {
+            format!("{{\"event\":\"executor_dispatch\",\"pieces\":{pieces},\"threads\":{threads}}}")
+        }
+        Event::TransportRound {
+            backend,
+            epoch,
+            links,
+            words,
+            max_link,
+            mean_link,
+            barrier_ns,
+            hist,
+        } => {
+            let buckets: Vec<String> = hist.buckets.iter().map(u64::to_string).collect();
+            format!(
+                "{{\"event\":\"transport_round\",\"backend\":{},\"epoch\":{epoch},\
+                 \"links\":{links},\"words\":{words},\"max_link\":{max_link},\
+                 \"mean_link\":{mean_link},\"barrier_ns\":{barrier_ns},\
+                 \"hist\":[{}]}}",
+                js(backend),
+                buckets.join(",")
+            )
+        }
+        Event::FrameBatch {
+            backend,
+            frames,
+            bytes,
+        } => format!(
+            "{{\"event\":\"frame_batch\",\"backend\":{},\"frames\":{frames},\"bytes\":{bytes}}}",
+            js(backend)
+        ),
+    }
+}
+
+/// Minimal JSON string quoting: escapes quotes, backslashes, and control
+/// characters (config warnings carry raw environment values).
+fn js(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_power_of_two_ranges() {
+        let mut h = LinkHistogram::default();
+        h.add(0); // never charged, never counted
+        h.add(1);
+        h.add(2);
+        h.add(3);
+        h.add(8);
+        h.add(15);
+        h.add(u64::MAX); // clamps into the last bucket
+        assert_eq!(h.buckets[0], 1, "one single-word link");
+        assert_eq!(h.buckets[1], 2, "two links in [2,4)");
+        assert_eq!(h.buckets[3], 2, "two links in [8,16)");
+        assert_eq!(h.buckets[LinkHistogram::BUCKETS - 1], 1);
+        assert_eq!(h.total(), 6);
+
+        let mut other = LinkHistogram::default();
+        other.add(1);
+        h.merge(&other);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn event_json_escapes_raw_values() {
+        let line = event_json(&Event::ConfigWarning {
+            owner: "cc-runtime".to_string(),
+            var: "CC_EXECUTOR",
+            raw: "para\"llel\\x\n".to_string(),
+            expected: "names".to_string(),
+            using: "Sequential".to_string(),
+        });
+        assert!(line.contains("\\\"llel\\\\x\\n"), "escaped: {line}");
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert_eq!(line.matches('\n').count(), 0, "one line per event");
+    }
+
+    #[test]
+    fn event_json_covers_every_variant() {
+        let events = [
+            Event::Counter {
+                name: "c",
+                delta: 1,
+            },
+            Event::Gauge {
+                name: "g",
+                value: 0.5,
+            },
+            Event::PhaseStart {
+                name: "p".to_string(),
+            },
+            Event::PhaseEnd {
+                name: "p".to_string(),
+                rounds: 1,
+                words: 2,
+                wall_ns: 3,
+            },
+            Event::EngineRound {
+                round: 0,
+                live: 4,
+                step_ns: 10,
+                barrier_ns: 20,
+                rounds: 1,
+                words: 8,
+            },
+            Event::ExecutorDispatch {
+                pieces: 64,
+                threads: 1,
+            },
+            Event::TransportRound {
+                backend: "inmemory",
+                epoch: 7,
+                links: 3,
+                words: 9,
+                max_link: 4,
+                mean_link: 3.0,
+                barrier_ns: 100,
+                hist: LinkHistogram::default(),
+            },
+            Event::FrameBatch {
+                backend: "socket",
+                frames: 12,
+                bytes: 4096,
+            },
+        ];
+        for e in &events {
+            let line = event_json(e);
+            assert!(
+                line.starts_with("{\"event\":\"") && line.ends_with('}'),
+                "malformed line for {e:?}: {line}"
+            );
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Sinks: where emitted events go.
+//!
+//! [`MemorySink`] aggregates in-process and is queryable from tests and
+//! `cc-report`; [`JsonlSink`] appends one JSON object per event for offline
+//! analysis. Both are cheap enough to leave attached for a whole test suite:
+//! the memory sink keeps exact aggregates plus a bounded ring of recent raw
+//! events rather than an unbounded log.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, LineWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::{event_json, Event, LinkHistogram};
+
+/// Destination for emitted [`Event`]s. Implementations must be `Send + Sync`
+/// (instrumented layers emit from worker threads) and should never panic —
+/// telemetry failures must not take down the simulation.
+pub trait TelemetrySink: Send + Sync + fmt::Debug {
+    /// Records one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Per-phase aggregate across every [`Event::PhaseEnd`] seen.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseAgg {
+    /// Times the phase closed.
+    pub runs: u64,
+    /// Total link-level rounds charged while the phase was open.
+    pub rounds: u64,
+    /// Total words delivered while the phase was open.
+    pub words: u64,
+    /// Total wall-clock across all runs.
+    pub wall_ns: u64,
+}
+
+/// Engine-level aggregate across every [`Event::EngineRound`] seen.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineAgg {
+    /// Round barriers observed.
+    pub barriers: u64,
+    /// Total node-stepping wall-clock.
+    pub step_ns: u64,
+    /// Total barrier (delivery) wall-clock.
+    pub barrier_ns: u64,
+    /// Total link-level rounds charged.
+    pub rounds: u64,
+    /// Total words delivered.
+    pub words: u64,
+}
+
+/// Executor fan-out aggregate across every [`Event::ExecutorDispatch`] seen.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DispatchAgg {
+    /// Jobs that ran inline (below the `CC_EXEC_CUTOVER` boundary).
+    pub inline: u64,
+    /// Jobs dispatched to worker threads.
+    pub dispatched: u64,
+    /// Total pieces across all jobs (queue depth integral).
+    pub pieces: u64,
+}
+
+/// Per-backend transport aggregate across every [`Event::TransportRound`]
+/// (and [`Event::FrameBatch`]) seen.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TransportAgg {
+    /// Round barriers observed.
+    pub rounds: u64,
+    /// Total words across all links and rounds.
+    pub words: u64,
+    /// Heaviest single link seen in any round.
+    pub max_link: u64,
+    /// Largest per-round skew (`max_link / mean_link`) seen.
+    pub max_skew: f64,
+    /// Sum of per-round skews (divide by `rounds` for the mean).
+    pub skew_sum: f64,
+    /// Total barrier wall-clock.
+    pub barrier_ns: u64,
+    /// Merged per-link word-count histogram across all rounds.
+    pub hist: LinkHistogram,
+    /// Frame batches shipped (batching backends only).
+    pub frame_batches: u64,
+    /// Total encoded bytes across all frame batches.
+    pub frame_bytes: u64,
+}
+
+/// A point-in-time copy of everything a [`MemorySink`] has aggregated.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MemorySnapshot {
+    /// Named monotone counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Named gauges (last observed value wins).
+    pub gauges: BTreeMap<&'static str, f64>,
+    /// Rendered config warnings, in arrival order.
+    pub warnings: Vec<String>,
+    /// Per-phase aggregates, keyed by phase name.
+    pub phases: BTreeMap<String, PhaseAgg>,
+    /// Engine round-barrier aggregate.
+    pub engine: EngineAgg,
+    /// Executor fan-out aggregate.
+    pub dispatch: DispatchAgg,
+    /// Per-backend transport aggregates.
+    pub transports: BTreeMap<&'static str, TransportAgg>,
+    /// Ring of the most recent raw events (capacity
+    /// [`MemorySink::RECENT_CAP`]; oldest dropped first).
+    pub recent: Vec<Event>,
+    /// Raw events dropped from the ring once it filled.
+    pub dropped: u64,
+}
+
+/// In-memory aggregating sink. Aggregates are exact for the whole capture;
+/// only the raw-event ring is bounded.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    state: Mutex<MemorySnapshot>,
+}
+
+impl MemorySink {
+    /// Capacity of the recent raw-event ring.
+    pub const RECENT_CAP: usize = 4096;
+
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies out everything aggregated so far.
+    #[must_use]
+    pub fn snapshot(&self) -> MemorySnapshot {
+        self.state.lock().expect("telemetry state poisoned").clone()
+    }
+
+    /// Clears all aggregates and the raw-event ring (used by `cc-report` to
+    /// capture per-backend runs with one global sink).
+    pub fn reset(&self) {
+        *self.state.lock().expect("telemetry state poisoned") = MemorySnapshot::default();
+    }
+
+    /// Current value of a named counter (0 if never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        let state = self.state.lock().expect("telemetry state poisoned");
+        state.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Last observed value of a named gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let state = self.state.lock().expect("telemetry state poisoned");
+        state.gauges.get(name).copied()
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn record(&self, event: &Event) {
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        match event {
+            Event::ConfigWarning {
+                owner,
+                var,
+                raw,
+                expected,
+                using,
+            } => {
+                state.warnings.push(format!(
+                    "{owner}: ignoring unrecognised {var}={raw:?} (expected {expected}); \
+                     using {using}"
+                ));
+            }
+            Event::Counter { name, delta } => {
+                *state.counters.entry(name).or_insert(0) += delta;
+            }
+            Event::Gauge { name, value } => {
+                state.gauges.insert(name, *value);
+            }
+            Event::PhaseStart { .. } => {}
+            Event::PhaseEnd {
+                name,
+                rounds,
+                words,
+                wall_ns,
+            } => {
+                let agg = state.phases.entry(name.clone()).or_default();
+                agg.runs += 1;
+                agg.rounds += rounds;
+                agg.words += words;
+                agg.wall_ns += wall_ns;
+            }
+            Event::EngineRound {
+                step_ns,
+                barrier_ns,
+                rounds,
+                words,
+                ..
+            } => {
+                state.engine.barriers += 1;
+                state.engine.step_ns += step_ns;
+                state.engine.barrier_ns += barrier_ns;
+                state.engine.rounds += rounds;
+                state.engine.words += words;
+            }
+            Event::ExecutorDispatch { pieces, threads } => {
+                if *threads > 1 {
+                    state.dispatch.dispatched += 1;
+                } else {
+                    state.dispatch.inline += 1;
+                }
+                state.dispatch.pieces += *pieces as u64;
+            }
+            Event::TransportRound {
+                backend,
+                words,
+                max_link,
+                mean_link,
+                barrier_ns,
+                hist,
+                ..
+            } => {
+                let agg = state.transports.entry(backend).or_default();
+                agg.rounds += 1;
+                agg.words += words;
+                agg.max_link = agg.max_link.max(*max_link);
+                let skew = if *mean_link > 0.0 {
+                    *max_link as f64 / mean_link
+                } else {
+                    0.0
+                };
+                agg.max_skew = agg.max_skew.max(skew);
+                agg.skew_sum += skew;
+                agg.barrier_ns += barrier_ns;
+                agg.hist.merge(hist);
+            }
+            Event::FrameBatch {
+                backend,
+                frames: _,
+                bytes,
+            } => {
+                let agg = state.transports.entry(backend).or_default();
+                agg.frame_batches += 1;
+                agg.frame_bytes += *bytes as u64;
+            }
+        }
+        if state.recent.len() >= Self::RECENT_CAP {
+            state.recent.remove(0);
+            state.dropped += 1;
+        }
+        state.recent.push(event.clone());
+    }
+}
+
+/// Appends one JSON object per event to a file (the `full:path` /
+/// `rounds:path` sink). Write errors are swallowed after creation —
+/// telemetry must never fail the run.
+///
+/// Every record is flushed through to the file immediately: the global
+/// handle lives in a `static` that is never dropped, so any bytes still
+/// buffered at process exit would be lost (and short runs would trace
+/// nothing at all).
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<LineWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the output file.
+    ///
+    /// # Errors
+    /// Propagates the [`File::create`] failure so the caller can fall back
+    /// to another sink.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            out: Mutex::new(LineWriter::new(file)),
+        })
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut out = self.out.lock().expect("telemetry writer poisoned");
+        let _ = writeln!(out, "{}", event_json(event));
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("telemetry writer poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(backend: &'static str, loads: &[u64], barrier_ns: u64) -> Event {
+        let links = loads.iter().filter(|w| **w > 0).count();
+        let words: u64 = loads.iter().sum();
+        let max_link = loads.iter().copied().max().unwrap_or(0);
+        let mut hist = LinkHistogram::default();
+        for &w in loads {
+            hist.add(w);
+        }
+        Event::TransportRound {
+            backend,
+            epoch: 0,
+            links,
+            words,
+            max_link,
+            mean_link: if links > 0 {
+                words as f64 / links as f64
+            } else {
+                0.0
+            },
+            barrier_ns,
+            hist,
+        }
+    }
+
+    #[test]
+    fn memory_sink_aggregates_counters_gauges_and_warnings() {
+        let sink = MemorySink::new();
+        sink.record(&Event::Counter {
+            name: "config_warnings",
+            delta: 1,
+        });
+        sink.record(&Event::Counter {
+            name: "config_warnings",
+            delta: 2,
+        });
+        sink.record(&Event::Gauge {
+            name: "hit_rate",
+            value: 0.25,
+        });
+        sink.record(&Event::Gauge {
+            name: "hit_rate",
+            value: 0.5,
+        });
+        sink.record(&Event::ConfigWarning {
+            owner: "cc-runtime".to_string(),
+            var: "CC_EXECUTOR",
+            raw: "banana".to_string(),
+            expected: "sequential, parallel".to_string(),
+            using: "Sequential".to_string(),
+        });
+        assert_eq!(sink.counter("config_warnings"), 3);
+        assert_eq!(sink.gauge("hit_rate"), Some(0.5));
+        assert_eq!(sink.counter("missing"), 0);
+        let snap = sink.snapshot();
+        assert_eq!(snap.warnings.len(), 1);
+        assert!(snap.warnings[0].contains("CC_EXECUTOR=\"banana\""));
+    }
+
+    #[test]
+    fn memory_sink_aggregates_phases_engine_and_transport() {
+        let sink = MemorySink::new();
+        sink.record(&Event::PhaseEnd {
+            name: "mm".to_string(),
+            rounds: 3,
+            words: 30,
+            wall_ns: 100,
+        });
+        sink.record(&Event::PhaseEnd {
+            name: "mm".to_string(),
+            rounds: 2,
+            words: 20,
+            wall_ns: 50,
+        });
+        sink.record(&Event::EngineRound {
+            round: 0,
+            live: 4,
+            step_ns: 10,
+            barrier_ns: 20,
+            rounds: 1,
+            words: 8,
+        });
+        sink.record(&Event::ExecutorDispatch {
+            pieces: 64,
+            threads: 4,
+        });
+        sink.record(&Event::ExecutorDispatch {
+            pieces: 1,
+            threads: 1,
+        });
+        sink.record(&round("inmemory", &[4, 2, 2], 7));
+        sink.record(&round("inmemory", &[8, 0, 0], 9));
+        sink.record(&Event::FrameBatch {
+            backend: "socket",
+            frames: 5,
+            bytes: 640,
+        });
+
+        let snap = sink.snapshot();
+        let mm = &snap.phases["mm"];
+        assert_eq!((mm.runs, mm.rounds, mm.words, mm.wall_ns), (2, 5, 50, 150));
+        assert_eq!(snap.engine.barriers, 1);
+        assert_eq!(snap.engine.step_ns, 10);
+        assert_eq!((snap.dispatch.inline, snap.dispatch.dispatched), (1, 1));
+        assert_eq!(snap.dispatch.pieces, 65);
+
+        let t = &snap.transports["inmemory"];
+        assert_eq!(t.rounds, 2);
+        assert_eq!(t.words, 16);
+        assert_eq!(t.max_link, 8);
+        // Round 1: max 4 / mean 8/3; round 2: max 8 / mean 8 = 1.0.
+        assert!(
+            t.max_skew > 1.49 && t.max_skew < 1.51,
+            "skew {}",
+            t.max_skew
+        );
+        assert_eq!(t.barrier_ns, 16);
+        assert_eq!(t.hist.total(), 4);
+
+        let s = &snap.transports["socket"];
+        assert_eq!((s.frame_batches, s.frame_bytes), (1, 640));
+    }
+
+    #[test]
+    fn recent_ring_is_bounded_and_reset_clears_everything() {
+        let sink = MemorySink::new();
+        for i in 0..(MemorySink::RECENT_CAP as u64 + 10) {
+            sink.record(&Event::Counter {
+                name: "tick",
+                delta: i,
+            });
+        }
+        let snap = sink.snapshot();
+        assert_eq!(snap.recent.len(), MemorySink::RECENT_CAP);
+        assert_eq!(snap.dropped, 10);
+        // Oldest were dropped: the first retained event is delta=10.
+        assert_eq!(
+            snap.recent[0],
+            Event::Counter {
+                name: "tick",
+                delta: 10
+            }
+        );
+
+        sink.reset();
+        assert_eq!(sink.snapshot(), MemorySnapshot::default());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let path = std::env::temp_dir().join(format!(
+            "cc-telemetry-jsonl-test-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonlSink::create(&path).expect("create jsonl");
+        sink.record(&Event::Counter {
+            name: "config_warnings",
+            delta: 1,
+        });
+        sink.record(&Event::PhaseStart {
+            name: "mm".to_string(),
+        });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"counter\""));
+        assert!(lines[1].contains("\"event\":\"phase_start\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

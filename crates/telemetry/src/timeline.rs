@@ -1,0 +1,241 @@
+//! Human-readable rendering of a capture: one line per engine/transport
+//! round from the recent-event ring, plus aggregate footers.
+
+use std::fmt;
+
+use crate::event::{Event, LinkHistogram};
+use crate::sink::MemorySnapshot;
+
+/// A renderable timeline built from a [`MemorySnapshot`]. `Display` prints
+/// per-round lines (from the bounded recent-event ring, so very long
+/// captures show only the tail) followed by phase and transport totals.
+#[derive(Debug, Clone)]
+pub struct RoundTimeline {
+    snapshot: MemorySnapshot,
+}
+
+impl RoundTimeline {
+    /// Wraps a snapshot for rendering.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &MemorySnapshot) -> Self {
+        Self {
+            snapshot: snapshot.clone(),
+        }
+    }
+}
+
+/// Compact sparkline-style rendering of a link histogram: one glyph per
+/// non-empty leading range, scaled to the largest bucket.
+fn render_hist(hist: &LinkHistogram) -> String {
+    const GLYPHS: [char; 5] = ['.', ':', '+', '*', '#'];
+    let top = hist.buckets.iter().copied().max().unwrap_or(0);
+    if top == 0 {
+        return "-".to_string();
+    }
+    let last = hist.buckets.iter().rposition(|&b| b > 0).unwrap_or(0);
+    hist.buckets[..=last]
+        .iter()
+        .map(|&b| {
+            if b == 0 {
+                '_'
+            } else {
+                GLYPHS[((b * GLYPHS.len() as u64).div_ceil(top)) as usize - 1]
+            }
+        })
+        .collect()
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1_000_000.0
+}
+
+impl fmt::Display for RoundTimeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snap = &self.snapshot;
+        if snap.dropped > 0 {
+            writeln!(
+                f,
+                "(timeline tail: {} earlier events dropped from the ring)",
+                snap.dropped
+            )?;
+        }
+        for event in &snap.recent {
+            match event {
+                Event::PhaseStart { name } => writeln!(f, "phase {name} {{")?,
+                Event::PhaseEnd {
+                    name,
+                    rounds,
+                    words,
+                    wall_ns,
+                } => writeln!(
+                    f,
+                    "}} phase {name}: rounds={rounds} words={words} wall={:.3}ms",
+                    ms(*wall_ns)
+                )?,
+                Event::EngineRound {
+                    round,
+                    live,
+                    step_ns,
+                    barrier_ns,
+                    rounds,
+                    words,
+                } => writeln!(
+                    f,
+                    "  engine round {round:>4}: live={live} step={:.3}ms barrier={:.3}ms \
+                     rounds={rounds} words={words}",
+                    ms(*step_ns),
+                    ms(*barrier_ns)
+                )?,
+                Event::TransportRound {
+                    backend,
+                    epoch,
+                    links,
+                    words,
+                    max_link,
+                    mean_link,
+                    barrier_ns,
+                    hist,
+                } => writeln!(
+                    f,
+                    "  {backend} epoch {epoch:>4}: links={links} words={words} \
+                     max={max_link} mean={mean_link:.1} barrier={:.3}ms hist=[{}]",
+                    ms(*barrier_ns),
+                    render_hist(hist)
+                )?,
+                Event::FrameBatch {
+                    backend,
+                    frames,
+                    bytes,
+                } => writeln!(f, "  {backend} batch: frames={frames} bytes={bytes}")?,
+                Event::ConfigWarning { owner, var, .. } => {
+                    writeln!(f, "  warning: {owner} ignored malformed {var}")?;
+                }
+                Event::Counter { .. } | Event::Gauge { .. } | Event::ExecutorDispatch { .. } => {}
+            }
+        }
+
+        if !snap.phases.is_empty() {
+            writeln!(f, "phases:")?;
+            for (name, agg) in &snap.phases {
+                writeln!(
+                    f,
+                    "  {name}: runs={} rounds={} words={} wall={:.3}ms",
+                    agg.runs,
+                    agg.rounds,
+                    agg.words,
+                    ms(agg.wall_ns)
+                )?;
+            }
+        }
+        if snap.engine.barriers > 0 {
+            writeln!(
+                f,
+                "engine: barriers={} step={:.3}ms barrier={:.3}ms rounds={} words={}",
+                snap.engine.barriers,
+                ms(snap.engine.step_ns),
+                ms(snap.engine.barrier_ns),
+                snap.engine.rounds,
+                snap.engine.words
+            )?;
+        }
+        if snap.dispatch.inline + snap.dispatch.dispatched > 0 {
+            writeln!(
+                f,
+                "executor: inline={} dispatched={} pieces={}",
+                snap.dispatch.inline, snap.dispatch.dispatched, snap.dispatch.pieces
+            )?;
+        }
+        for (backend, agg) in &snap.transports {
+            let mean_skew = if agg.rounds > 0 {
+                agg.skew_sum / agg.rounds as f64
+            } else {
+                0.0
+            };
+            writeln!(
+                f,
+                "{backend}: rounds={} words={} max_link={} skew(max/mean)={:.2}/{:.2} \
+                 barrier={:.3}ms batches={} hist=[{}]",
+                agg.rounds,
+                agg.words,
+                agg.max_link,
+                agg.max_skew,
+                mean_skew,
+                ms(agg.barrier_ns),
+                agg.frame_batches,
+                render_hist(&agg.hist)
+            )?;
+        }
+        for (name, value) in &snap.gauges {
+            writeln!(f, "gauge {name} = {value}")?;
+        }
+        if let Some(warns) = snap.counters.get("config_warnings") {
+            writeln!(f, "config warnings: {warns}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{MemorySink, TelemetrySink};
+
+    #[test]
+    fn timeline_renders_rounds_phases_and_totals() {
+        let sink = MemorySink::new();
+        sink.record(&Event::PhaseStart {
+            name: "triangles".to_string(),
+        });
+        sink.record(&Event::EngineRound {
+            round: 0,
+            live: 8,
+            step_ns: 1_500_000,
+            barrier_ns: 250_000,
+            rounds: 2,
+            words: 64,
+        });
+        let mut hist = LinkHistogram::default();
+        hist.add(8);
+        hist.add(2);
+        sink.record(&Event::TransportRound {
+            backend: "inmemory",
+            epoch: 0,
+            links: 2,
+            words: 10,
+            max_link: 8,
+            mean_link: 5.0,
+            barrier_ns: 90_000,
+            hist,
+        });
+        sink.record(&Event::PhaseEnd {
+            name: "triangles".to_string(),
+            rounds: 2,
+            words: 64,
+            wall_ns: 2_000_000,
+        });
+        sink.record(&Event::Gauge {
+            name: "service_cache_entries",
+            value: 3.0,
+        });
+
+        let text = RoundTimeline::from_snapshot(&sink.snapshot()).to_string();
+        assert!(text.contains("phase triangles {"), "{text}");
+        assert!(text.contains("engine round    0"), "{text}");
+        assert!(text.contains("inmemory epoch    0"), "{text}");
+        assert!(text.contains("phases:"), "{text}");
+        assert!(text.contains("gauge service_cache_entries = 3"), "{text}");
+    }
+
+    #[test]
+    fn histogram_rendering_marks_empty_and_scaled_buckets() {
+        let mut h = LinkHistogram::default();
+        assert_eq!(render_hist(&h), "-");
+        h.add(1); // bucket 0
+        h.add(8); // bucket 3
+        h.add(8);
+        let s = render_hist(&h);
+        assert_eq!(s.len(), 4, "{s}");
+        assert!(s.chars().nth(1) == Some('_') && s.chars().nth(2) == Some('_'));
+        assert_eq!(s.chars().last(), Some('#'));
+    }
+}

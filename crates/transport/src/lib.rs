@@ -45,6 +45,7 @@ pub mod frame;
 mod inmemory;
 mod pending;
 mod socket;
+mod traced;
 
 pub use crate::channel::ChannelTransport;
 pub use crate::fabric::TransportFabric;
@@ -54,6 +55,7 @@ pub use crate::frame::{
 };
 pub use crate::inmemory::InMemoryTransport;
 pub use crate::socket::{worker_main, SocketTransport, DEFAULT_SOCKET_WORKERS};
+pub use crate::traced::TracedTransport;
 
 use cc_runtime::{Executor, LinkLoads, Word};
 use std::fmt;
@@ -208,10 +210,17 @@ impl TransportKind {
     /// it.
     #[must_use]
     pub fn build(self, n: usize, exec: Executor) -> Box<dyn Transport> {
-        match self {
+        let inner: Box<dyn Transport> = match self {
             TransportKind::InMemory => Box::new(InMemoryTransport::new(n, exec)),
             TransportKind::Channel => Box::new(ChannelTransport::new(n)),
             TransportKind::Socket { workers } => Box::new(SocketTransport::new(n, workers)),
+        };
+        // Observer-only instrumentation: wrapped at build time only when
+        // round tracing is on, so untraced runs keep the bare backend.
+        if cc_telemetry::global().enabled(cc_telemetry::TraceLevel::Rounds) {
+            Box::new(TracedTransport::new(inner))
+        } else {
+            inner
         }
     }
 }

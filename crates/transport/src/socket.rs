@@ -188,6 +188,7 @@ impl Transport for SocketTransport {
         // writes cannot deadlock against the echo phase.
         for wk in &mut self.workers {
             let mut batch = Vec::new();
+            let mut frames = 0usize;
             for dst in wk.lo..wk.hi {
                 for src in 0..n {
                     let words = std::mem::take(&mut self.pending.queues[dst * n + src]);
@@ -201,12 +202,22 @@ impl Transport for SocketTransport {
                         words,
                     };
                     push_frame(&mut batch, &frame);
+                    frames += 1;
                 }
             }
             for bytes in &bcast_frames {
                 push_frame_bytes(&mut batch, bytes);
+                frames += 1;
             }
             push_frame(&mut batch, &Frame::RoundEnd { epoch });
+            frames += 1;
+            cc_telemetry::global().emit(cc_telemetry::TraceLevel::Full, || {
+                cc_telemetry::Event::FrameBatch {
+                    backend: "socket",
+                    frames,
+                    bytes: batch.len(),
+                }
+            });
             wk.writer
                 .write_all(&batch)
                 .and_then(|()| wk.writer.flush())

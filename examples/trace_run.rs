@@ -1,0 +1,49 @@
+//! Trace a run: count triangles with round-level telemetry enabled and
+//! print the captured timeline.
+//!
+//! Run with: `cargo run --release --example trace_run`
+//!
+//! The example installs `CC_TRACE=rounds` programmatically (an exported
+//! `CC_TRACE` would win only if it were installed first — the global handle
+//! is first-install-wins), so it always produces a timeline. To trace any
+//! *other* binary in the workspace, just set the variable:
+//!
+//! ```text
+//! CC_TRACE=rounds            cargo test -q            # aggregate in memory
+//! CC_TRACE=full:/tmp/r.jsonl cargo run --example quickstart
+//! ```
+
+use congested_clique::clique::Clique;
+use congested_clique::graph::{generators, oracle};
+use congested_clique::subgraph::count_triangles;
+use congested_clique::telemetry::{self, RoundTimeline, Telemetry, TraceLevel};
+
+fn main() {
+    // Install round-level tracing into an in-memory aggregator before any
+    // instrumented layer is touched. `install` fails (and we fall through
+    // to whatever CC_TRACE selected) only if telemetry was already
+    // initialised — impossible here, since this runs first in main.
+    let _ = telemetry::install(Telemetry::with_memory(TraceLevel::Rounds));
+
+    let n = 32;
+    let g = generators::gnp(n, 0.3, 42);
+    println!("input: G({n}, 0.3) with {} edges", g.m());
+
+    // Wrap the count in a named phase so the capture attributes its
+    // rounds, words, and wall-clock.
+    let mut clique = Clique::new(n);
+    let triangles = clique.phase("triangles", |c| count_triangles(c, &g));
+    assert_eq!(triangles, oracle::count_triangles(&g));
+    println!(
+        "count: {triangles} triangles in {} simulated rounds\n",
+        clique.rounds()
+    );
+
+    // Everything the instrumented stack emitted is waiting in the global
+    // memory sink; the timeline renders per-round lines and totals.
+    let mem = telemetry::global()
+        .memory()
+        .expect("with_memory handles aggregate in memory");
+    println!("--- captured timeline (CC_TRACE=rounds) ---");
+    print!("{}", RoundTimeline::from_snapshot(&mem.snapshot()));
+}

@@ -20,6 +20,8 @@
 //! * [`service`] — the batched query-serving layer: graph registry, warm
 //!   clique pools, fingerprint-keyed result caching, deterministic batch
 //!   scheduling.
+//! * [`telemetry`] — zero-cost-when-disabled observability: structured
+//!   trace events, per-round/per-link metrics, pluggable sinks.
 //! * [`baselines`] — prior-work baselines (Dolev et al., naive algorithms).
 //! * [`congest`] — the CONGEST model substrate (the paper's §5 future-work
 //!   direction) with classical comparison algorithms.
@@ -248,6 +250,51 @@
 //! warm-pool, duplicate-heavy batches against cold one-shot calls at
 //! duplicate ratios {0%, 50%, 90%}. The `query_service` example drives a
 //! mixed workload end to end.
+//!
+//! ## Observability
+//!
+//! The determinism contract says *that* the stack is correct; the
+//! [`telemetry`] layer ([`cc_telemetry`]) says *where wall-clock goes*.
+//! Every layer emits structured [`Event`](telemetry::Event)s through one
+//! process-global [`Telemetry`](telemetry::Telemetry) handle:
+//!
+//! * the [`Engine`](runtime::Engine) times each round barrier (node
+//!   stepping vs delivery) and the [`Executor`](runtime::Executor) reports
+//!   every dispatch-vs-inline decision at the `CC_EXEC_CUTOVER` boundary;
+//! * every [`Transport`](transport::Transport) backend reports per-round
+//!   link histograms — words per link, max-vs-mean skew, barrier wait, and
+//!   (socket) coalesced frame-batch sizes — via an observer-only wrapper
+//!   applied at build time;
+//! * [`Clique::phase`](clique::Clique::phase) adds wall-clock to the
+//!   rounds/words it already attributes
+//!   ([`PhaseStats::wall_ns`](clique::PhaseStats)), and emits phase
+//!   start/end events;
+//! * the [`service`] publishes gauges per drained batch: cache
+//!   entries/bytes, hit and coalescing ratios, warm-pool occupancy,
+//!   per-query latency.
+//!
+//! The `CC_TRACE` variable selects the level for every default-configured
+//! run, mirroring `CC_EXECUTOR`/`CC_TRANSPORT`: `off` (default),
+//! `summary` (phases, config warnings, service gauges), `rounds`
+//! (+ per-round engine/transport events), `full` (+ per-dispatch executor
+//! decisions and frame batches); any level may append `:path` to write
+//! JSONL ([`JsonlSink`](telemetry::JsonlSink)) instead of aggregating in
+//! memory ([`MemorySink`](telemetry::MemorySink)). Malformed values —
+//! `full:` (empty path), `off:path`, unknown names — are rejected whole
+//! and warned once, like `parallel:banana`. Render a capture with
+//! [`RoundTimeline`](telemetry::RoundTimeline): one line per engine/
+//! transport round (`engine round 3: live=8 step=1.2ms barrier=0.3ms …`,
+//! `socket epoch 3: links=56 words=448 max=8 mean=8.0 hist=[#]`) followed
+//! by per-phase and per-backend totals — the `trace_run` example prints
+//! one for a traced triangle count.
+//!
+//! Instrumentation is **observer-only**: `CC_TRACE=full` leaves results,
+//! rounds, words, and fingerprints bit-identical to `CC_TRACE=off` (pinned
+//! in `tests/runtime_determinism.rs`), and at the default `off` every emit
+//! site is a single branch on an already-resolved handle. The
+//! `cc-report` binary (`cargo run --release -p cc-bench --bin cc-report`)
+//! collates the `BENCH_*.json` suite plus a live capture per transport
+//! backend into a schema-versioned `BENCH_telemetry.json`.
 
 pub use cc_algebra as algebra;
 pub use cc_apsp as apsp;
@@ -259,4 +306,5 @@ pub use cc_graph as graph;
 pub use cc_runtime as runtime;
 pub use cc_service as service;
 pub use cc_subgraph as subgraph;
+pub use cc_telemetry as telemetry;
 pub use cc_transport as transport;

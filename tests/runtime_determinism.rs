@@ -635,6 +635,97 @@ fn cached_queries_replay_fresh_results_across_backends() {
     }
 }
 
+/// FNV-1a over a debug rendering: a stable digest of everything an
+/// [`AlgoOutcome`] observed, cheap enough to print on one line.
+fn outcome_digest(outcome: &AlgoOutcome) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in format!("{outcome:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Subprocess half of the tracing bit-identity pin: sweeps the executor ×
+/// transport matrix and prints one `PROBE` digest line per cell. Inert (and
+/// trivially green) unless the driver below sets `CC_TRACE_PROBE=1` — the
+/// whole point is that the driver runs it twice in fresh processes, once
+/// with `CC_TRACE=off` and once with `CC_TRACE=full`, so the telemetry
+/// level is fixed at first use and identical digests prove full tracing is
+/// observer-only.
+#[test]
+fn trace_probe_worker() {
+    if std::env::var("CC_TRACE_PROBE").as_deref() != Ok("1") {
+        return;
+    }
+    let (n, seed) = (10, 77);
+    for executor in [
+        ExecutorKind::Sequential,
+        ExecutorKind::Parallel { threads: 3 },
+    ] {
+        for transport in transport_axis() {
+            let config = CliqueConfig {
+                executor,
+                transport,
+                exec_cutover: Some(2),
+                ..cfg_transport(transport)
+            };
+            let out = run_algorithms_with(config, n, seed);
+            println!(
+                "PROBE {executor:?} {transport:?} rounds={} words={} epochs={} digest={:016x}",
+                out.rounds,
+                out.words,
+                out.epochs,
+                outcome_digest(&out)
+            );
+        }
+    }
+}
+
+/// The tentpole's observer-only contract, pinned end to end: running the
+/// full algorithm sweep under `CC_TRACE=full` produces **bit-identical**
+/// results, rounds, words, fingerprints, and epochs to `CC_TRACE=off`, on
+/// every executor × transport cell. Tracing may only watch.
+#[test]
+fn full_tracing_is_bit_identical_to_off() {
+    let probe = |trace: &str| -> Vec<String> {
+        let out = std::process::Command::new(std::env::current_exe().unwrap())
+            .args([
+                "trace_probe_worker",
+                "--exact",
+                "--nocapture",
+                "--test-threads=1",
+            ])
+            // Explicit on both runs: a CI lane exporting CC_TRACE must not
+            // leak into either side of the comparison.
+            .env("CC_TRACE", trace)
+            .env("CC_TRACE_PROBE", "1")
+            .output()
+            .expect("spawn probe worker");
+        assert!(
+            out.status.success(),
+            "probe worker failed under CC_TRACE={trace}:\n{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            // `find`, not `starts_with`: libtest's unterminated "test ..."
+            // header glues itself onto the worker's first line.
+            .filter_map(|l| l.find("PROBE ").map(|at| l[at..].to_owned()))
+            .collect()
+    };
+
+    let off = probe("off");
+    let full = probe("full");
+    assert_eq!(
+        off.len(),
+        8,
+        "probe must cover the 2-executor × 4-transport matrix: {off:?}"
+    );
+    assert_eq!(off, full, "CC_TRACE=full must be observer-only");
+}
+
 #[test]
 fn round_counts_match_the_seed_link_level_semantics() {
     // The ported primitives must charge exactly what the historical serial
