@@ -1,0 +1,262 @@
+//! Bit-packed Boolean matrices: 64 adjacency entries per `u64` word.
+//!
+//! The paper's Boolean products (reachability, Seidel's base products, cycle
+//! detection) only ever consume `∨`/`∧` of `{0, 1}` entries, so a row can be
+//! packed into `⌈cols/64⌉` machine words and a whole 64-column strip of the
+//! inner product collapses into one `AND`/`OR`/popcount. [`BitMatrix`] is the
+//! node-local kernel behind `CC_KERNEL=bitset` (see [`crate::kernel`]); it is
+//! observer-equivalent to the schoolbook Boolean product — same booleans out,
+//! bit for bit — and only the wall-clock moves.
+
+use crate::matrix::Matrix;
+
+/// A dense Boolean matrix with rows packed 64 entries per `u64` word.
+///
+/// Column `j` of row `i` lives in bit `j % 64` of word `j / 64` of that row;
+/// trailing bits of the last word are always zero, which keeps word-level
+/// `OR`/popcount operations exact without masking.
+///
+/// # Examples
+///
+/// ```rust
+/// use cc_algebra::{BitMatrix, BoolSemiring, Matrix};
+/// let a = Matrix::from_fn(3, 3, |i, j| (i + j) % 2 == 0);
+/// let b = Matrix::from_fn(3, 3, |i, j| i <= j);
+/// let packed = BitMatrix::from_matrix(&a).multiply(&BitMatrix::from_matrix(&b));
+/// assert_eq!(packed.to_matrix(), Matrix::mul(&BoolSemiring, &a, &b));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-zero matrix of the given shape.
+    #[must_use]
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        Self {
+            rows,
+            cols,
+            words_per_row,
+            bits: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Packs an unpacked Boolean [`Matrix`].
+    #[must_use]
+    pub fn from_matrix(m: &Matrix<bool>) -> Self {
+        let mut out = Self::zero(m.rows(), m.cols());
+        for i in 0..m.rows() {
+            let row = m.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                if v {
+                    out.set(i, j, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds a matrix from a generator function.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut out = Self::zero(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if f(i, j) {
+                    out.set(i, j, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Unpacks into a Boolean [`Matrix`].
+    #[must_use]
+    pub fn to_matrix(&self) -> Matrix<bool> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j))
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.bits[i * self.words_per_row + j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// Writes entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, v: bool) {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        let word = &mut self.bits[i * self.words_per_row + j / 64];
+        if v {
+            *word |= 1 << (j % 64);
+        } else {
+            *word &= !(1 << (j % 64));
+        }
+    }
+
+    /// The packed words of row `i`.
+    #[must_use]
+    pub fn row_words(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Total number of set entries (popcount over the packed words).
+    #[must_use]
+    pub fn count_ones(&self) -> u64 {
+        self.bits.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Boolean matrix product `self · other` over `(∨, ∧)`.
+    ///
+    /// For every set bit `k` of row `i` of `self`, row `k` of `other` is
+    /// `OR`-ed into output row `i` — 64 inner-product lanes per word
+    /// operation, no thresholding, no integer lift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    #[must_use]
+    pub fn multiply(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in multiply");
+        let mut out = BitMatrix::zero(self.rows, other.cols);
+        let wpr = out.words_per_row;
+        for i in 0..self.rows {
+            let (lhs_row, out_row) = (self.row_words(i), i * wpr);
+            for (wi, &word) in lhs_row.iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let k = wi * 64 + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let rhs = other.row_words(k);
+                    for (dst, &src) in out.bits[out_row..out_row + wpr].iter_mut().zip(rhs) {
+                        *dst |= src;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Fused `self · other ∨ or_with`: the Boolean product with a third
+    /// matrix `OR`-ed in word-wise, in one pass over the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not line up.
+    #[must_use]
+    pub fn multiply_or(&self, other: &BitMatrix, or_with: &BitMatrix) -> BitMatrix {
+        let mut out = self.multiply(other);
+        assert_eq!(
+            (out.rows, out.cols),
+            (or_with.rows, or_with.cols),
+            "dimension mismatch in multiply_or"
+        );
+        for (dst, &src) in out.bits.iter_mut().zip(&or_with.bits) {
+            *dst |= src;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::BoolSemiring;
+    use proptest::prelude::*;
+
+    fn rand_bool_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<bool> {
+        let mut s = seed.wrapping_add(0x9e3779b97f4a7c15);
+        Matrix::from_fn(rows, cols, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) & 1 == 1
+        })
+    }
+
+    #[test]
+    fn pack_roundtrip_at_ragged_sizes() {
+        for n in [1usize, 63, 64, 65, 130] {
+            let m = rand_bool_matrix(n, n, n as u64);
+            let packed = BitMatrix::from_matrix(&m);
+            assert_eq!(packed.to_matrix(), m, "n={n}");
+            let ones: usize = (0..n)
+                .map(|i| m.row(i).iter().filter(|&&v| v).count())
+                .sum();
+            assert_eq!(packed.count_ones(), ones as u64);
+        }
+    }
+
+    #[test]
+    fn product_matches_naive_at_ragged_sizes() {
+        for n in [1usize, 63, 64, 65, 130] {
+            let a = rand_bool_matrix(n, n, 2 * n as u64);
+            let b = rand_bool_matrix(n, n, 2 * n as u64 + 1);
+            let naive = Matrix::mul(&BoolSemiring, &a, &b);
+            let packed = BitMatrix::from_matrix(&a).multiply(&BitMatrix::from_matrix(&b));
+            assert_eq!(packed.to_matrix(), naive, "n={n}");
+        }
+    }
+
+    #[test]
+    fn rectangular_product_and_fused_or() {
+        let a = rand_bool_matrix(5, 70, 1);
+        let b = rand_bool_matrix(70, 130, 2);
+        let c = rand_bool_matrix(5, 130, 3);
+        let naive = Matrix::mul(&BoolSemiring, &a, &b);
+        let fused = BitMatrix::from_matrix(&a)
+            .multiply_or(&BitMatrix::from_matrix(&b), &BitMatrix::from_matrix(&c));
+        let expected = naive.map_indexed(|i, j, &v| v || c[(i, j)]);
+        assert_eq!(fused.to_matrix(), expected);
+    }
+
+    proptest! {
+        #[test]
+        fn random_products_match_naive(
+            rows in 1usize..20,
+            inner in 1usize..90,
+            cols in 1usize..90,
+            seed in 0u64..1000,
+        ) {
+            let a = rand_bool_matrix(rows, inner, seed);
+            let b = rand_bool_matrix(inner, cols, seed + 7);
+            let naive = Matrix::mul(&BoolSemiring, &a, &b);
+            let packed = BitMatrix::from_matrix(&a).multiply(&BitMatrix::from_matrix(&b));
+            prop_assert_eq!(packed.to_matrix(), naive);
+        }
+
+        #[test]
+        fn get_set_roundtrip(i in 0usize..70, j in 0usize..70, v: bool) {
+            let mut m = BitMatrix::zero(70, 70);
+            m.set(i, j, v);
+            prop_assert_eq!(m.get(i, j), v);
+            m.set(i, j, false);
+            prop_assert_eq!(m.count_ones(), 0);
+        }
+    }
+}

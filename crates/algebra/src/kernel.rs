@@ -1,0 +1,401 @@
+//! Pluggable node-local matrix-multiply kernels.
+//!
+//! Every congested-clique algorithm in this workspace bottoms out in dense
+//! node-local products — the step-4 term products of `fast_mm`, the block
+//! products of `semiring_mm`, trace combines, bilinear evaluation. Those
+//! products never touch the wire, so swapping how they are computed is
+//! **observer-equivalent**: results, rounds, words, and pattern fingerprints
+//! stay bit-identical across kernels, and only wall-clock (`*_ns`) moves.
+//!
+//! Three kernels are offered, selected by `CC_KERNEL` (parsed once per
+//! process through `env_config`, warn-once on malformed values) or
+//! programmatically with [`scoped`]:
+//!
+//! * `naive` — the schoolbook [`Matrix::mul`] reference, exactly the seed
+//!   behaviour;
+//! * `blocked` — cache-blocked i-k-j tiles (tile edge from `CC_TILE`,
+//!   default [`DEFAULT_TILE`]) for integer products, routing large square
+//!   tiles through local Strassen above [`STRASSEN_ROUTE`];
+//! * `bitset` — everything `blocked` does, plus bit-packed
+//!   [`BitMatrix`](crate::BitMatrix) `AND`/`OR` products for the Boolean
+//!   semiring (64 lanes per word, threshold-free).
+//!
+//! Integer reorderings are exact because `i64` addition is associative and
+//! commutative, and local Strassen computes the same ring element; any
+//! correct Boolean method returns the same booleans. Each dispatch emits a
+//! `KernelDecision` telemetry event at `TraceLevel::Full`, mirroring the
+//! executor's inline-vs-dispatched events.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use crate::bitmatrix::BitMatrix;
+use crate::matrix::Matrix;
+use crate::semiring::{BoolSemiring, IntRing};
+use crate::strassen::strassen_mul_with_base;
+
+/// Default cache-block tile edge when `CC_TILE` is unset (entries per tile
+/// side; 64×64 `i64` tiles are 32 KiB — comfortably L1/L2-resident).
+pub const DEFAULT_TILE: usize = 64;
+
+/// Square dimension at or above which the `blocked`/`bitset` kernels route
+/// integer products through local Strassen ([`crate::strassen_mul`] with a
+/// blocked base case).
+pub const STRASSEN_ROUTE: usize = 256;
+
+/// Which node-local multiply kernel to use. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Schoolbook [`Matrix::mul`] — the reference the other kernels must
+    /// match bit for bit.
+    #[default]
+    Naive,
+    /// Cache-blocked i-k-j integer tiles with Strassen routing.
+    Blocked,
+    /// `Blocked` plus bit-packed Boolean products.
+    Bitset,
+}
+
+impl Kernel {
+    /// Parses a `CC_KERNEL` value. Matching is exact and lower-case.
+    #[must_use]
+    pub fn parse(raw: &str) -> Option<Self> {
+        match raw {
+            "naive" => Some(Self::Naive),
+            "blocked" => Some(Self::Blocked),
+            "bitset" => Some(Self::Bitset),
+            _ => None,
+        }
+    }
+
+    /// The knob spelling of this kernel.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Naive => "naive",
+            Self::Blocked => "blocked",
+            Self::Bitset => "bitset",
+        }
+    }
+
+    /// The kernel in effect: a [`scoped`] override if one is active, else
+    /// the process-wide `CC_KERNEL` resolution (read once, warn-once on
+    /// malformed values, default `naive`).
+    #[must_use]
+    pub fn current() -> Self {
+        match OVERRIDE.load(Ordering::Acquire) {
+            1 => Self::Naive,
+            2 => Self::Blocked,
+            3 => Self::Bitset,
+            _ => *env_kernel(),
+        }
+    }
+}
+
+fn env_kernel() -> &'static Kernel {
+    static ENV_KERNEL: OnceLock<Kernel> = OnceLock::new();
+    ENV_KERNEL.get_or_init(|| {
+        cc_telemetry::env_config::from_env_or(
+            "cc-algebra",
+            "CC_KERNEL",
+            "one of naive|blocked|bitset",
+            Kernel::default(),
+            Kernel::parse,
+        )
+    })
+}
+
+/// The tile edge for blocked kernels: `CC_TILE` (a positive integer, read
+/// once, warn-once on malformed values) or [`DEFAULT_TILE`].
+#[must_use]
+pub fn tile() -> usize {
+    static TILE: OnceLock<usize> = OnceLock::new();
+    *TILE.get_or_init(|| {
+        cc_telemetry::env_config::from_env_or(
+            "cc-algebra",
+            "CC_TILE",
+            "a positive integer tile edge",
+            DEFAULT_TILE,
+            |raw| raw.parse().ok().filter(|&t: &usize| t > 0),
+        )
+    })
+}
+
+/// Process-wide scoped override: 0 = none, else `Kernel as u8 + 1`.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+static SCOPE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds a [`scoped`] kernel override; restores the previous selection on
+/// drop.
+#[derive(Debug)]
+pub struct ScopedKernel {
+    prev: u8,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for ScopedKernel {
+    fn drop(&mut self) {
+        OVERRIDE.store(self.prev, Ordering::Release);
+    }
+}
+
+/// Forces `kernel` for the lifetime of the returned guard, overriding the
+/// `CC_KERNEL` environment resolution. Guards serialise on a process-wide
+/// mutex so overlapping scopes cannot interleave; code on *other* threads
+/// observes the override too, which is harmless because every kernel is
+/// observer-equivalent. Intended for tests and benches that sweep the
+/// kernel axis inside one process.
+#[must_use]
+pub fn scoped(kernel: Kernel) -> ScopedKernel {
+    let lock = SCOPE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let prev = OVERRIDE.swap(kernel as u8 + 1, Ordering::AcqRel);
+    ScopedKernel { prev, _lock: lock }
+}
+
+/// Reports one kernel dispatch decision at `TraceLevel::Full` — the kernel
+/// actually chosen, the operation, the (output-row) size, and the tile
+/// edge. Observer-only and a single branch when tracing is off.
+#[inline]
+fn emit_decision(kernel: &'static str, op: &'static str, n: usize, tile: usize) {
+    cc_telemetry::global().emit(cc_telemetry::TraceLevel::Full, || {
+        cc_telemetry::Event::KernelDecision {
+            kernel,
+            op,
+            n,
+            tile,
+        }
+    });
+}
+
+/// Node-local `i64` product under the current kernel. Bit-identical to
+/// [`Matrix::mul`] over [`IntRing`] for every kernel.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+#[must_use]
+pub fn mul_i64(a: &Matrix<i64>, b: &Matrix<i64>) -> Matrix<i64> {
+    match Kernel::current() {
+        Kernel::Naive => {
+            emit_decision("naive", "mul_i64", a.rows(), 0);
+            Matrix::mul(&IntRing, a, b)
+        }
+        Kernel::Blocked | Kernel::Bitset => {
+            let t = tile();
+            if a.rows() >= STRASSEN_ROUTE && a.rows() == a.cols() && b.rows() == b.cols() {
+                emit_decision("strassen", "mul_i64", a.rows(), t);
+                mul_i64_strassen(a, b, t)
+            } else {
+                emit_decision("blocked", "mul_i64", a.rows(), t);
+                mul_i64_blocked(a, b, t)
+            }
+        }
+    }
+}
+
+/// Node-local Boolean product under the current kernel. Bit-identical to
+/// [`Matrix::mul`] over [`BoolSemiring`] for every kernel.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+#[must_use]
+pub fn mul_bool(a: &Matrix<bool>, b: &Matrix<bool>) -> Matrix<bool> {
+    match Kernel::current() {
+        Kernel::Naive => {
+            emit_decision("naive", "mul_bool", a.rows(), 0);
+            Matrix::mul(&BoolSemiring, a, b)
+        }
+        Kernel::Blocked => {
+            let t = tile();
+            emit_decision("blocked", "mul_bool", a.rows(), t);
+            mul_bool_blocked(a, b, t)
+        }
+        Kernel::Bitset => {
+            emit_decision("bitset", "mul_bool", a.rows(), 0);
+            mul_bool_bitset(a, b)
+        }
+    }
+}
+
+/// Cache-blocked i-k-j `i64` product: the `i` and `k` loops are tiled so a
+/// `tile`-row strip of `b` is reused across a whole `tile`-row strip of
+/// `a`, and the inner `j` loop streams full output rows through a
+/// slice-zip (bounds-check-free, autovectorisable) fused multiply-add.
+/// Exact for any summation order because `i64` addition is associative and
+/// commutative.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()` or `tile == 0`.
+#[must_use]
+pub fn mul_i64_blocked(a: &Matrix<i64>, b: &Matrix<i64>, tile: usize) -> Matrix<i64> {
+    assert_eq!(a.cols(), b.rows(), "dimension mismatch in mul_i64_blocked");
+    assert!(tile > 0, "tile edge must be positive");
+    let (n, inner, m) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0i64; n * m];
+    for i0 in (0..n).step_by(tile) {
+        for k0 in (0..inner).step_by(tile) {
+            let ke = (k0 + tile).min(inner);
+            for i in i0..(i0 + tile).min(n) {
+                let arow = a.row(i);
+                let orow = &mut out[i * m..(i + 1) * m];
+                for (k, &aik) in arow[k0..ke].iter().enumerate() {
+                    if aik == 0 {
+                        continue;
+                    }
+                    for (dst, &src) in orow.iter_mut().zip(b.row(k0 + k)) {
+                        *dst += aik * src;
+                    }
+                }
+            }
+        }
+    }
+    Matrix::from_fn(n, m, |i, j| out[i * m + j])
+}
+
+/// Local Strassen with a blocked base case: recursion from
+/// [`crate::strassen_mul`], leaves multiplied by [`mul_i64_blocked`].
+///
+/// # Panics
+///
+/// Panics if the matrices are not square with equal dimensions.
+#[must_use]
+pub fn mul_i64_strassen(a: &Matrix<i64>, b: &Matrix<i64>, tile: usize) -> Matrix<i64> {
+    strassen_mul_with_base(a, b, &|x, y| mul_i64_blocked(x, y, tile))
+}
+
+/// Cache-blocked Boolean product (same i/k tiling and slice-zip inner loop
+/// as the integer kernel, `∨`/`∧` arithmetic, unpacked entries).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()` or `tile == 0`.
+#[must_use]
+pub fn mul_bool_blocked(a: &Matrix<bool>, b: &Matrix<bool>, tile: usize) -> Matrix<bool> {
+    assert_eq!(a.cols(), b.rows(), "dimension mismatch in mul_bool_blocked");
+    assert!(tile > 0, "tile edge must be positive");
+    let (n, inner, m) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![false; n * m];
+    for i0 in (0..n).step_by(tile) {
+        for k0 in (0..inner).step_by(tile) {
+            let ke = (k0 + tile).min(inner);
+            for i in i0..(i0 + tile).min(n) {
+                let arow = a.row(i);
+                let orow = &mut out[i * m..(i + 1) * m];
+                for (k, &aik) in arow[k0..ke].iter().enumerate() {
+                    if !aik {
+                        continue;
+                    }
+                    for (dst, &src) in orow.iter_mut().zip(b.row(k0 + k)) {
+                        *dst |= src;
+                    }
+                }
+            }
+        }
+    }
+    Matrix::from_fn(n, m, |i, j| out[i * m + j])
+}
+
+/// Bit-packed Boolean product: pack both operands into [`BitMatrix`] form,
+/// multiply with word-wide `OR` lanes, unpack.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+#[must_use]
+pub fn mul_bool_bitset(a: &Matrix<bool>, b: &Matrix<bool>) -> Matrix<bool> {
+    BitMatrix::from_matrix(a)
+        .multiply(&BitMatrix::from_matrix(b))
+        .to_matrix()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_int(rows: usize, cols: usize, seed: u64) -> Matrix<i64> {
+        let mut s = seed;
+        Matrix::from_fn(rows, cols, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) % 21) as i64 - 10
+        })
+    }
+
+    fn rand_bool(rows: usize, cols: usize, seed: u64) -> Matrix<bool> {
+        rand_int(rows, cols, seed).map(|&x| x > 0)
+    }
+
+    #[test]
+    fn parse_grammar_is_exact() {
+        assert_eq!(Kernel::parse("naive"), Some(Kernel::Naive));
+        assert_eq!(Kernel::parse("blocked"), Some(Kernel::Blocked));
+        assert_eq!(Kernel::parse("bitset"), Some(Kernel::Bitset));
+        assert_eq!(Kernel::parse("Bitset"), None);
+        assert_eq!(Kernel::parse(""), None);
+        for k in [Kernel::Naive, Kernel::Blocked, Kernel::Bitset] {
+            assert_eq!(Kernel::parse(k.name()), Some(k));
+        }
+    }
+
+    #[test]
+    fn scoped_override_nests_and_restores() {
+        {
+            let _g = scoped(Kernel::Blocked);
+            assert_eq!(Kernel::current(), Kernel::Blocked);
+        }
+        let before = Kernel::current();
+        {
+            let _g = scoped(Kernel::Bitset);
+            assert_eq!(Kernel::current(), Kernel::Bitset);
+        }
+        assert_eq!(Kernel::current(), before);
+    }
+
+    #[test]
+    fn int_kernels_match_schoolbook_at_ragged_sizes() {
+        for (rows, inner, cols) in [(1, 1, 1), (7, 63, 5), (64, 64, 64), (65, 130, 33)] {
+            let a = rand_int(rows, inner, rows as u64);
+            let b = rand_int(inner, cols, cols as u64);
+            let naive = Matrix::mul(&IntRing, &a, &b);
+            for t in [1, 5, 64, 1000] {
+                assert_eq!(mul_i64_blocked(&a, &b, t), naive, "tile={t}");
+            }
+            if rows == inner && inner == cols {
+                assert_eq!(mul_i64_strassen(&a, &b, 64), naive);
+            }
+        }
+    }
+
+    #[test]
+    fn bool_kernels_match_schoolbook_at_ragged_sizes() {
+        for (rows, inner, cols) in [(1, 1, 1), (7, 63, 5), (64, 64, 64), (65, 130, 33)] {
+            let a = rand_bool(rows, inner, 3 + rows as u64);
+            let b = rand_bool(inner, cols, 3 + cols as u64);
+            let naive = Matrix::mul(&BoolSemiring, &a, &b);
+            for t in [1, 7, 64, 1000] {
+                assert_eq!(mul_bool_blocked(&a, &b, t), naive, "tile={t}");
+            }
+            assert_eq!(mul_bool_bitset(&a, &b), naive);
+        }
+    }
+
+    #[test]
+    fn dispatch_is_kernel_invariant() {
+        let a = rand_int(40, 40, 11);
+        let b = rand_int(40, 40, 12);
+        let ba = rand_bool(40, 40, 13);
+        let bb = rand_bool(40, 40, 14);
+        let (iref, bref) = (
+            Matrix::mul(&IntRing, &a, &b),
+            Matrix::mul(&BoolSemiring, &ba, &bb),
+        );
+        for k in [Kernel::Naive, Kernel::Blocked, Kernel::Bitset] {
+            let _g = scoped(k);
+            assert_eq!(mul_i64(&a, &b), iref, "{}", k.name());
+            assert_eq!(mul_bool(&ba, &bb), bref, "{}", k.name());
+        }
+    }
+}

@@ -41,6 +41,8 @@
 #![warn(missing_docs)]
 
 mod bilinear;
+mod bitmatrix;
+pub mod kernel;
 mod matrix;
 mod minplus;
 mod modular;
@@ -49,9 +51,11 @@ mod semiring;
 mod strassen;
 
 pub use crate::bilinear::BilinearAlgorithm;
+pub use crate::bitmatrix::BitMatrix;
+pub use crate::kernel::Kernel;
 pub use crate::matrix::Matrix;
 pub use crate::minplus::{Dist, MinPlus, INFINITY};
 pub use crate::modular::ModRing;
 pub use crate::poly::{CappedPoly, PolyRing};
 pub use crate::semiring::{BoolSemiring, IntRing, Ring, Semiring};
-pub use crate::strassen::{strassen_mul, STRASSEN_CUTOFF};
+pub use crate::strassen::{strassen_mul, strassen_mul_with_base, StrassenBase, STRASSEN_CUTOFF};

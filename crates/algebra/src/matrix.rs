@@ -270,11 +270,11 @@ impl<T: Clone> Matrix<T> {
         let mut acc = Matrix::identity(s, a.rows);
         while k > 0 {
             if k & 1 == 1 {
-                acc = Matrix::mul(s, &acc, &base);
+                acc = s.mul_dense(&acc, &base);
             }
             k >>= 1;
             if k > 0 {
-                base = Matrix::mul(s, &base, &base);
+                base = s.mul_dense(&base, &base);
             }
         }
         acc

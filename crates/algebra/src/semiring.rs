@@ -4,6 +4,8 @@
 use cc_clique::{WordReader, WordWriter};
 use std::fmt::Debug;
 
+use crate::matrix::Matrix;
+
 /// A semiring structure over an element type.
 ///
 /// A semiring `(S, ⊕, ⊗, 0, 1)` has a commutative, associative addition `⊕`
@@ -56,6 +58,28 @@ pub trait Semiring {
     {
         iter.into_iter()
             .fold(self.zero(), |acc, x| self.add(&acc, x))
+    }
+
+    /// Dense node-local matrix product `a · b` over this structure.
+    ///
+    /// This is the seam the pluggable local-kernel layer
+    /// ([`crate::kernel`]) plugs into: the default is the schoolbook
+    /// [`Matrix::mul`], and structures with specialised kernels
+    /// ([`IntRing`], [`BoolSemiring`]) dispatch on the `CC_KERNEL`
+    /// selection. Every implementation must return exactly what
+    /// [`Matrix::mul`] returns — kernels may only change how the product is
+    /// computed, never its value — so swapping kernels is invisible to
+    /// results, rounds, words, and fingerprints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    #[must_use]
+    fn mul_dense(&self, a: &Matrix<Self::Elem>, b: &Matrix<Self::Elem>) -> Matrix<Self::Elem>
+    where
+        Self: Sized,
+    {
+        Matrix::mul(self, a, b)
     }
 }
 
@@ -122,6 +146,9 @@ impl Semiring for BoolSemiring {
     fn elem_width(&self) -> usize {
         1
     }
+    fn mul_dense(&self, a: &Matrix<bool>, b: &Matrix<bool>) -> Matrix<bool> {
+        crate::kernel::mul_bool(a, b)
+    }
 }
 
 /// The ring of integers, on `i64` elements.
@@ -164,6 +191,9 @@ impl Semiring for IntRing {
     }
     fn elem_width(&self) -> usize {
         1
+    }
+    fn mul_dense(&self, a: &Matrix<i64>, b: &Matrix<i64>) -> Matrix<i64> {
+        crate::kernel::mul_i64(a, b)
     }
 }
 

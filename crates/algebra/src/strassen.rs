@@ -11,6 +11,10 @@ use crate::semiring::IntRing;
 /// product.
 pub const STRASSEN_CUTOFF: usize = 64;
 
+/// A base-case `i64` product for [`strassen_mul_with_base`]. Any exact
+/// product is admissible; the result is bit-identical regardless of base.
+pub type StrassenBase<'a> = dyn Fn(&Matrix<i64>, &Matrix<i64>) -> Matrix<i64> + 'a;
+
 /// Multiplies two square integer matrices with recursive Strassen
 /// multiplication (`O(n^{2.807})` element multiplications).
 ///
@@ -31,6 +35,24 @@ pub const STRASSEN_CUTOFF: usize = 64;
 /// ```
 #[must_use]
 pub fn strassen_mul(a: &Matrix<i64>, b: &Matrix<i64>) -> Matrix<i64> {
+    strassen_mul_with_base(a, b, &|x, y| Matrix::mul(&IntRing, x, y))
+}
+
+/// [`strassen_mul`] with a caller-supplied base-case product, used below
+/// [`STRASSEN_CUTOFF`]. The local-kernel layer (`crate::kernel`) routes
+/// leaves through its cache-blocked product; any base computing the exact
+/// `i64` product yields a bit-identical result, since Strassen's linear
+/// combinations are exact over the integers.
+///
+/// # Panics
+///
+/// Panics if the matrices are not square with equal dimensions.
+#[must_use]
+pub fn strassen_mul_with_base(
+    a: &Matrix<i64>,
+    b: &Matrix<i64>,
+    base: &StrassenBase<'_>,
+) -> Matrix<i64> {
     let n = a.rows();
     assert_eq!(a.cols(), n, "strassen_mul requires square matrices");
     assert_eq!(
@@ -39,12 +61,12 @@ pub fn strassen_mul(a: &Matrix<i64>, b: &Matrix<i64>) -> Matrix<i64> {
         "strassen_mul requires equal-sized matrices"
     );
     if n <= STRASSEN_CUTOFF {
-        return Matrix::mul(&IntRing, a, b);
+        return base(a, b);
     }
     if n % 2 == 1 {
         let ap = a.resized(n + 1, n + 1, 0);
         let bp = b.resized(n + 1, n + 1, 0);
-        return strassen_mul(&ap, &bp).resized(n, n, 0);
+        return strassen_mul_with_base(&ap, &bp, base).resized(n, n, 0);
     }
     let h = n / 2;
     let blk = |m: &Matrix<i64>, i: usize, j: usize| m.block(i * h, j * h, h, h);
@@ -56,13 +78,14 @@ pub fn strassen_mul(a: &Matrix<i64>, b: &Matrix<i64>) -> Matrix<i64> {
         Matrix::from_fn(x.rows(), x.cols(), |i, j| x[(i, j)] - y[(i, j)])
     };
 
-    let m1 = strassen_mul(&add(&a11, &a22), &add(&b11, &b22));
-    let m2 = strassen_mul(&add(&a21, &a22), &b11);
-    let m3 = strassen_mul(&a11, &sub(&b12, &b22));
-    let m4 = strassen_mul(&a22, &sub(&b21, &b11));
-    let m5 = strassen_mul(&add(&a11, &a12), &b22);
-    let m6 = strassen_mul(&sub(&a21, &a11), &add(&b11, &b12));
-    let m7 = strassen_mul(&sub(&a12, &a22), &add(&b21, &b22));
+    let rec = |x: &Matrix<i64>, y: &Matrix<i64>| strassen_mul_with_base(x, y, base);
+    let m1 = rec(&add(&a11, &a22), &add(&b11, &b22));
+    let m2 = rec(&add(&a21, &a22), &b11);
+    let m3 = rec(&a11, &sub(&b12, &b22));
+    let m4 = rec(&a22, &sub(&b21, &b11));
+    let m5 = rec(&add(&a11, &a12), &b22);
+    let m6 = rec(&sub(&a21, &a11), &add(&b11, &b12));
+    let m7 = rec(&sub(&a12, &a22), &add(&b21, &b22));
 
     let c11 = add(&sub(&add(&m1, &m4), &m5), &m7);
     let c12 = add(&m3, &m5);

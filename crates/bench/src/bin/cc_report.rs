@@ -192,7 +192,14 @@ fn backend_json(snap: &MemorySnapshot) -> String {
 /// (each is a complete JSON document, so splicing preserves validity);
 /// absent artifacts are listed rather than silently dropped.
 fn collate_existing_artifacts() -> String {
-    const ARTIFACTS: [&str; 5] = ["pool", "runtime", "service", "sparse", "transport"];
+    const ARTIFACTS: [&str; 6] = [
+        "kernel",
+        "pool",
+        "runtime",
+        "service",
+        "sparse",
+        "transport",
+    ];
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../");
     let mut body = String::new();
     let mut missing = Vec::new();

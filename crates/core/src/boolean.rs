@@ -33,6 +33,10 @@ pub fn multiply(
 
 /// `A·B ∨ C` in one pass — the recurring shape of the paper's reachability
 /// recurrences (equation (4): `B⁽ⁱ⁾ = (B⁽ʲ⁾ B⁽ᵏ⁾) ∨ A`).
+///
+/// The zero-threshold of the integer product and the `∨ C` are fused into a
+/// single indexed pass over the product rows, so no intermediate Boolean
+/// matrix is materialised between them.
 pub fn multiply_or(
     clique: &mut Clique,
     alg: &BilinearAlgorithm,
@@ -40,8 +44,13 @@ pub fn multiply_or(
     b: &RowMatrix<bool>,
     c: &RowMatrix<bool>,
 ) -> RowMatrix<bool> {
-    let p = multiply(clique, alg, a, b);
-    p.par_map_indexed(&clique.executor(), |u, v, &x| x || c.row(u)[v])
+    let exec = clique.executor();
+    let ia = a.par_map(&exec, |&x| i64::from(x));
+    let ib = b.par_map(&exec, |&x| i64::from(x));
+    let p = clique.phase("boolmm", |cl| {
+        fast_mm::multiply(cl, &IntRing, alg, &ia, &ib)
+    });
+    p.par_map_indexed(&exec, |u, v, &x| x != 0 || c.row(u)[v])
 }
 
 #[cfg(test)]

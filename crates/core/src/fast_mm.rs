@@ -260,7 +260,7 @@ where
             s_full
                 .iter()
                 .zip(&t_full)
-                .map(|(sf, tf)| Matrix::mul(ring, sf, tf))
+                .map(|(sf, tf)| ring.mul_dense(sf, tf))
                 .collect()
         });
 

@@ -135,7 +135,7 @@ where
                     t_blk[(idx, j)] = e.clone();
                 }
             }
-            Matrix::mul(s, &s_blk, &t_blk)
+            s.mul_dense(&s_blk, &t_blk)
         });
 
         // Step 3: active nodes return product row slices to the row owners.

@@ -10,7 +10,9 @@ use std::sync::{Arc, Mutex};
 /// condvar round-trip, which `BENCH_runtime.json` shows dominating small
 /// workloads — at `n = 64` the overhead outweighs the work. Tunable per
 /// executor with [`Executor::with_cutover`] or globally with the
-/// `CC_EXEC_CUTOVER` environment variable.
+/// `CC_EXEC_CUTOVER` environment variable; when the variable is unset the
+/// parallel kinds self-tune their default upward from this floor with a
+/// startup micro-probe (see [`Executor::new`]).
 pub const DEFAULT_SEQ_CUTOVER: usize = 96;
 
 /// Which backend an [`Executor`] uses.
@@ -147,15 +149,33 @@ impl Executor {
     /// Creates an executor of the given kind. For the pooled kind this is
     /// where the worker threads are created — exactly once per executor
     /// lifetime (see the pool-lifecycle notes on [`Executor`]).
+    ///
+    /// The inline cutover comes from `CC_EXEC_CUTOVER` when set; otherwise
+    /// the parallel kinds self-tune it from a one-shot startup micro-probe
+    /// (see [`probed_cutover`]) instead of assuming the hardcoded
+    /// [`DEFAULT_SEQ_CUTOVER`] fits every machine.
     #[must_use]
     pub fn new(kind: ExecutorKind) -> Self {
-        let cutover = crate::env_config::from_env_or(
-            "cc-runtime",
-            "CC_EXEC_CUTOVER",
-            "a non-negative integer",
-            DEFAULT_SEQ_CUTOVER,
-            |raw| raw.parse().ok(),
-        );
+        // The fallback is computed lazily (the micro-probe should not run
+        // when the environment pins a cutover), so this mirrors
+        // `env_config::from_env_or` instead of calling it.
+        let cutover = match std::env::var("CC_EXEC_CUTOVER").ok() {
+            None => default_cutover(kind),
+            Some(raw) => match raw.parse().ok() {
+                Some(v) => v,
+                None => {
+                    let fallback = default_cutover(kind);
+                    crate::env_config::warn_once(
+                        "cc-runtime",
+                        "CC_EXEC_CUTOVER",
+                        &raw,
+                        "a non-negative integer",
+                        &fallback.to_string(),
+                    );
+                    fallback
+                }
+            },
+        };
         Self::with_cutover(kind, cutover)
     }
 
@@ -347,6 +367,82 @@ impl Executor {
             .map(|s| s.expect("every piece processed exactly once"))
             .collect()
     }
+}
+
+/// Upper clamp on the probed cutover: even on a machine where thread
+/// hand-off is outrageously slow relative to per-piece work, jobs past a
+/// thousand pieces always get the chance to dispatch.
+const MAX_PROBED_CUTOVER: usize = 1024;
+
+/// The `CC_EXEC_CUTOVER` fallback for `kind`: the parallel kinds self-tune
+/// from the startup micro-probe, while [`ExecutorKind::Sequential`] (where
+/// the cutover can never matter — every job runs inline) keeps the
+/// documented [`DEFAULT_SEQ_CUTOVER`].
+fn default_cutover(kind: ExecutorKind) -> usize {
+    if kind.resolved_threads() > 1 {
+        probed_cutover()
+    } else {
+        DEFAULT_SEQ_CUTOVER
+    }
+}
+
+/// One-shot startup micro-probe that turns this machine's measured dispatch
+/// overhead into an inline cutover, instead of assuming the hardcoded
+/// [`DEFAULT_SEQ_CUTOVER`] (calibrated on one box) fits everywhere.
+///
+/// A thread spawn/join round trip bounds the cost of waking workers and
+/// re-joining at the merge barrier; a 64-element integer row combine stands
+/// in for one piece of typical row-level work. Their ratio is the piece
+/// count below which dispatch cannot pay for itself. The result is clamped
+/// to `[DEFAULT_SEQ_CUTOVER, MAX_PROBED_CUTOVER]` — self-tuning may only
+/// *raise* the threshold on slow-dispatch machines, never inline less than
+/// the bench-calibrated default — cached for the process, and reported as a
+/// `KernelDecision` telemetry event (`kernel = "probe"`) at
+/// [`TraceLevel::Full`].
+///
+/// The cutover only decides *where* pieces run, never what they compute, so
+/// the probe's inherent nondeterminism cannot leak into results, rounds,
+/// words, or fingerprints.
+///
+/// [`TraceLevel::Full`]: cc_telemetry::TraceLevel::Full
+fn probed_cutover() -> usize {
+    static PROBED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *PROBED.get_or_init(|| {
+        use std::hint::black_box;
+        use std::time::Instant;
+        // Best-of-three spawn/join round trips (first iterations absorb
+        // lazy thread-runtime setup).
+        let mut dispatch_ns = u128::MAX;
+        for _ in 0..3 {
+            let start = Instant::now();
+            std::thread::spawn(|| black_box(0u64)).join().ok();
+            dispatch_ns = dispatch_ns.min(start.elapsed().as_nanos());
+        }
+        // Per-piece proxy: a 64-element fused multiply-accumulate row,
+        // repeated enough to be measurable.
+        const REPS: u128 = 1024;
+        let row = [3i64; 64];
+        let start = Instant::now();
+        let mut acc = 0i64;
+        for r in 0..REPS {
+            for &x in black_box(&row) {
+                acc = acc.wrapping_add(x.wrapping_mul(r as i64));
+            }
+        }
+        black_box(acc);
+        let piece_ns = (start.elapsed().as_nanos() / REPS).max(1);
+        let pieces = usize::try_from(dispatch_ns / piece_ns).unwrap_or(usize::MAX);
+        let cutover = pieces.clamp(DEFAULT_SEQ_CUTOVER, MAX_PROBED_CUTOVER);
+        cc_telemetry::global().emit(cc_telemetry::TraceLevel::Full, || {
+            cc_telemetry::Event::KernelDecision {
+                kernel: "probe",
+                op: "exec_cutover",
+                n: cutover,
+                tile: 0,
+            }
+        });
+        cutover
+    })
 }
 
 /// Reports one fan-out decision — piece count and the thread count the
@@ -635,5 +731,20 @@ mod tests {
         assert_eq!(resolve_cutover(Some("-3")), Err("-3".to_string()));
         assert_eq!(resolve_cutover(Some("")), Err(String::new()));
         assert_eq!(resolve_cutover(Some("96ms")), Err("96ms".to_string()));
+    }
+
+    #[test]
+    fn probed_cutover_is_clamped_and_cached() {
+        let probed = probed_cutover();
+        assert!(
+            (DEFAULT_SEQ_CUTOVER..=MAX_PROBED_CUTOVER).contains(&probed),
+            "self-tuning may only raise the floor, bounded above: {probed}"
+        );
+        assert_eq!(probed_cutover(), probed, "one probe per process");
+        // Sequential executors never consult the probe.
+        assert_eq!(
+            default_cutover(ExecutorKind::Sequential),
+            DEFAULT_SEQ_CUTOVER
+        );
     }
 }

@@ -125,6 +125,25 @@ pub enum Event {
         /// Worker threads used; `1` means the job ran inline.
         threads: usize,
     },
+    /// One node-local kernel dispatch decision ([`TraceLevel::Full`]): which
+    /// multiply kernel the `CC_KERNEL` selection chose for a local product —
+    /// the local-compute mirror of [`Event::ExecutorDispatch`]. Also carries
+    /// the executor's probe-derived cutover (as `kernel = "probe"`,
+    /// `op = "exec_cutover"`, `n` = chosen cutover) when self-tuning runs.
+    ///
+    /// [`TraceLevel::Full`]: crate::TraceLevel::Full
+    KernelDecision {
+        /// Kernel actually used (`"naive"`, `"blocked"`, `"strassen"`,
+        /// `"bitset"`, or `"probe"` for the cutover micro-probe).
+        kernel: &'static str,
+        /// Operation dispatched (`"mul_i64"`, `"mul_bool"`,
+        /// `"exec_cutover"`).
+        op: &'static str,
+        /// Problem size (output rows), or the probed cutover value.
+        n: usize,
+        /// Tile edge in effect (`0` when tiling is not involved).
+        tile: usize,
+    },
     /// One transport round barrier ([`TraceLevel::Rounds`]): per-link load
     /// distribution and the barrier wait (rendezvous) wall-clock.
     ///
@@ -222,6 +241,16 @@ pub fn event_json(event: &Event) -> String {
         Event::ExecutorDispatch { pieces, threads } => {
             format!("{{\"event\":\"executor_dispatch\",\"pieces\":{pieces},\"threads\":{threads}}}")
         }
+        Event::KernelDecision {
+            kernel,
+            op,
+            n,
+            tile,
+        } => format!(
+            "{{\"event\":\"kernel_decision\",\"kernel\":{},\"op\":{},\"n\":{n},\"tile\":{tile}}}",
+            js(kernel),
+            js(op)
+        ),
         Event::TransportRound {
             backend,
             epoch,
@@ -345,6 +374,12 @@ mod tests {
             Event::ExecutorDispatch {
                 pieces: 64,
                 threads: 1,
+            },
+            Event::KernelDecision {
+                kernel: "bitset",
+                op: "mul_bool",
+                n: 256,
+                tile: 0,
             },
             Event::TransportRound {
                 backend: "inmemory",

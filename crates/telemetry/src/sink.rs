@@ -213,6 +213,9 @@ impl TelemetrySink for MemorySink {
                 }
                 state.dispatch.pieces += *pieces as u64;
             }
+            Event::KernelDecision { .. } => {
+                *state.counters.entry("kernel_decisions").or_insert(0) += 1;
+            }
             Event::TransportRound {
                 backend,
                 words,

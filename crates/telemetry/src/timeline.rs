@@ -110,7 +110,10 @@ impl fmt::Display for RoundTimeline {
                 Event::ConfigWarning { owner, var, .. } => {
                     writeln!(f, "  warning: {owner} ignored malformed {var}")?;
                 }
-                Event::Counter { .. } | Event::Gauge { .. } | Event::ExecutorDispatch { .. } => {}
+                Event::Counter { .. }
+                | Event::Gauge { .. }
+                | Event::ExecutorDispatch { .. }
+                | Event::KernelDecision { .. } => {}
             }
         }
 

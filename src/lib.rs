@@ -163,6 +163,41 @@
 //! `tests/runtime_determinism.rs`); `BENCH_sparse.json` holds the nnz
 //! sweep (sparse vs dense rounds/words/wall-clock at `n ∈ {64, 128, 256}`).
 //!
+//! ### Local compute kernels
+//!
+//! Underneath every distributed engine sits a node-local dense product,
+//! and that inner loop is now a pluggable kernel behind
+//! [`Semiring::mul_dense`](algebra::Semiring::mul_dense) — selected by
+//! `CC_KERNEL` the way `CC_EXECUTOR` picks a backend:
+//!
+//! * `naive` (default) — the reference schoolbook loop, unchanged from the
+//!   seed;
+//! * `blocked` — cache-blocked i-k-j tiles (`CC_TILE`, default 64) for
+//!   both rings, with large square integer products routed through the
+//!   previously dormant [`algebra::strassen_mul_with_base`] so the
+//!   tiled loop becomes Strassen's base case;
+//! * `bitset` — the blocked integer kernel plus a **bit-packed Boolean
+//!   kernel**: [`algebra::BitMatrix`] stores 64 entries per `u64` word, so
+//!   an AND–OR inner product runs 64 lanes per word operation.
+//!
+//! Kernels are *observer-equivalent*, not merely "close": `i64` addition
+//! is associative, Strassen is exact over the integers, and any correct
+//! Boolean method produces the same bools — so results, rounds, words,
+//! and pattern fingerprints are bit-identical across `CC_KERNEL` values
+//! (pinned in `tests/runtime_determinism.rs`; CI runs full `bitset` and
+//! `blocked` lanes). Only `*_ns` moves: `BENCH_kernel.json` holds the
+//! comparison, including the seed-era Boolean path (lift to `i64`, full
+//! integer multiply, threshold pass) that the bit-packed kernel replaces —
+//! [`core::boolean::multiply_or`] now also fuses its threshold and OR
+//! into one indexed pass. At `CC_TRACE=full` every kernel choice is
+//! emitted as a [`KernelDecision`](telemetry::Event) event.
+//!
+//! Relatedly, the pooled executor's dispatch cutover is self-tuning: when
+//! `CC_EXEC_CUTOVER` is unset and the executor has real parallelism, a
+//! one-shot startup micro-probe compares thread round-trip cost against
+//! per-piece work and raises the default cutover accordingly (clamped,
+//! cached per process, reported as a probe `KernelDecision` event).
+//!
 //! ## Transport layer
 //!
 //! Executors decide *who computes*; the [`transport`] layer decides *where

@@ -456,6 +456,37 @@ fn algorithms_are_transport_independent() {
     }
 }
 
+/// The kernel axis of the determinism matrix: swapping the node-local
+/// multiply kernel (`CC_KERNEL=naive|blocked|bitset`) is observer
+/// equivalent. Every algorithm output, plus rounds, words, pattern
+/// fingerprints, and barrier epochs, is bit-identical across all three
+/// kernels × executors × transports — kernels may only change how local
+/// products are computed, never anything an observer can see.
+#[test]
+fn algorithms_are_kernel_independent() {
+    use congested_clique::algebra::kernel::{self, Kernel};
+
+    let n = 12;
+    let seed = 41;
+    let reference = {
+        let _guard = kernel::scoped(Kernel::Naive);
+        run_algorithms_with(cfg(ExecutorKind::Sequential), n, seed)
+    };
+    assert!(reference.rounds > 0 && reference.epochs > 0);
+    for k in [Kernel::Blocked, Kernel::Bitset] {
+        let _guard = kernel::scoped(k);
+        for config in [
+            cfg(ExecutorKind::Sequential),
+            cfg(ExecutorKind::Parallel { threads: 3 }),
+            cfg_transport(TransportKind::Channel),
+            cfg_transport(TransportKind::Socket { workers: 2 }),
+        ] {
+            let got = run_algorithms_with(config.clone(), n, seed);
+            assert_eq!(reference, got, "kernel {k:?} diverged under {config:?}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 

@@ -101,6 +101,14 @@ fn full_capture_holds_phases_rounds_links_and_dispatches() {
     );
     assert!(snap.dispatch.pieces > 0);
 
+    // Node-local kernel decisions at Full: the fast-MM local products must
+    // have dispatched through the CC_KERNEL seam, and the counter aggregates
+    // in the capture.
+    assert!(
+        mem.counter("kernel_decisions") > 0,
+        "kernel decisions captured"
+    );
+
     // NodeProgram algorithms drive the engine's round barrier; run one to
     // capture EngineRound events with step and barrier wall-clock.
     let mut clique = Clique::with_config(n, cfg(TransportKind::InMemory));
