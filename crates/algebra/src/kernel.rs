@@ -11,14 +11,19 @@
 //! process through `env_config`, warn-once on malformed values) or
 //! programmatically with [`scoped`]:
 //!
-//! * `naive` — the schoolbook [`Matrix::mul`] reference, exactly the seed
-//!   behaviour;
+//! * `naive` — the schoolbook [`Matrix::mul`] reference; the explicit
+//!   escape hatch reproducing the seed behaviour exactly;
 //! * `blocked` — cache-blocked i-k-j tiles (tile edge from `CC_TILE`,
 //!   default [`DEFAULT_TILE`]) for integer products, routing large square
 //!   tiles through local Strassen above [`STRASSEN_ROUTE`];
 //! * `bitset` — everything `blocked` does, plus bit-packed
 //!   [`BitMatrix`](crate::BitMatrix) `AND`/`OR` products for the Boolean
 //!   semiring (64 lanes per word, threshold-free).
+//!
+//! The **default is the auto-selecting `bitset` kernel** (spelled `auto` or
+//! `bitset` in `CC_KERNEL`): blocked/Strassen tiles for integer products,
+//! bit-packed words for Boolean ones — the fastest lane per ring now both
+//! have soaked in CI. `CC_KERNEL=naive` pins the schoolbook reference.
 //!
 //! Integer reorderings are exact because `i64` addition is associative and
 //! commutative, and local Strassen computes the same ring element; any
@@ -47,23 +52,27 @@ pub const STRASSEN_ROUTE: usize = 256;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Kernel {
     /// Schoolbook [`Matrix::mul`] — the reference the other kernels must
-    /// match bit for bit.
-    #[default]
+    /// match bit for bit, kept as the explicit escape hatch
+    /// (`CC_KERNEL=naive`).
     Naive,
     /// Cache-blocked i-k-j integer tiles with Strassen routing.
     Blocked,
-    /// `Blocked` plus bit-packed Boolean products.
+    /// `Blocked` plus bit-packed Boolean products: the auto-selecting
+    /// default — the fastest lane per ring (blocked/Strassen for integer
+    /// products, bit-packed words for Boolean ones).
+    #[default]
     Bitset,
 }
 
 impl Kernel {
-    /// Parses a `CC_KERNEL` value. Matching is exact and lower-case.
+    /// Parses a `CC_KERNEL` value. Matching is exact and lower-case;
+    /// `auto` names the auto-selecting default ([`Kernel::Bitset`]).
     #[must_use]
     pub fn parse(raw: &str) -> Option<Self> {
         match raw {
             "naive" => Some(Self::Naive),
             "blocked" => Some(Self::Blocked),
-            "bitset" => Some(Self::Bitset),
+            "bitset" | "auto" => Some(Self::Bitset),
             _ => None,
         }
     }
@@ -80,7 +89,7 @@ impl Kernel {
 
     /// The kernel in effect: a [`scoped`] override if one is active, else
     /// the process-wide `CC_KERNEL` resolution (read once, warn-once on
-    /// malformed values, default `naive`).
+    /// malformed values, default the auto-selecting [`Kernel::Bitset`]).
     #[must_use]
     pub fn current() -> Self {
         match OVERRIDE.load(Ordering::Acquire) {
@@ -98,7 +107,7 @@ fn env_kernel() -> &'static Kernel {
         cc_telemetry::env_config::from_env_or(
             "cc-algebra",
             "CC_KERNEL",
-            "one of naive|blocked|bitset",
+            "one of naive|blocked|bitset|auto",
             Kernel::default(),
             Kernel::parse,
         )
@@ -333,11 +342,19 @@ mod tests {
         assert_eq!(Kernel::parse("naive"), Some(Kernel::Naive));
         assert_eq!(Kernel::parse("blocked"), Some(Kernel::Blocked));
         assert_eq!(Kernel::parse("bitset"), Some(Kernel::Bitset));
+        assert_eq!(Kernel::parse("auto"), Some(Kernel::Bitset));
         assert_eq!(Kernel::parse("Bitset"), None);
+        assert_eq!(Kernel::parse("Auto"), None);
         assert_eq!(Kernel::parse(""), None);
         for k in [Kernel::Naive, Kernel::Blocked, Kernel::Bitset] {
             assert_eq!(Kernel::parse(k.name()), Some(k));
         }
+    }
+
+    #[test]
+    fn default_is_the_auto_selecting_bitset_kernel() {
+        assert_eq!(Kernel::default(), Kernel::Bitset);
+        assert_eq!(Kernel::parse("auto"), Some(Kernel::default()));
     }
 
     #[test]

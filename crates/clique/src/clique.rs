@@ -4,7 +4,7 @@ use crate::inbox::Inboxes;
 use crate::network::Network;
 use crate::stats::Stats;
 use crate::word::Word;
-use cc_runtime::{Engine, Executor, ExecutorKind, LinkLoads, NodeProgram};
+use cc_runtime::{Engine, Executor, ExecutorKind, LinkLoads, NodeProgram, WireProgram};
 use cc_transport::{TransportFabric, TransportKind};
 use std::sync::Arc;
 
@@ -252,10 +252,21 @@ impl Clique {
     }
 
     /// Name of the transport backend carrying this clique's traffic
-    /// (`"inmemory"`, `"channel"`, or `"socket"`).
+    /// (`"inmemory"`, `"channel"`, `"socket"`, or `"tcp"`).
     #[must_use]
     pub fn transport_name(&self) -> &'static str {
         self.net.transport_name()
+    }
+
+    /// Encoded payload bytes the orchestrating process itself has shipped
+    /// onto the fabric so far. Star-shaped backends relay every round
+    /// through the orchestrator, so this grows with the traffic; in a
+    /// program-resident session (see [`Clique::run_wire_programs`] on a
+    /// `tcp-peer` fabric) round payloads travel worker-to-worker and this
+    /// stays untouched. In-memory delivery reports `0`.
+    #[must_use]
+    pub fn orchestrator_bytes(&self) -> u64 {
+        self.net.orchestrator_bytes()
     }
 
     /// The execution backend handle. Algorithms use this to fan node-local
@@ -519,6 +530,31 @@ impl Clique {
         // identical to the engine's built-in delivery.
         let mut fabric = TransportFabric::new(self.net.transport_mut());
         let report = engine.run_traced_on(&mut fabric, programs, |loads| {
+            stats.record_fingerprint(loads.iter());
+        });
+        stats.charge(report.rounds, report.words);
+        report.programs
+    }
+
+    /// [`Clique::run_programs`] for [`WireProgram`]s: when the configured
+    /// fabric hosts program-resident sessions (a `tcp-peer` transport), the
+    /// encoded program states are shipped to its workers once, rounds
+    /// proceed worker-to-worker with the orchestrator brokering only the
+    /// barrier, and the final states are decoded back. On every other
+    /// fabric this is exactly [`Clique::run_programs`]. Results, rounds,
+    /// words, and pattern fingerprints are bit-identical either way — the
+    /// determinism tests pin all four across both modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != self.n()`, or in the broadcast clique.
+    pub fn run_wire_programs<P: WireProgram>(&mut self, programs: Vec<P>) -> Vec<P> {
+        self.require_unicast("run_programs");
+        assert_eq!(programs.len(), self.n, "need exactly one program per node");
+        let engine = Engine::with_executor(self.exec.clone());
+        let stats = &mut self.stats;
+        let mut fabric = TransportFabric::new(self.net.transport_mut());
+        let report = engine.run_wire_traced_on(&mut fabric, programs, |loads| {
             stats.record_fingerprint(loads.iter());
         });
         stats.charge(report.rounds, report.words);

@@ -88,7 +88,9 @@ pub use crate::word::{
 // `cc_runtime` dependency to opt in. `LinkLoads` — the link-level cost
 // model — lives in `cc_runtime` so engine- and flush-driven accounting
 // share one definition.
-pub use cc_runtime::{Control, Executor, ExecutorKind, LinkLoads, NodeProgram, RoundCtx};
+pub use cc_runtime::{
+    Control, Executor, ExecutorKind, LinkLoads, NodeProgram, RoundCtx, WireProgram,
+};
 // Transport surface, re-exported for the same reason: `CliqueConfig`
 // selects the fabric by `TransportKind`, and callers building custom
 // fabrics implement `Transport`.

@@ -75,6 +75,12 @@ impl Network {
         self.transport.epoch()
     }
 
+    /// Encoded payload bytes the orchestrating process shipped onto the
+    /// fabric (see [`Transport::orchestrator_bytes`]).
+    pub(crate) fn orchestrator_bytes(&self) -> u64 {
+        self.transport.orchestrator_bytes()
+    }
+
     /// The backend's name, for diagnostics.
     pub(crate) fn transport_name(&self) -> &'static str {
         self.transport.name()

@@ -3,6 +3,7 @@
 use crate::executor::{Executor, ExecutorKind};
 use crate::loads::LinkLoads;
 use crate::program::{Control, NodeInbox, NodeOutbox, NodeProgram, RoundCtx};
+use crate::resident::{ResidentOutcome, WireProgram};
 use crate::Word;
 use std::sync::Arc;
 
@@ -38,6 +39,30 @@ pub trait Fabric {
     /// link loads in canonical `(src, dst)` order.
     fn deliver_round(&mut self, n: usize, outboxes: Vec<NodeOutbox>)
         -> (Vec<NodeInbox>, LinkLoads);
+
+    /// True when this fabric can host program-resident sessions — i.e.
+    /// [`Fabric::run_resident`] would return `Some`. The engine checks this
+    /// before paying for state serialization.
+    fn is_resident(&self) -> bool {
+        false
+    }
+
+    /// Runs a whole program-resident session: ships the encoded `states`
+    /// (node order) to workers of a fabric that owns its shards, lets
+    /// rounds proceed worker-to-worker, and invokes `on_round` once per
+    /// synchronous barrier with that round's canonical [`LinkLoads`] —
+    /// exactly the loads the classical loop would have charged. Returns
+    /// `None` when the fabric has no resident mode (the default), in which
+    /// case the engine falls back to [`Fabric::deliver_round`] rounds.
+    fn run_resident(
+        &mut self,
+        kind: &str,
+        states: Vec<Vec<Word>>,
+        on_round: &mut dyn FnMut(&LinkLoads),
+    ) -> Option<ResidentOutcome> {
+        let _ = (kind, states, on_round);
+        None
+    }
 }
 
 /// The default in-process [`Fabric`]: per-link loads computed in canonical
@@ -192,6 +217,63 @@ impl Engine {
             rounds,
             engine_rounds,
             words,
+        }
+    }
+
+    /// Like [`Engine::run_traced_on`] for [`WireProgram`]s: if the fabric
+    /// hosts program-resident sessions, the encoded program states are
+    /// shipped to its workers once, rounds proceed worker-to-worker, and
+    /// the final states are decoded back — otherwise this is exactly
+    /// [`Engine::run_traced_on`]. Either way `on_loads` sees the same
+    /// per-round canonical [`LinkLoads`] sequence and the report charges
+    /// the same rounds and words, so the two paths are observer-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty, or if a resident fabric returns a
+    /// final-state set of the wrong size.
+    pub fn run_wire_traced_on<P: WireProgram>(
+        &self,
+        fabric: &mut dyn Fabric,
+        programs: Vec<P>,
+        mut on_loads: impl FnMut(&LinkLoads),
+    ) -> RunReport<P> {
+        let n = programs.len();
+        assert!(n > 0, "cannot run an empty program set");
+        if !fabric.is_resident() {
+            return self.run_traced_on(fabric, programs, on_loads);
+        }
+        let states: Vec<Vec<Word>> = programs.iter().map(WireProgram::encode_state).collect();
+        let mut rounds = 0u64;
+        let mut words = 0u64;
+        let outcome = fabric.run_resident(P::KIND, states, &mut |loads| {
+            on_loads(loads);
+            rounds += loads.rounds();
+            words += loads.words();
+        });
+        match outcome {
+            Some(outcome) => {
+                assert_eq!(
+                    outcome.finals.len(),
+                    n,
+                    "resident fabric must return one final state per node"
+                );
+                let programs = outcome
+                    .finals
+                    .iter()
+                    .enumerate()
+                    .map(|(node, state)| P::decode_state(node, n, state))
+                    .collect();
+                RunReport {
+                    programs,
+                    rounds,
+                    engine_rounds: outcome.engine_rounds,
+                    words,
+                }
+            }
+            // Advertised residency but declined this session: run the
+            // classical round loop instead.
+            None => self.run_traced_on(fabric, programs, on_loads),
         }
     }
 

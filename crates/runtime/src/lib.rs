@@ -91,6 +91,7 @@ mod executor;
 mod loads;
 mod pool;
 mod program;
+mod resident;
 
 pub use crate::engine::{Engine, EngineFabric, Fabric, RunReport};
 // The shared `CC_*` knob parser moved to the bottom of the crate stack
@@ -101,6 +102,9 @@ pub use crate::executor::{Executor, ExecutorKind, DEFAULT_SEQ_CUTOVER};
 pub use crate::loads::LinkLoads;
 pub use crate::pool::threads_spawned as pool_threads_spawned;
 pub use crate::program::{Control, NodeInbox, NodeOutbox, NodeProgram, RoundCtx};
+pub use crate::resident::{
+    step_node, EchoRingProgram, ResidentNode, ResidentOutcome, ResidentRegistry, WireProgram,
+};
 pub use cc_telemetry::env_config;
 
 /// A single `O(log n)`-bit message word (the same convention as the wire

@@ -17,6 +17,10 @@ use std::sync::{Arc, Mutex};
 /// exercises the fan-out path.
 pub const DEFAULT_BATCH_INSTANCES: usize = 2;
 
+/// Default cap on retained unredeemed outcomes (see
+/// [`ServiceConfig::max_unredeemed`]).
+pub const DEFAULT_MAX_UNREDEEMED: usize = 1024;
+
 /// How the service schedules submitted queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServiceMode {
@@ -101,6 +105,13 @@ pub struct ServiceConfig {
     pub batch_seed: u64,
     /// Parameters for [`Query::GirthBound`] on undirected graphs.
     pub girth: GirthConfig,
+    /// Cap on outcomes retained for unredeemed tickets. A caller that
+    /// submits without ever calling [`Service::take`] used to grow the
+    /// outcome map without bound; past this cap the **oldest** unredeemed
+    /// outcomes are dropped at each drain (warned once per service, counted
+    /// in [`ServiceStats::outcomes_evicted`]). `0` means
+    /// [`DEFAULT_MAX_UNREDEEMED`].
+    pub max_unredeemed: usize,
 }
 
 impl Default for ServiceConfig {
@@ -110,6 +121,7 @@ impl Default for ServiceConfig {
             mode: ServiceMode::default(),
             batch_seed: 0x5e71_1ce5,
             girth: GirthConfig::default(),
+            max_unredeemed: DEFAULT_MAX_UNREDEEMED,
         }
     }
 }
@@ -178,6 +190,9 @@ pub struct ServiceStats {
     pub cache_entries: u64,
     /// Approximate bytes those cached computations hold.
     pub cache_bytes: u64,
+    /// Unredeemed outcomes dropped by the retention cap (see
+    /// [`ServiceConfig::max_unredeemed`]).
+    pub outcomes_evicted: u64,
 }
 
 /// One queued submission.
@@ -221,6 +236,8 @@ pub struct Service {
     ready: BTreeMap<u64, QueryOutcome>,
     next_ticket: u64,
     stats: ServiceStats,
+    /// The retention cap's one warning per service lifetime has fired.
+    evict_warned: bool,
 }
 
 impl Default for Service {
@@ -254,6 +271,7 @@ impl Service {
             ready: BTreeMap::new(),
             next_ticket: 0,
             stats: ServiceStats::default(),
+            evict_warned: false,
         }
     }
 
@@ -313,13 +331,14 @@ impl Service {
     }
 
     /// Removes and returns a completed query's outcome; `None` while the
-    /// ticket's batch has not drained (or for an already-taken ticket).
+    /// ticket's batch has not drained, for an already-taken ticket, or for
+    /// a ticket whose outcome the retention cap dropped.
     ///
-    /// Outcomes are retained until taken: a caller that drops tickets
-    /// without redeeming them leaves their outcomes in the service (the
-    /// fire-and-forget pattern should redeem-and-discard, or rely on
-    /// [`Service::query`], which always takes). Bounded result retention
-    /// is a ROADMAP follow-on alongside cache eviction.
+    /// Outcomes are retained until taken, up to
+    /// [`ServiceConfig::max_unredeemed`]: past the cap each drain drops
+    /// the oldest unredeemed outcomes, so a fire-and-forget caller bounds
+    /// the service's memory instead of leaking it. Redeem promptly (or use
+    /// [`Service::query`], which always takes) to never hit the cap.
     pub fn take(&mut self, ticket: Ticket) -> Option<QueryOutcome> {
         self.ready.remove(&ticket.0)
     }
@@ -370,6 +389,25 @@ impl Service {
     #[must_use]
     pub fn cache_bytes(&self) -> u64 {
         self.cache.approx_bytes()
+    }
+
+    /// Outcomes currently retained for unredeemed tickets.
+    #[must_use]
+    pub fn retained_outcomes(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Approximate bytes those unredeemed outcomes hold (response payloads
+    /// plus the per-outcome bookkeeping). Bounded by the retention cap —
+    /// the regression tests pin that a submit-heavy, never-taking caller
+    /// sees this plateau instead of grow.
+    #[must_use]
+    pub fn unredeemed_bytes(&self) -> u64 {
+        let per_outcome = std::mem::size_of::<u64>() + std::mem::size_of::<QueryOutcome>();
+        self.ready
+            .values()
+            .map(|o| per_outcome as u64 + o.response.approx_bytes())
+            .sum()
     }
 
     /// Drops every cached computation (the warm pool is untouched). The
@@ -537,12 +575,49 @@ impl Service {
             );
         }
 
+        self.enforce_outcome_cap();
         self.stats.cache_entries = self.cache.len() as u64;
         self.stats.cache_bytes = self.cache.approx_bytes();
         if let Some(start) = drain_start {
             self.emit_drain_gauges(done, start.elapsed().as_nanos() as u64);
         }
         done
+    }
+
+    /// Bounds the unredeemed-outcome map at
+    /// [`ServiceConfig::max_unredeemed`] by dropping the oldest tickets'
+    /// outcomes (lowest ticket numbers first — the entries a live caller is
+    /// least likely to still redeem). Warns once per service lifetime and
+    /// counts every drop, so a fire-and-forget workload is visible instead
+    /// of a silent leak.
+    fn enforce_outcome_cap(&mut self) {
+        let cap = match self.cfg.max_unredeemed {
+            0 => DEFAULT_MAX_UNREDEEMED,
+            cap => cap,
+        };
+        if self.ready.len() <= cap {
+            return;
+        }
+        let excess = self.ready.len() - cap;
+        for _ in 0..excess {
+            let oldest = *self.ready.keys().next().expect("map larger than cap");
+            self.ready.remove(&oldest);
+        }
+        self.stats.outcomes_evicted += excess as u64;
+        if !self.evict_warned {
+            self.evict_warned = true;
+            eprintln!(
+                "cc-service: unredeemed-outcome cap ({cap}) reached; dropping the oldest \
+                 tickets' outcomes (redeem with Service::take, or raise \
+                 ServiceConfig::max_unredeemed; warned once)"
+            );
+        }
+        cc_telemetry::global().emit(cc_telemetry::TraceLevel::Summary, || {
+            cc_telemetry::Event::Counter {
+                name: "service_outcomes_evicted",
+                delta: excess as u64,
+            }
+        });
     }
 
     /// Emits the batch's service gauges at `CC_TRACE=summary` and above:

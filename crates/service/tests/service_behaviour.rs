@@ -300,3 +300,63 @@ fn service_mode_parser_accepts_known_specs_and_rejects_malformed_ones() {
     );
     assert_eq!(ServiceMode::parse("turbo"), None);
 }
+
+#[test]
+fn unredeemed_outcomes_are_bounded_under_a_submit_heavy_no_take_stream() {
+    // The leak regression: a fire-and-forget caller that submits but never
+    // takes used to grow the outcome map one entry per ticket, forever.
+    // With the retention cap, both the entry count and the retained bytes
+    // plateau, the newest outcomes stay redeemable, and the drops are
+    // counted and observable.
+    let cap = 8;
+    let g = generators::gnp(10, 0.3, 5);
+    let mut svc = Service::new(ServiceConfig {
+        mode: ServiceMode::Batch { instances: 2 },
+        max_unredeemed: cap,
+        ..ServiceConfig::default()
+    });
+    let id = svc.register(g);
+    // Prime the computation once (and redeem it), so every wave below is a
+    // pure cache replay: the stream stresses retention, not simulation.
+    let _ = svc.query(id, Query::TriangleCount);
+
+    let mut tickets = Vec::new();
+    let mut plateau_bytes = None;
+    for wave in 0..12 {
+        for _ in 0..4 {
+            tickets.push(svc.submit(id, Query::TriangleCount));
+        }
+        svc.drain();
+        assert!(
+            svc.retained_outcomes() <= cap,
+            "wave {wave}: {} retained outcomes exceed the cap {cap}",
+            svc.retained_outcomes()
+        );
+        if wave >= 2 {
+            // Cap reached (4 per wave): from here the retained byte count
+            // must be flat, not growing.
+            let bytes = svc.unredeemed_bytes();
+            assert!(bytes > 0);
+            match plateau_bytes {
+                None => plateau_bytes = Some(bytes),
+                Some(expect) => {
+                    assert_eq!(bytes, expect, "wave {wave}: retained bytes must plateau");
+                }
+            }
+        }
+    }
+
+    let total = tickets.len();
+    assert_eq!(
+        svc.stats().outcomes_evicted,
+        (total - cap) as u64,
+        "every outcome beyond the cap was dropped, and counted"
+    );
+    // The oldest tickets' outcomes are gone; the newest `cap` still redeem.
+    assert!(svc.take(tickets[0]).is_none(), "oldest outcome was dropped");
+    for &t in &tickets[total - cap..] {
+        assert!(svc.take(t).is_some(), "newest outcomes stay redeemable");
+    }
+    assert_eq!(svc.retained_outcomes(), 0, "redeeming drains the map");
+    assert_eq!(svc.unredeemed_bytes(), 0);
+}

@@ -37,7 +37,7 @@
 //! | 5 | local dot product; broadcast it |
 //! | 6 | sum broadcasts → `tr(A²·A)`; halt |
 
-use cc_clique::{Clique, Control, NodeProgram, RoundCtx};
+use cc_clique::{Clique, Control, NodeProgram, RoundCtx, WireProgram};
 use cc_core::Plan3d;
 use cc_graph::Graph;
 
@@ -242,6 +242,38 @@ impl TriangleProgram {
     }
 }
 
+impl WireProgram for TriangleProgram {
+    const KIND: &'static str = "cc.triangle";
+
+    fn encode_state(&self) -> Vec<u64> {
+        // Layout: [directed, seed, count-flag, count, |sq_row|, sq_row…,
+        // row…]. The plan is derived state — decode recomputes it from `n`.
+        let mut state = Vec::with_capacity(5 + self.sq_row.len() + self.row.len());
+        state.push(u64::from(self.directed));
+        state.push(self.seed);
+        state.push(u64::from(self.count.is_some()));
+        state.push(self.count.unwrap_or(0));
+        state.push(self.sq_row.len() as u64);
+        state.extend(self.sq_row.iter().map(|&x| x as u64));
+        state.extend(self.row.iter().map(|&x| x as u64));
+        state
+    }
+
+    fn decode_state(_node: usize, n: usize, state: &[u64]) -> Self {
+        let sq_len = state[4] as usize;
+        let (sq_row, row) = state[5..].split_at(sq_len);
+        debug_assert_eq!(row.len(), n, "adjacency row must cover the clique");
+        Self {
+            row: row.iter().map(|&x| x as i64).collect(),
+            directed: state[0] != 0,
+            seed: state[1],
+            plan: Plan3d::new(n),
+            sq_row: sq_row.iter().map(|&x| x as i64).collect(),
+            count: (state[2] != 0).then_some(state[3]),
+        }
+    }
+}
+
 impl NodeProgram for TriangleProgram {
     fn round(&mut self, ctx: &mut RoundCtx<'_>) -> Control {
         let n = ctx.n();
@@ -398,6 +430,12 @@ impl NodeProgram for TriangleProgram {
 /// two-choice relaying the counts still agree and the costs differ only by
 /// the policy's balancing slack.
 ///
+/// The programs go through [`Clique::run_wire_programs`], so on a
+/// program-resident fabric (`CC_TRANSPORT=tcp-peer`) the per-node state
+/// machines execute inside the worker processes and exchange rounds
+/// directly with each other — with the count, rounds, words, and
+/// fingerprints bit-identical to every other backend.
+///
 /// # Panics
 ///
 /// Panics if `clique.n() != g.n()`.
@@ -406,7 +444,7 @@ pub fn count_triangles_program(clique: &mut Clique, g: &Graph) -> u64 {
     assert_eq!(g.n(), n, "graph and clique sizes must match");
     let seed = clique.config().route_seed;
     let programs = (0..n).map(|v| TriangleProgram::new(g, v, seed)).collect();
-    let done = clique.phase("triangles_program", |c| c.run_programs(programs));
+    let done = clique.phase("triangles_program", |c| c.run_wire_programs(programs));
     let count = done[0].count().expect("program ran to completion");
     debug_assert!(
         done.iter().all(|p| p.count() == Some(count)),
@@ -512,6 +550,32 @@ mod tests {
         assert_eq!(seq, pooled, "pooled backend must match sequential");
         assert_eq!(seq, spawn, "spawn backend must match sequential");
         assert_eq!(seq.0, oracle::count_triangles(&g));
+    }
+
+    #[test]
+    fn wire_state_round_trips_mid_run_and_after_halt() {
+        // The resident contract: encode/decode must reproduce the program
+        // exactly at *any* barrier, not just before round 0 — workers
+        // re-encode final states for collection, and a decoded program must
+        // behave bit-identically from wherever it was snapshotted.
+        let g = generators::gnp(12, 0.4, 9);
+        let mut clique = single_hash_clique(12, ExecutorKind::Sequential);
+        let done = clique.phase("t", |c| {
+            c.run_programs((0..12).map(|v| TriangleProgram::new(&g, v, 7)).collect())
+        });
+        for (node, p) in done.iter().enumerate() {
+            let back = TriangleProgram::decode_state(node, 12, &WireProgram::encode_state(p));
+            assert_eq!(back.row, p.row, "node {node}");
+            assert_eq!(back.sq_row, p.sq_row, "node {node}");
+            assert_eq!(back.count, p.count, "node {node}");
+            assert_eq!(back.seed, p.seed);
+            assert_eq!(back.directed, p.directed);
+        }
+        // Pre-run state (empty sq_row, no count) survives the trip too.
+        let fresh = TriangleProgram::new(&g, 3, 7);
+        let back = TriangleProgram::decode_state(3, 12, &WireProgram::encode_state(&fresh));
+        assert_eq!(back.sq_row, fresh.sq_row);
+        assert_eq!(back.count, None);
     }
 
     #[test]

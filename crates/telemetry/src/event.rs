@@ -178,6 +178,26 @@ pub enum Event {
         /// Encoded batch size in bytes.
         bytes: usize,
     },
+    /// One program-resident round barrier ([`TraceLevel::Rounds`]): the
+    /// workers stepped their shards and exchanged payloads peer-to-peer;
+    /// only the commit tokens crossed the orchestrator. The split between
+    /// `peer_bytes` and `orchestrator_bytes` is the star-vs-clique
+    /// accounting the peer-resident refactor exists to move.
+    ///
+    /// [`TraceLevel::Rounds`]: crate::TraceLevel::Rounds
+    ResidentRound {
+        /// Backend name (`"tcp"`).
+        backend: &'static str,
+        /// Barrier epoch this round committed.
+        epoch: u64,
+        /// Nodes still live after this round's step.
+        live: u64,
+        /// Payload bytes exchanged worker→worker this round.
+        peer_bytes: u64,
+        /// Payload bytes routed through the orchestrator this round
+        /// (`0` by construction in resident mode).
+        orchestrator_bytes: u64,
+    },
 }
 
 /// Serialises one event as a single-line JSON object (the [`crate::JsonlSink`]
@@ -277,6 +297,17 @@ pub fn event_json(event: &Event) -> String {
             bytes,
         } => format!(
             "{{\"event\":\"frame_batch\",\"backend\":{},\"frames\":{frames},\"bytes\":{bytes}}}",
+            js(backend)
+        ),
+        Event::ResidentRound {
+            backend,
+            epoch,
+            live,
+            peer_bytes,
+            orchestrator_bytes,
+        } => format!(
+            "{{\"event\":\"resident_round\",\"backend\":{},\"epoch\":{epoch},\"live\":{live},\
+             \"peer_bytes\":{peer_bytes},\"orchestrator_bytes\":{orchestrator_bytes}}}",
             js(backend)
         ),
     }
@@ -395,6 +426,13 @@ mod tests {
                 backend: "socket",
                 frames: 12,
                 bytes: 4096,
+            },
+            Event::ResidentRound {
+                backend: "tcp",
+                epoch: 3,
+                live: 5,
+                peer_bytes: 2048,
+                orchestrator_bytes: 0,
             },
         ];
         for e in &events {

@@ -87,6 +87,10 @@ pub struct TransportAgg {
     pub frame_batches: u64,
     /// Total encoded bytes across all frame batches.
     pub frame_bytes: u64,
+    /// Program-resident round barriers observed.
+    pub resident_rounds: u64,
+    /// Total payload bytes exchanged worker→worker in resident rounds.
+    pub peer_bytes: u64,
 }
 
 /// A point-in-time copy of everything a [`MemorySink`] has aggregated.
@@ -247,6 +251,15 @@ impl TelemetrySink for MemorySink {
                 let agg = state.transports.entry(backend).or_default();
                 agg.frame_batches += 1;
                 agg.frame_bytes += *bytes as u64;
+            }
+            Event::ResidentRound {
+                backend,
+                peer_bytes,
+                ..
+            } => {
+                let agg = state.transports.entry(backend).or_default();
+                agg.resident_rounds += 1;
+                agg.peer_bytes += peer_bytes;
             }
         }
         if state.recent.len() >= Self::RECENT_CAP {

@@ -107,6 +107,17 @@ impl fmt::Display for RoundTimeline {
                     frames,
                     bytes,
                 } => writeln!(f, "  {backend} batch: frames={frames} bytes={bytes}")?,
+                Event::ResidentRound {
+                    backend,
+                    epoch,
+                    live,
+                    peer_bytes,
+                    orchestrator_bytes,
+                } => writeln!(
+                    f,
+                    "  {backend} resident epoch {epoch:>4}: live={live} \
+                     peer_bytes={peer_bytes} orchestrator_bytes={orchestrator_bytes}"
+                )?,
                 Event::ConfigWarning { owner, var, .. } => {
                     writeln!(f, "  warning: {owner} ignored malformed {var}")?;
                 }

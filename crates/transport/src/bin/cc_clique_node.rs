@@ -1,15 +1,39 @@
-//! The worker process of the unix-socket transport: simulates a contiguous
-//! shard of clique nodes on behalf of an orchestrator (see
-//! `cc_transport::SocketTransport`), speaking length-prefixed frames over a
-//! unix domain socket.
+//! The worker process of the multi-process transports: simulates a
+//! contiguous shard of clique nodes on behalf of an orchestrator, speaking
+//! length-prefixed frames.
 //!
-//! Usage: `cc-clique-node <socket-path> <worker> <lo> <count> <n>`
+//! Usage:
+//! * unix-socket star mode (`cc_transport::SocketTransport`):
+//!   `cc-clique-node <socket-path> <worker> <lo> <count> <n>`
+//! * TCP star / program-resident mode (`cc_transport::TcpTransport`):
+//!   `cc-clique-node tcp://<host>:<port> <worker>` — the shard assignment
+//!   and peer routing table arrive over the wire. Only the builtin
+//!   registry programs are decodable here; algorithm programs need the
+//!   facade's `cc-clique-host` binary.
 
 use std::path::Path;
 use std::process::exit;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 2 {
+        if let Some(addr) = args[1].strip_prefix("tcp://") {
+            if args.len() != 3 {
+                eprintln!("usage: cc-clique-node tcp://<host>:<port> <worker>");
+                exit(2);
+            }
+            let worker: u32 = args[2].parse().unwrap_or_else(|_| {
+                eprintln!("cc-clique-node: bad worker index {:?}", args[2]);
+                exit(2);
+            });
+            let registry = cc_runtime::ResidentRegistry::with_builtins();
+            if let Err(e) = cc_transport::tcp_worker_main(addr, worker, registry) {
+                eprintln!("cc-clique-node tcp worker {worker}: {e}");
+                exit(1);
+            }
+            return;
+        }
+    }
     if args.len() != 6 {
         eprintln!("usage: cc-clique-node <socket-path> <worker> <lo> <count> <n>");
         exit(2);

@@ -33,6 +33,9 @@ pub struct ChannelTransport {
     /// Shared commit channel the rendezvous collects from.
     commits: Receiver<NodeCommit>,
     workers: Vec<JoinHandle<()>>,
+    /// Encoded payload/broadcast bytes the parent posted onto node queues —
+    /// this backend is star-shaped too, just over thread queues.
+    orchestrator_bytes: u64,
 }
 
 impl ChannelTransport {
@@ -61,6 +64,7 @@ impl ChannelTransport {
             inboxes,
             commits,
             workers,
+            orchestrator_bytes: 0,
         }
     }
 
@@ -136,7 +140,9 @@ impl Transport for ChannelTransport {
                     dst: dst as u32,
                     words,
                 };
-                self.post(dst, frame.encode());
+                let bytes = frame.encode();
+                self.orchestrator_bytes += bytes.len() as u64;
+                self.post(dst, bytes);
             }
         }
         for (src, slabs) in self.pending.take_bcasts().into_iter().enumerate() {
@@ -148,6 +154,7 @@ impl Transport for ChannelTransport {
                 }
                 .encode();
                 for dst in 0..n {
+                    self.orchestrator_bytes += bytes.len() as u64;
                     self.post(dst, bytes.clone());
                 }
             }
@@ -180,6 +187,10 @@ impl Transport for ChannelTransport {
 
     fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    fn orchestrator_bytes(&self) -> u64 {
+        self.orchestrator_bytes
     }
 }
 

@@ -1,7 +1,7 @@
 //! Adapter plugging a [`Transport`] into the runtime engine's round barrier.
 
 use crate::Transport;
-use cc_runtime::{Fabric, LinkLoads, NodeInbox, NodeOutbox};
+use cc_runtime::{Fabric, LinkLoads, NodeInbox, NodeOutbox, ResidentOutcome, Word};
 
 /// Routes [`cc_runtime::Engine`] round barriers through a [`Transport`]:
 /// each engine round's outboxes are shipped onto the fabric, the barrier is
@@ -47,5 +47,18 @@ impl Fabric for TransportFabric<'_> {
             .map(|d| NodeInbox::from_parts(d.unicast, d.broadcast))
             .collect();
         (inboxes, round.loads)
+    }
+
+    fn is_resident(&self) -> bool {
+        self.transport.is_resident()
+    }
+
+    fn run_resident(
+        &mut self,
+        kind: &str,
+        states: Vec<Vec<Word>>,
+        on_round: &mut dyn FnMut(&LinkLoads),
+    ) -> Option<ResidentOutcome> {
+        self.transport.run_resident(kind, states, on_round)
     }
 }

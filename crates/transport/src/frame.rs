@@ -70,6 +70,74 @@ pub enum Frame {
     },
     /// Orderly teardown: the peer should exit its receive loop.
     Shutdown,
+    /// Orchestrator → worker shard assignment: the worker owns nodes
+    /// `lo..lo + count` of an `n`-node clique. Sent once at setup on
+    /// backends whose workers learn their shard over the wire (TCP).
+    Assign {
+        /// Index of the worker in the orchestrator's spawn order.
+        worker: u32,
+        /// First owned node.
+        lo: u32,
+        /// Number of owned nodes.
+        count: u32,
+        /// Clique size.
+        n: u32,
+    },
+    /// Worker → orchestrator: the address (`host:port`) the worker's peer
+    /// listener is bound to, for the orchestrator's routing table.
+    PeerAddr {
+        /// The reporting worker.
+        worker: u32,
+        /// The worker's peer-listener address.
+        addr: String,
+    },
+    /// Orchestrator → worker routing table: `addrs[w]` is worker `w`'s
+    /// peer-listener address. Workers dial each other directly from this.
+    Peers {
+        /// Peer-listener addresses, indexed by worker.
+        addrs: Vec<String>,
+    },
+    /// One node program's serialized state. Orchestrator → worker at
+    /// resident setup (ship the shard), worker → orchestrator at resident
+    /// teardown (collect finals).
+    Program {
+        /// The node the state belongs to.
+        node: u32,
+        /// The program's wire state ([`cc_runtime::WireProgram`]).
+        state: Vec<Word>,
+    },
+    /// Orchestrator → workers: begin a program-resident session at `epoch`
+    /// running programs of the named registered kind. Followed by one
+    /// [`Frame::Program`] per owned node and a [`Frame::RoundEnd`].
+    ResidentStart {
+        /// Barrier epoch the session's first round will commit.
+        epoch: u64,
+        /// Registered program kind ([`cc_runtime::ResidentRegistry`]).
+        kind: String,
+    },
+    /// Worker → orchestrator: one resident round is done — the worker
+    /// stepped its shard, exchanged payloads peer-to-peer, and accounted
+    /// the loads charged to its owned destinations.
+    ResidentDone {
+        /// The round being committed.
+        epoch: u64,
+        /// Owned programs still live after stepping this round.
+        live: u32,
+        /// Encoded payload bytes this worker sent directly to peers this
+        /// round (bytes that did **not** transit the orchestrator).
+        peer_bytes: u64,
+        /// Per-link `(src, dst, words)` accounting entries for owned dsts.
+        loads: Vec<(u32, u32, u64)>,
+    },
+    /// Orchestrator → workers: the resident barrier for `epoch` is
+    /// released; `live` is the clique-wide live count after the round.
+    /// `live == 0` ends the session (workers return their finals).
+    Release {
+        /// The round being released.
+        epoch: u64,
+        /// Clique-wide live programs after this round.
+        live: u32,
+    },
 }
 
 /// Decode-side failure: the bytes are not a well-formed frame.
@@ -83,6 +151,8 @@ pub enum FrameError {
     BadTag(u8),
     /// A declared length exceeds [`MAX_FRAME_BYTES`].
     Oversized(u64),
+    /// A string field was not valid UTF-8.
+    BadString,
 }
 
 impl fmt::Display for FrameError {
@@ -92,6 +162,7 @@ impl fmt::Display for FrameError {
             FrameError::Trailing(n) => write!(f, "{n} trailing bytes after frame"),
             FrameError::BadTag(t) => write!(f, "unknown frame tag {t:#04x}"),
             FrameError::Oversized(n) => write!(f, "declared length {n} exceeds frame cap"),
+            FrameError::BadString => write!(f, "string field is not valid UTF-8"),
         }
     }
 }
@@ -110,6 +181,13 @@ const TAG_BCAST: u8 = 2;
 const TAG_ROUND_END: u8 = 3;
 const TAG_COMMIT: u8 = 4;
 const TAG_SHUTDOWN: u8 = 5;
+const TAG_ASSIGN: u8 = 6;
+const TAG_PEER_ADDR: u8 = 7;
+const TAG_PEERS: u8 = 8;
+const TAG_PROGRAM: u8 = 9;
+const TAG_RESIDENT_START: u8 = 10;
+const TAG_RESIDENT_DONE: u8 = 11;
+const TAG_RELEASE: u8 = 12;
 
 impl Frame {
     /// Encodes the frame body (no length prefix).
@@ -154,6 +232,62 @@ impl Frame {
                 }
             }
             Frame::Shutdown => buf.push(TAG_SHUTDOWN),
+            Frame::Assign {
+                worker,
+                lo,
+                count,
+                n,
+            } => {
+                buf.push(TAG_ASSIGN);
+                buf.extend_from_slice(&worker.to_le_bytes());
+                buf.extend_from_slice(&lo.to_le_bytes());
+                buf.extend_from_slice(&count.to_le_bytes());
+                buf.extend_from_slice(&n.to_le_bytes());
+            }
+            Frame::PeerAddr { worker, addr } => {
+                buf.push(TAG_PEER_ADDR);
+                buf.extend_from_slice(&worker.to_le_bytes());
+                put_string(&mut buf, addr);
+            }
+            Frame::Peers { addrs } => {
+                buf.push(TAG_PEERS);
+                buf.extend_from_slice(&(addrs.len() as u32).to_le_bytes());
+                for addr in addrs {
+                    put_string(&mut buf, addr);
+                }
+            }
+            Frame::Program { node, state } => {
+                buf.push(TAG_PROGRAM);
+                buf.extend_from_slice(&node.to_le_bytes());
+                put_words(&mut buf, state);
+            }
+            Frame::ResidentStart { epoch, kind } => {
+                buf.push(TAG_RESIDENT_START);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                put_string(&mut buf, kind);
+            }
+            Frame::ResidentDone {
+                epoch,
+                live,
+                peer_bytes,
+                loads,
+            } => {
+                buf.push(TAG_RESIDENT_DONE);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                buf.extend_from_slice(&live.to_le_bytes());
+                buf.extend_from_slice(&peer_bytes.to_le_bytes());
+                buf.extend_from_slice(&(loads.len() as u32).to_le_bytes());
+                for (src, dst, words) in loads {
+                    buf.extend_from_slice(&src.to_le_bytes());
+                    buf.extend_from_slice(&dst.to_le_bytes());
+                    buf.extend_from_slice(&words.to_le_bytes());
+                }
+            }
+            Frame::Release { epoch, live } => {
+                buf.push(TAG_RELEASE);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                buf.extend_from_slice(&live.to_le_bytes());
+            }
         }
         buf
     }
@@ -189,6 +323,58 @@ impl Frame {
                 Frame::Commit { epoch, loads }
             }
             TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_ASSIGN => Frame::Assign {
+                worker: r.u32()?,
+                lo: r.u32()?,
+                count: r.u32()?,
+                n: r.u32()?,
+            },
+            TAG_PEER_ADDR => Frame::PeerAddr {
+                worker: r.u32()?,
+                addr: r.string()?,
+            },
+            TAG_PEERS => {
+                let n = r.u32()? as usize;
+                if n > MAX_FRAME_BYTES / 4 {
+                    return Err(FrameError::Oversized(n as u64));
+                }
+                let mut addrs = Vec::with_capacity(n.min(r.remaining() / 4));
+                for _ in 0..n {
+                    addrs.push(r.string()?);
+                }
+                Frame::Peers { addrs }
+            }
+            TAG_PROGRAM => Frame::Program {
+                node: r.u32()?,
+                state: r.words()?,
+            },
+            TAG_RESIDENT_START => Frame::ResidentStart {
+                epoch: r.u64()?,
+                kind: r.string()?,
+            },
+            TAG_RESIDENT_DONE => {
+                let epoch = r.u64()?;
+                let live = r.u32()?;
+                let peer_bytes = r.u64()?;
+                let n = r.u32()? as usize;
+                if n.saturating_mul(16) > MAX_FRAME_BYTES {
+                    return Err(FrameError::Oversized(n as u64));
+                }
+                let mut loads = Vec::with_capacity(n.min(r.remaining() / 16));
+                for _ in 0..n {
+                    loads.push((r.u32()?, r.u32()?, r.u64()?));
+                }
+                Frame::ResidentDone {
+                    epoch,
+                    live,
+                    peer_bytes,
+                    loads,
+                }
+            }
+            TAG_RELEASE => Frame::Release {
+                epoch: r.u64()?,
+                live: r.u32()?,
+            },
             t => return Err(FrameError::BadTag(t)),
         };
         if r.remaining() > 0 {
@@ -203,6 +389,11 @@ fn put_words(buf: &mut Vec<u8>, words: &[Word]) {
     for w in words {
         buf.extend_from_slice(&w.to_le_bytes());
     }
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
 }
 
 struct Reader<'a> {
@@ -238,6 +429,15 @@ impl Reader<'_> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
+    }
+
+    fn string(&mut self) -> Result<String, FrameError> {
+        let n = self.u32()? as usize;
+        if n > MAX_FRAME_BYTES {
+            return Err(FrameError::Oversized(n as u64));
+        }
+        let bytes = self.take(n)?.to_vec();
+        String::from_utf8(bytes).map_err(|_| FrameError::BadString)
     }
 
     fn words(&mut self) -> Result<Vec<Word>, FrameError> {
@@ -336,10 +536,51 @@ mod tests {
                 loads: vec![(0, 1, 5), (2, 0, u64::MAX)],
             },
             Frame::Shutdown,
+            Frame::Assign {
+                worker: 2,
+                lo: 8,
+                count: 4,
+                n: 16,
+            },
+            Frame::PeerAddr {
+                worker: 1,
+                addr: "127.0.0.1:4821".to_string(),
+            },
+            Frame::Peers {
+                addrs: vec!["127.0.0.1:1".to_string(), String::new()],
+            },
+            Frame::Program {
+                node: 5,
+                state: vec![Word::MAX, 0, 7],
+            },
+            Frame::ResidentStart {
+                epoch: 11,
+                kind: "cc.triangle".to_string(),
+            },
+            Frame::ResidentDone {
+                epoch: 11,
+                live: 3,
+                peer_bytes: u64::MAX,
+                loads: vec![(1, 0, 9)],
+            },
+            Frame::Release { epoch: 11, live: 0 },
         ];
         for f in frames {
             assert_eq!(Frame::decode(&f.encode()), Ok(f.clone()), "{f:?}");
         }
+    }
+
+    #[test]
+    fn strings_must_be_utf8() {
+        let mut bytes = Frame::PeerAddr {
+            worker: 0,
+            addr: "ab".to_string(),
+        }
+        .encode();
+        let at = bytes.len() - 2;
+        bytes[at] = 0xff; // invalid UTF-8 continuation
+        bytes[at + 1] = 0xfe;
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::BadString));
     }
 
     #[test]

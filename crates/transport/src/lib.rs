@@ -21,6 +21,13 @@
 //!   unix domain sockets. The round barrier is a round-commit token: the
 //!   round completes only when every worker has committed the epoch with
 //!   its accounting.
+//! * [`TcpTransport`] — the same orchestrator/worker protocol over TCP
+//!   (loopback by default, multi-host with an explicit bind address), plus
+//!   a **program-resident** mode: [`cc_runtime::WireProgram`] shards are
+//!   shipped to the workers once, per-round traffic flows worker→worker
+//!   over a direct peer mesh, and the orchestrator's per-round role shrinks
+//!   to brokering the barrier (commit tokens and epochs) and collecting
+//!   final states — the star becomes a clique.
 //!
 //! ## Determinism contract
 //!
@@ -45,6 +52,7 @@ pub mod frame;
 mod inmemory;
 mod pending;
 mod socket;
+mod tcp;
 mod traced;
 
 pub use crate::channel::ChannelTransport;
@@ -55,10 +63,12 @@ pub use crate::frame::{
 };
 pub use crate::inmemory::InMemoryTransport;
 pub use crate::socket::{worker_main, SocketTransport, DEFAULT_SOCKET_WORKERS};
+pub use crate::tcp::{tcp_worker_main, TcpTransport, DEFAULT_TCP_WORKERS};
 pub use crate::traced::TracedTransport;
 
-use cc_runtime::{Executor, LinkLoads, Word};
+use cc_runtime::{Executor, LinkLoads, ResidentOutcome, Word};
 use std::fmt;
+use std::net::SocketAddr;
 use std::sync::Arc;
 
 /// What one node received at a round barrier.
@@ -136,6 +146,43 @@ pub trait Transport: fmt::Debug + Send {
 
     /// Rounds completed so far (the current epoch).
     fn epoch(&self) -> u64;
+
+    /// Whether this backend hosts node programs *worker-resident*: program
+    /// state ships to the workers once and per-round traffic flows over
+    /// direct peer links instead of through the orchestrator. Backends that
+    /// return `true` must implement [`Transport::run_resident`].
+    fn is_resident(&self) -> bool {
+        false
+    }
+
+    /// Runs a full program-resident session: ships the encoded `states`
+    /// (kind key `kind`, one state per node, node order) to the workers,
+    /// drives rounds peer-to-peer until every program halts — invoking
+    /// `on_round` with each round's canonical link loads, exactly as the
+    /// engine's classical loop would — and returns the final states.
+    /// Advances the epoch once per executed round, keeping epoch counts
+    /// bit-identical to the star backends. `None` means the backend does
+    /// not host programs (the default) and the caller should fall back to
+    /// the classical round loop.
+    fn run_resident(
+        &mut self,
+        kind: &str,
+        states: Vec<Vec<Word>>,
+        on_round: &mut dyn FnMut(&LinkLoads),
+    ) -> Option<ResidentOutcome> {
+        let _ = (kind, states, on_round);
+        None
+    }
+
+    /// Total *payload* bytes (encoded `Payload`/`Bcast` frames) the
+    /// orchestrating process shipped at round barriers so far. Control
+    /// traffic — handshakes, program shards, commit tokens — is excluded,
+    /// so a program-resident session reports `0`: its round payloads never
+    /// touch the orchestrator. In-process backends report `0` as there is
+    /// no wire at all.
+    fn orchestrator_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// Which [`Transport`] backend a simulation uses.
@@ -156,27 +203,77 @@ pub enum TransportKind {
         /// (clamped to `n`).
         workers: usize,
     },
+    /// Multi-process fabric over TCP: the same orchestrator/worker frame
+    /// protocol as [`TransportKind::Socket`], host-portable, with an
+    /// optional program-resident mode where rounds flow worker→worker over
+    /// a direct peer mesh.
+    Tcp {
+        /// Worker process count; `0` means [`DEFAULT_TCP_WORKERS`]
+        /// (clamped to `n`).
+        workers: usize,
+        /// Program-resident mode (`tcp-peer` / `peer` specs): ship
+        /// [`cc_runtime::WireProgram`] shards to the workers and exchange
+        /// rounds peer-to-peer, the orchestrator brokering only the
+        /// barrier.
+        resident: bool,
+        /// Explicit orchestrator bind address (multi-host runs); `None`
+        /// binds an ephemeral loopback port.
+        addr: Option<SocketAddr>,
+    },
 }
 
 impl TransportKind {
     /// Parses a backend spec: `inmemory`/`memory`/`mem`, `channel`/`mpsc`,
-    /// or `socket`/`unix` (optionally suffixed `:<workers>` as in
-    /// `socket:8`). `None` for unknown names **or** malformed worker
-    /// suffixes — `socket:banana` must not silently mean "default workers".
+    /// `socket`/`unix` (optionally suffixed `:<workers>` as in `socket:8`),
+    /// or `tcp`/`tcp-peer`/`peer` with the grammar
+    /// `tcp[:<workers>][:<host>:<port>]` — `tcp`, `tcp:4`,
+    /// `tcp:4:10.0.0.1:9000`, `tcp:10.0.0.1:9000`. The `tcp-peer`/`peer`
+    /// spellings select the program-resident mode with the same suffix
+    /// grammar. `None` for unknown names **or** malformed suffixes —
+    /// `socket:banana` must not silently mean "default workers".
     #[must_use]
     pub fn parse(raw: &str) -> Option<Self> {
-        let (name, workers) = match raw.split_once(':') {
-            Some((name, w)) => (name, Some(w.parse::<usize>().ok()?)),
-            None => (raw, None),
+        let lower = raw.to_ascii_lowercase();
+        let (name, rest) = match lower.split_once(':') {
+            Some((name, rest)) => (name, Some(rest)),
+            None => (lower.as_str(), None),
         };
-        match (name.to_ascii_lowercase().as_str(), workers) {
-            ("inmemory" | "in-memory" | "memory" | "mem", None) => Some(TransportKind::InMemory),
-            ("channel" | "mpsc", None) => Some(TransportKind::Channel),
-            ("socket" | "unix", w) => Some(TransportKind::Socket {
-                workers: w.unwrap_or(0),
+        match name {
+            "inmemory" | "in-memory" | "memory" | "mem" if rest.is_none() => {
+                Some(TransportKind::InMemory)
+            }
+            "channel" | "mpsc" if rest.is_none() => Some(TransportKind::Channel),
+            "socket" | "unix" => Some(TransportKind::Socket {
+                workers: match rest {
+                    Some(w) => w.parse().ok()?,
+                    None => 0,
+                },
             }),
+            "tcp" | "tcp-star" => Self::parse_tcp(rest, false),
+            "tcp-peer" | "peer" => Self::parse_tcp(rest, true),
             _ => None,
         }
+    }
+
+    /// The `tcp` suffix grammar: nothing, `<workers>`, `<host>:<port>`, or
+    /// `<workers>:<host>:<port>` — a first segment that parses as a number
+    /// is a worker count, anything else must be a socket address.
+    fn parse_tcp(rest: Option<&str>, resident: bool) -> Option<Self> {
+        let (workers, addr) = match rest {
+            None => (0, None),
+            Some(rest) => match rest.split_once(':') {
+                None => (rest.parse::<usize>().ok()?, None),
+                Some((first, tail)) => match first.parse::<usize>() {
+                    Ok(w) => (w, Some(tail.parse::<SocketAddr>().ok()?)),
+                    Err(_) => (0, Some(rest.parse::<SocketAddr>().ok()?)),
+                },
+            },
+        };
+        Some(TransportKind::Tcp {
+            workers,
+            resident,
+            addr,
+        })
     }
 
     /// Resolves a `CC_TRANSPORT` spec: `None` (unset) resolves to the
@@ -198,7 +295,7 @@ impl TransportKind {
         cc_runtime::env_config::from_env_or(
             "cc-transport",
             "CC_TRANSPORT",
-            "inmemory, channel, or socket[:workers]",
+            "inmemory, channel, socket[:workers], or tcp[-peer][:workers][:host:port]",
             fallback,
             Self::parse,
         )
@@ -214,6 +311,11 @@ impl TransportKind {
             TransportKind::InMemory => Box::new(InMemoryTransport::new(n, exec)),
             TransportKind::Channel => Box::new(ChannelTransport::new(n)),
             TransportKind::Socket { workers } => Box::new(SocketTransport::new(n, workers)),
+            TransportKind::Tcp {
+                workers,
+                resident,
+                addr,
+            } => Box::new(TcpTransport::new(n, workers, resident, addr)),
         };
         // Observer-only instrumentation: wrapped at build time only when
         // round tracing is on, so untraced runs keep the bare backend.
@@ -267,6 +369,36 @@ mod tests {
             "an explicit 0 means the default worker count"
         );
         assert_eq!(TransportKind::parse("telepathy"), None);
+    }
+
+    #[test]
+    fn parser_accepts_tcp_specs() {
+        let tcp = |workers, resident, addr: Option<&str>| TransportKind::Tcp {
+            workers,
+            resident,
+            addr: addr.map(|a| a.parse().unwrap()),
+        };
+        assert_eq!(TransportKind::parse("tcp"), Some(tcp(0, false, None)));
+        assert_eq!(TransportKind::parse("tcp:4"), Some(tcp(4, false, None)));
+        assert_eq!(
+            TransportKind::parse("tcp:4:10.0.0.1:9000"),
+            Some(tcp(4, false, Some("10.0.0.1:9000")))
+        );
+        assert_eq!(
+            TransportKind::parse("tcp:127.0.0.1:9000"),
+            Some(tcp(0, false, Some("127.0.0.1:9000")))
+        );
+        assert_eq!(TransportKind::parse("tcp-peer"), Some(tcp(0, true, None)));
+        assert_eq!(TransportKind::parse("peer:3"), Some(tcp(3, true, None)));
+        assert_eq!(
+            TransportKind::parse("tcp-peer:2:127.0.0.1:7000"),
+            Some(tcp(2, true, Some("127.0.0.1:7000")))
+        );
+        // Malformed suffixes reject the whole spec, same as socket.
+        assert_eq!(TransportKind::parse("tcp:banana"), None);
+        assert_eq!(TransportKind::parse("tcp:"), None);
+        assert_eq!(TransportKind::parse("tcp:4:nothost"), None);
+        assert_eq!(TransportKind::parse("tcp:10.0.0.1"), None, "port required");
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub struct SocketTransport {
     epoch: u64,
     workers: Vec<Worker>,
     socket_path: PathBuf,
+    /// Encoded payload/broadcast bytes shipped through this orchestrator —
+    /// on the star topology, all of the round traffic.
+    orchestrator_bytes: u64,
 }
 
 #[derive(Debug)]
@@ -135,6 +138,7 @@ impl SocketTransport {
                 .map(|s| s.expect("every worker connected"))
                 .collect(),
             socket_path,
+            orchestrator_bytes: 0,
         }
     }
 }
@@ -209,6 +213,10 @@ impl Transport for SocketTransport {
                 push_frame_bytes(&mut batch, bytes);
                 frames += 1;
             }
+            // Everything batched so far is round payload funnelled through
+            // the orchestrator (the star topology's defining cost); the
+            // round delimiter below is control traffic and uncounted.
+            self.orchestrator_bytes += batch.len() as u64;
             push_frame(&mut batch, &Frame::RoundEnd { epoch });
             frames += 1;
             cc_telemetry::global().emit(cc_telemetry::TraceLevel::Full, || {
@@ -284,6 +292,10 @@ impl Transport for SocketTransport {
     fn epoch(&self) -> u64 {
         self.epoch
     }
+
+    fn orchestrator_bytes(&self) -> u64 {
+        self.orchestrator_bytes
+    }
 }
 
 impl Drop for SocketTransport {
@@ -301,7 +313,7 @@ impl Drop for SocketTransport {
 
 /// The contiguous destination shard `[lo, hi)` of `worker` among `w`
 /// workers over `n` nodes.
-fn shard(n: usize, w: usize, worker: usize) -> (usize, usize) {
+pub(crate) fn shard(n: usize, w: usize, worker: usize) -> (usize, usize) {
     (worker * n / w, (worker + 1) * n / w)
 }
 
@@ -311,33 +323,43 @@ fn fresh_socket_path() -> PathBuf {
     std::env::temp_dir().join(format!("cc-clique-{}-{id}.sock", std::process::id()))
 }
 
-/// Locates the `cc-clique-node` worker binary: the `CC_NODE_BIN` override,
-/// then next to (or one/two levels above) the current executable — which
-/// covers installed binaries, test executables in `target/<profile>/deps`,
-/// and examples in `target/<profile>/examples` — then the build-time target
-/// directory baked in by `build.rs` (which covers doctests, whose
-/// executables live in temporary directories).
+/// Locates the `cc-clique-node` worker binary (see
+/// [`find_worker_binary`]).
 fn node_binary() -> PathBuf {
+    find_worker_binary(&["cc-clique-node"])
+}
+
+/// Locates a worker binary by trying each candidate `names` entry: the
+/// `CC_NODE_BIN` override first, then next to (or one/two levels above) the
+/// current executable — which covers installed binaries, test executables
+/// in `target/<profile>/deps`, and examples in `target/<profile>/examples`
+/// — then the build-time target directory baked in by `build.rs` (which
+/// covers doctests, whose executables live in temporary directories).
+/// Earlier `names` win over later ones, so a registry-rich facade binary
+/// can shadow the builtin-only fallback.
+pub(crate) fn find_worker_binary(names: &[&str]) -> PathBuf {
     if let Ok(path) = std::env::var("CC_NODE_BIN") {
         return PathBuf::from(path);
     }
     let mut candidates = Vec::new();
-    if let Ok(exe) = std::env::current_exe() {
-        if let Some(dir) = exe.parent() {
-            candidates.push(dir.join("cc-clique-node"));
-            candidates.push(dir.join("..").join("cc-clique-node"));
-            candidates.push(dir.join("..").join("..").join("cc-clique-node"));
+    for name in names {
+        if let Ok(exe) = std::env::current_exe() {
+            if let Some(dir) = exe.parent() {
+                candidates.push(dir.join(name));
+                candidates.push(dir.join("..").join(name));
+                candidates.push(dir.join("..").join("..").join(name));
+            }
         }
+        candidates.push(PathBuf::from(env!("CC_TRANSPORT_PROFILE_DIR")).join(name));
     }
-    candidates.push(PathBuf::from(env!("CC_TRANSPORT_PROFILE_DIR")).join("cc-clique-node"));
     for c in &candidates {
         if c.is_file() {
             return c.clone();
         }
     }
     panic!(
-        "cc-clique-node worker binary not found (searched {candidates:?}); build it with \
-         `cargo build -p cc-transport` or point CC_NODE_BIN at it"
+        "worker binary not found (searched {candidates:?}); build it with \
+         `cargo build` or point CC_NODE_BIN at it"
     );
 }
 

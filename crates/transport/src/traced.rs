@@ -89,6 +89,23 @@ impl Transport for TracedTransport {
     fn epoch(&self) -> u64 {
         self.inner.epoch()
     }
+
+    fn is_resident(&self) -> bool {
+        self.inner.is_resident()
+    }
+
+    fn run_resident(
+        &mut self,
+        kind: &str,
+        states: Vec<Vec<cc_runtime::Word>>,
+        on_round: &mut dyn FnMut(&cc_runtime::LinkLoads),
+    ) -> Option<cc_runtime::ResidentOutcome> {
+        self.inner.run_resident(kind, states, on_round)
+    }
+
+    fn orchestrator_bytes(&self) -> u64 {
+        self.inner.orchestrator_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 use cc_transport::{encode_frame_batch, push_frame_bytes, read_frame, write_frame, Frame};
 use proptest::collection::vec;
 use proptest::prelude::*;
-use std::io::Cursor;
+use std::io::{Cursor, Read};
 
 /// Word strategy biased toward the boundary values a codec is most likely
 /// to mangle: zero, the maximum, and values whose byte patterns are
@@ -21,6 +21,19 @@ fn word() -> BoxedStrategy<u64> {
         any::<u64>(),
     ]
     .boxed()
+}
+
+/// A peer-listener address string as the TCP backend produces them
+/// (`host:port` from `TcpListener::local_addr`), plus hostname spellings a
+/// multi-host run would feed through `CC_TRANSPORT=tcp:<host>:<port>`.
+fn addr() -> BoxedStrategy<String> {
+    (any::<u8>(), any::<u8>(), any::<u16>())
+        .prop_map(|(a, b, port)| match a % 3 {
+            0 => format!("127.0.0.1:{port}"),
+            1 => format!("10.{a}.{b}.7:{port}"),
+            _ => format!("worker-{b}.cluster.internal:{port}"),
+        })
+        .boxed()
 }
 
 fn frame() -> BoxedStrategy<Frame> {
@@ -41,6 +54,50 @@ fn frame() -> BoxedStrategy<Frame> {
     )
         .prop_map(|(epoch, loads)| Frame::Commit { epoch, loads })
         .boxed();
+    // Setup / resident-session frames of the TCP backend.
+    let assign = (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+        .prop_map(|(worker, lo, count, n)| Frame::Assign {
+            worker,
+            lo,
+            count,
+            n,
+        })
+        .boxed();
+    let peer_addr = (any::<u32>(), addr())
+        .prop_map(|(worker, addr)| Frame::PeerAddr { worker, addr })
+        .boxed();
+    let peers = vec(addr(), 0..8)
+        .prop_map(|addrs| Frame::Peers { addrs })
+        .boxed();
+    let program = (any::<u32>(), vec(word(), 0..40))
+        .prop_map(|(node, state)| Frame::Program { node, state })
+        .boxed();
+    let resident_start = (any::<u64>(), any::<u8>())
+        .prop_map(|(epoch, k)| Frame::ResidentStart {
+            epoch,
+            kind: match k % 3 {
+                0 => String::new(),
+                1 => "cc.echo-ring".to_string(),
+                _ => format!("cc.kind-{k}"),
+            },
+        })
+        .boxed();
+    let resident_done = (
+        any::<u64>(),
+        any::<u32>(),
+        word(),
+        vec((any::<u32>(), any::<u32>(), word()), 0..20),
+    )
+        .prop_map(|(epoch, live, peer_bytes, loads)| Frame::ResidentDone {
+            epoch,
+            live,
+            peer_bytes,
+            loads,
+        })
+        .boxed();
+    let release = (any::<u64>(), any::<u32>())
+        .prop_map(|(epoch, live)| Frame::Release { epoch, live })
+        .boxed();
     prop_oneof![
         any::<u32>()
             .prop_map(|worker| Frame::Hello { worker })
@@ -52,8 +109,62 @@ fn frame() -> BoxedStrategy<Frame> {
             .boxed(),
         commit,
         Just(Frame::Shutdown).boxed(),
+        assign,
+        peer_addr,
+        peers,
+        program,
+        resident_start,
+        resident_done,
+        release,
     ]
     .boxed()
+}
+
+/// An [`io::Read`] that serves the underlying bytes in prescribed chunk
+/// sizes (cycling through `chunks`; a zero entry serves one byte), the way
+/// a TCP stream delivers a frame across several `read` calls. The codec's
+/// reader must reassemble exactly what a contiguous buffer would give.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunks: Vec<usize>,
+    turn: usize,
+}
+
+impl ChunkedReader {
+    fn new(data: Vec<u8>, chunks: Vec<usize>) -> Self {
+        Self {
+            data,
+            pos: 0,
+            chunks,
+            turn: 0,
+        }
+    }
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.data.len() {
+            return Ok(0);
+        }
+        let want = self.chunks[self.turn % self.chunks.len()].max(1);
+        self.turn += 1;
+        let n = want.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Reads `count` frames through a [`ChunkedReader`] and asserts the stream
+/// is exactly consumed; returns the decoded frames.
+fn read_chunked(wire: Vec<u8>, chunks: Vec<usize>, count: usize) -> Vec<Frame> {
+    let mut reader = ChunkedReader::new(wire, chunks);
+    let frames: Vec<Frame> = (0..count)
+        .map(|i| read_frame(&mut reader).unwrap_or_else(|e| panic!("frame {i}: {e}")))
+        .collect();
+    assert_eq!(reader.pos, reader.data.len(), "stream exactly consumed");
+    frames
 }
 
 proptest! {
@@ -106,6 +217,53 @@ proptest! {
     }
 
     #[test]
+    fn one_byte_chunks_decode_identically_to_the_contiguous_path(frames in vec(frame(), 0..8)) {
+        // The worst TCP delivery: every read returns a single byte, so
+        // every length prefix and every multi-byte field straddles reads.
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).expect("write to Vec");
+        }
+        let contiguous: Vec<Frame> = {
+            let mut cursor = Cursor::new(wire.clone());
+            (0..frames.len()).map(|_| read_frame(&mut cursor).expect("contiguous")).collect()
+        };
+        let chunked = read_chunked(wire, vec![1], frames.len());
+        prop_assert_eq!(&chunked, &contiguous);
+        prop_assert_eq!(&chunked, &frames);
+    }
+
+    #[test]
+    fn random_chunk_splits_decode_identically_to_the_contiguous_path(
+        frames in vec(frame(), 1..8),
+        chunks in vec(0usize..48, 1..8),
+    ) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).expect("write to Vec");
+        }
+        prop_assert_eq!(&read_chunked(wire, chunks, frames.len()), &frames);
+    }
+
+    #[test]
+    fn boundary_straddling_splits_decode_identically(f in frame(), lead in 0usize..12) {
+        // Force the first read boundary to land inside (or exactly on) the
+        // 4-byte length prefix and the leading frame fields, then continue
+        // with a co-prime stride so later boundaries straddle the
+        // prefix/body seam of the encoding at shifting offsets.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &f).expect("write to Vec");
+        for stride in [2usize, 3, 5, 7] {
+            let chunks = vec![lead, stride];
+            prop_assert_eq!(
+                &read_chunked(wire.clone(), chunks, 1)[0],
+                &f,
+                "lead {lead}, stride {stride}"
+            );
+        }
+    }
+
+    #[test]
     fn truncations_never_decode_to_a_different_frame(f in frame(), cut in 0usize..64) {
         let bytes = f.encode();
         if cut > 0 && cut < bytes.len() {
@@ -144,6 +302,35 @@ fn empty_round_is_expressible_and_round_trips() {
     let mut cursor = Cursor::new(wire);
     for f in &frames {
         assert_eq!(&read_frame(&mut cursor).unwrap(), f);
+    }
+}
+
+#[test]
+fn every_two_chunk_split_of_a_frame_decodes() {
+    // Exhaustive split sweep on a frame exercising strings, loads, and
+    // wide scalars: every possible two-read delivery — including splits
+    // inside the 4-byte length prefix — must reassemble bit-identically.
+    let frames = [
+        Frame::ResidentDone {
+            epoch: u64::MAX,
+            live: 3,
+            peer_bytes: 0xDEAD_BEEF,
+            loads: vec![(0, 1, 9), (2, 3, u64::MAX)],
+        },
+        Frame::Peers {
+            addrs: vec![
+                "127.0.0.1:4242".into(),
+                "worker-1.cluster.internal:9".into(),
+            ],
+        },
+    ];
+    for f in frames {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &f).unwrap();
+        for split in 1..wire.len() {
+            let got = read_chunked(wire.clone(), vec![split, wire.len() - split], 1);
+            assert_eq!(got[0], f, "split at {split}");
+        }
     }
 }
 

@@ -1,32 +1,44 @@
-//! Multi-process congested clique simulation over unix sockets, end to end.
+//! Multi-process congested clique simulation over real sockets, end to end.
 //!
-//! The socket transport turns one simulation into a little distributed
-//! system: a parent orchestrator (this process) plus `cc-clique-node`
-//! worker processes, each simulating a contiguous shard of nodes. Every
-//! round's traffic crosses real OS sockets as length-prefixed frames, and
-//! the round barrier is a **round-commit token** — the parent charges a
-//! round only after every worker has committed its epoch.
+//! The socket and TCP transports turn one simulation into a little
+//! distributed system: a parent orchestrator (this process) plus worker
+//! processes (`cc-clique-node` over unix sockets, `cc-clique-host` over
+//! TCP), each simulating a contiguous shard of nodes. Every round's
+//! traffic crosses real OS sockets as length-prefixed frames, and the
+//! round barrier is a **round-commit token** — the parent charges a round
+//! only after every worker has committed its epoch.
 //!
-//! The demonstration runs the paper's triangle counting and APSP on three
-//! fabrics — shared memory, cross-thread channels, and worker processes —
-//! and shows the determinism contract: identical counts, distances,
-//! rounds, words, and barrier epochs, regardless of where the words
-//! physically travelled.
+//! The first demonstration runs the paper's triangle counting and APSP on
+//! four fabrics — shared memory, cross-thread channels, unix-socket worker
+//! processes, and TCP worker processes — and shows the determinism
+//! contract: identical counts, distances, rounds, words, and barrier
+//! epochs, regardless of where the words physically travelled.
+//!
+//! The second demonstration is the TCP fabric's **peer-resident mode**:
+//! the triangle [`NodeProgram`] shards are serialized and shipped to the
+//! workers once, per-round messages flow worker → worker over direct peer
+//! links from an orchestrator-distributed routing table, and the
+//! orchestrator only brokers the barrier — so its per-round payload byte
+//! count drops to zero while the star topology carries every word.
 //!
 //! Run with: `cargo run --release --example multi_process`
-//! (the worker binary is built automatically as part of the workspace).
+//! (the worker binaries are built automatically as part of the workspace).
+//! For a real multi-host run, see the facade's "Transport layer" docs
+//! (`CC_TCP_EXTERN=1` plus one `cc-clique-host` per remote worker).
+//!
+//! [`NodeProgram`]: congested_clique::runtime::NodeProgram
 
 use congested_clique::apsp::apsp_exact;
 use congested_clique::clique::{Clique, CliqueConfig, TransportKind};
 use congested_clique::graph::generators;
-use congested_clique::subgraph::count_triangles;
+use congested_clique::subgraph::{count_triangles, count_triangles_program};
 
 fn main() {
     let n = 24;
     let graph = generators::gnp(n, 0.3, 7);
     let weighted = generators::weighted_gnp(n, 0.3, 9, true, 11);
 
-    println!("=== pluggable transports: one simulation, three fabrics ===\n");
+    println!("=== pluggable transports: one simulation, four fabrics ===\n");
     let mut reference = None;
     for (label, kind) in [
         (
@@ -40,6 +52,14 @@ fn main() {
         (
             "socket   (4 worker processes over unix sockets)",
             TransportKind::Socket { workers: 4 },
+        ),
+        (
+            "tcp      (4 worker processes over TCP streams)",
+            TransportKind::Tcp {
+                workers: 4,
+                resident: false,
+                addr: None,
+            },
         ),
     ] {
         let cfg = CliqueConfig {
@@ -73,6 +93,62 @@ fn main() {
         }
     }
 
-    println!("all three fabrics agree bit-for-bit — transport is a deployment choice,");
-    println!("not a semantics choice. CC_TRANSPORT=socket retargets any run of this suite.");
+    println!("all four fabrics agree bit-for-bit — transport is a deployment choice,");
+    println!("not a semantics choice. CC_TRANSPORT=tcp retargets any run of this suite.\n");
+
+    println!("=== peer-resident TCP: the orchestrator leaves the data path ===\n");
+    let mut star_reference = None;
+    for (label, resident) in [
+        (
+            "tcp star mode     (every word transits the orchestrator)",
+            false,
+        ),
+        (
+            "tcp peer-resident (programs shipped once, words flow peer-to-peer)",
+            true,
+        ),
+    ] {
+        let cfg = CliqueConfig {
+            transport: TransportKind::Tcp {
+                workers: 4,
+                resident,
+                addr: None,
+            },
+            ..CliqueConfig::default()
+        };
+        let mut clique = Clique::with_config(n, cfg);
+        let triangles = count_triangles_program(&mut clique, &graph);
+        let outcome = (
+            triangles,
+            clique.rounds(),
+            clique.stats().words(),
+            clique.transport_epochs(),
+        );
+        let through_orchestrator = clique.orchestrator_bytes();
+        println!(
+            "{label}\n    triangles = {triangles}, rounds = {}, words = {}, barrier epochs = {}, \
+             payload bytes through orchestrator = {through_orchestrator}\n",
+            outcome.1, outcome.2, outcome.3
+        );
+        if resident {
+            assert_eq!(
+                through_orchestrator, 0,
+                "peer-resident rounds must bypass the orchestrator"
+            );
+            assert_eq!(
+                star_reference.as_ref(),
+                Some(&outcome),
+                "star and peer-resident modes must agree bit-for-bit"
+            );
+        } else {
+            assert!(
+                through_orchestrator > 0,
+                "star mode carries the rounds' words through the orchestrator"
+            );
+            star_reference = Some(outcome);
+        }
+    }
+
+    println!("same answer, same accounting, same barrier epochs — but in peer-resident");
+    println!("mode the orchestrator brokered the barrier without touching a payload byte.");
 }

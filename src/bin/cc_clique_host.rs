@@ -1,0 +1,46 @@
+//! The algorithm-aware TCP worker: hosts program-resident shards for the
+//! `tcp`/`tcp-peer` transports with every facade-level [`WireProgram`]
+//! registered, so resident sessions can ship real algorithm state machines
+//! (not just the transport-crate builtins that `cc-clique-node` knows).
+//!
+//! Usage: `cc-clique-host tcp://<host>:<port> <worker>`
+//!
+//! The orchestrator spawns this binary automatically when it sits next to
+//! the test/bench executable; for multi-host runs, start the orchestrating
+//! process with `CC_TCP_EXTERN=1 CC_TRANSPORT=tcp-peer:<w>:<host>:<port>`
+//! and launch one `cc-clique-host` per worker index against the printed
+//! address (see the facade's "Transport layer" docs).
+//!
+//! [`WireProgram`]: cc_runtime::WireProgram
+
+use std::process::exit;
+
+/// Every wire-encodable program the facade ships, on top of the runtime
+/// builtins. New resident algorithms register here.
+fn registry() -> cc_runtime::ResidentRegistry {
+    let mut reg = cc_runtime::ResidentRegistry::with_builtins();
+    reg.register::<cc_subgraph::TriangleProgram>();
+    reg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = || -> ! {
+        eprintln!("usage: cc-clique-host tcp://<host>:<port> <worker>");
+        exit(2);
+    };
+    if args.len() != 3 {
+        usage();
+    }
+    let Some(addr) = args[1].strip_prefix("tcp://") else {
+        usage();
+    };
+    let Ok(worker) = args[2].parse::<u32>() else {
+        eprintln!("cc-clique-host: bad worker index {:?}", args[2]);
+        exit(2);
+    };
+    if let Err(e) = cc_transport::tcp_worker_main(addr, worker, registry()) {
+        eprintln!("cc-clique-host worker {worker}: {e}");
+        exit(1);
+    }
+}

@@ -170,22 +170,26 @@
 //! [`Semiring::mul_dense`](algebra::Semiring::mul_dense) — selected by
 //! `CC_KERNEL` the way `CC_EXECUTOR` picks a backend:
 //!
-//! * `naive` (default) — the reference schoolbook loop, unchanged from the
-//!   seed;
+//! * `bitset` (the default, also spelled `auto`) — auto-selects the
+//!   fastest lane per ring: cache-blocked i-k-j tiles with Strassen
+//!   routing for integer products, plus a **bit-packed Boolean kernel**
+//!   ([`algebra::BitMatrix`] stores 64 entries per `u64` word, so an
+//!   AND–OR inner product runs 64 lanes per word operation);
 //! * `blocked` — cache-blocked i-k-j tiles (`CC_TILE`, default 64) for
 //!   both rings, with large square integer products routed through the
 //!   previously dormant [`algebra::strassen_mul_with_base`] so the
 //!   tiled loop becomes Strassen's base case;
-//! * `bitset` — the blocked integer kernel plus a **bit-packed Boolean
-//!   kernel**: [`algebra::BitMatrix`] stores 64 entries per `u64` word, so
-//!   an AND–OR inner product runs 64 lanes per word operation.
+//! * `naive` — the explicit escape hatch: the reference schoolbook loop,
+//!   unchanged from the seed.
 //!
-//! Kernels are *observer-equivalent*, not merely "close": `i64` addition
-//! is associative, Strassen is exact over the integers, and any correct
+//! Both optimised lanes soaked in CI behind `CC_KERNEL` before the
+//! auto-selecting kernel became the default, and kernels are
+//! *observer-equivalent*, not merely "close": `i64` addition is
+//! associative, Strassen is exact over the integers, and any correct
 //! Boolean method produces the same bools — so results, rounds, words,
 //! and pattern fingerprints are bit-identical across `CC_KERNEL` values
-//! (pinned in `tests/runtime_determinism.rs`; CI runs full `bitset` and
-//! `blocked` lanes). Only `*_ns` moves: `BENCH_kernel.json` holds the
+//! (pinned in `tests/runtime_determinism.rs`; CI runs full `naive` and
+//! `blocked` lanes against the default). Only `*_ns` moves: `BENCH_kernel.json` holds the
 //! comparison, including the seed-era Boolean path (lift to `i64`, full
 //! integer multiply, threshold pass) that the bit-packed kernel replaces —
 //! [`core::boolean::multiply_or`] now also fuses its threshold and OR
@@ -222,23 +226,57 @@
 //!   ([`transport::Frame`], property-tested to round-trip bit-exactly).
 //!   The barrier is a *round-commit token*: a round is charged only after
 //!   every worker commits its epoch.
+//! * [`TransportKind::Tcp`](transport::TransportKind) — the same frame
+//!   codec and round-commit barrier over **TCP streams**, in two modes.
+//!   *Star mode* (`tcp`) is the socket topology over TCP: every round's
+//!   words transit the orchestrator. *Peer-resident mode* (`tcp-peer`)
+//!   is the multi-layer refactor: [`WireProgram`](runtime::WireProgram)
+//!   shards are serialized and shipped to the workers **once**, per-round
+//!   messages flow worker → worker over direct peer links, and the
+//!   orchestrator's per-round role shrinks to brokering the barrier and
+//!   collecting final states.
+//!
+//! The peer-resident setup handshake: each worker binds a peer listener
+//! and reports it (`Hello` + `PeerAddr`); the orchestrator answers with
+//! the shard assignment and the full **routing table** (`Assign` +
+//! `Peers`), from which workers dial each other lazily. A resident
+//! session is `ResidentStart` + one `Program` frame per owned node; each
+//! round the workers step their shards locally, exchange
+//! `Payload`/`Bcast` frames directly, and report `ResidentDone` (live
+//! count, peer bytes, per-link loads) — the orchestrator merges the
+//! accounting and answers `Release`, so the barrier epoch stream stays
+//! identical to the star backends'. For **multi-host runs**, start the
+//! orchestrating process with
+//! `CC_TCP_EXTERN=1 CC_TRANSPORT=tcp-peer:<workers>:<host>:<port>` and
+//! launch one `cc-clique-host tcp://<host>:<port> <worker>` per worker
+//! index on the remote machines (the facade's worker binary registers
+//! every shipped [`WireProgram`](runtime::WireProgram), e.g.
+//! [`subgraph::TriangleProgram`]); single-host runs spawn workers
+//! automatically.
 //!
 //! The determinism contract extends across fabrics: deliveries, rounds,
 //! words, pattern fingerprints, and barrier epochs are **bit-identical**
-//! on all three (pinned across the transport × executor matrix in
-//! `tests/runtime_determinism.rs`), so where the traffic travels is a
-//! deployment choice, never a semantics choice. `CC_TRANSPORT`
-//! (`inmemory` / `channel` / `socket[:workers]`) retargets every
-//! default-configured simulation the way `CC_EXECUTOR` does for
-//! executors — CI runs the full suite on each fabric — and an
+//! on all of them — star or peer-resident — (pinned across the transport
+//! × executor matrix in `tests/runtime_determinism.rs`), so where the
+//! traffic travels is a deployment choice, never a semantics choice.
+//! `CC_TRANSPORT` (`inmemory` / `channel` / `socket[:workers]` /
+//! `tcp[:workers][:host:port]` / `tcp-peer[:workers][:host:port]`)
+//! retargets every default-configured simulation the way `CC_EXECUTOR`
+//! does for executors — CI runs the full suite on each fabric — and an
 //! unrecognised value is reported once, not silently swallowed.
+//! [`Clique::orchestrator_bytes`](clique::Clique::orchestrator_bytes)
+//! exposes the refactor's payoff as a number: the payload bytes that
+//! transited the orchestrator, **≈ 0 in peer-resident mode** while star
+//! mode carries every round through it (asserted in CI on
+//! `BENCH_transport.json`'s `bytes_through_orchestrator` column).
 //! `BENCH_transport.json` quantifies the overhead (fast_mm at
 //! `n ∈ {64, 128, 256}`: thread queues ≈ 3–4.5×, worker processes ≈
 //! 2.5–3× the shared-memory wall-clock on the CI host); the
-//! `multi_process` example drives the socket orchestrator end to end.
-//! Socket frames are coalesced per `(worker, round)` into one
-//! writev-style length-prefixed batch — the byte stream is identical to
-//! frame-by-frame writes (property-tested), only the syscall count drops.
+//! `multi_process` example drives the socket and TCP orchestrators end
+//! to end. Socket and TCP frames are coalesced per `(worker, round)`
+//! into one writev-style length-prefixed batch — the byte stream is
+//! identical to frame-by-frame writes (property-tested, including
+//! chunked partial-read delivery), only the syscall count drops.
 //!
 //! ## Service layer
 //!

@@ -31,14 +31,25 @@ fn cfg_transport(kind: TransportKind) -> CliqueConfig {
 }
 
 /// The transport axis of the determinism matrix: the in-memory reference,
-/// the cross-thread channel fabric, and the multi-process socket fabric
-/// (both worker-count extremes the test budget allows).
-fn transport_axis() -> [TransportKind; 4] {
+/// the cross-thread channel fabric, the multi-process socket fabric (both
+/// worker-count extremes the test budget allows), and the TCP fabric in
+/// both its star and program-resident modes.
+fn transport_axis() -> [TransportKind; 6] {
     [
         TransportKind::InMemory,
         TransportKind::Channel,
         TransportKind::Socket { workers: 1 },
         TransportKind::Socket { workers: 3 },
+        TransportKind::Tcp {
+            workers: 2,
+            resident: false,
+            addr: None,
+        },
+        TransportKind::Tcp {
+            workers: 2,
+            resident: true,
+            addr: None,
+        },
     ]
 }
 fn splitmix(mut x: u64) -> u64 {
@@ -456,6 +467,49 @@ fn algorithms_are_transport_independent() {
     }
 }
 
+/// The tentpole acceptance pin: triangle counting as a wire program on the
+/// program-resident TCP fabric moves **zero** payload bytes through the
+/// orchestrator (workers exchange rounds directly), while the star-mode TCP
+/// fabric relays everything — and the count, rounds, words, fingerprints,
+/// and barrier epochs are bit-identical between the two modes.
+#[test]
+fn resident_triangle_counting_bypasses_the_orchestrator() {
+    let n = 12;
+    let g = generators::gnp(n, 0.3, 5);
+    let run = |resident: bool| {
+        let kind = TransportKind::Tcp {
+            workers: 2,
+            resident,
+            addr: None,
+        };
+        let mut c = Clique::with_config(n, cfg_transport(kind));
+        let count = subgraph::count_triangles_program(&mut c, &g);
+        (
+            count,
+            c.rounds(),
+            c.stats().words(),
+            c.stats().pattern_fingerprints().to_vec(),
+            c.transport_epochs(),
+            c.orchestrator_bytes(),
+        )
+    };
+    let star = run(false);
+    let peer = run(true);
+    assert!(
+        star.5 > 0,
+        "star mode relays payloads through the orchestrator"
+    );
+    assert_eq!(
+        peer.5, 0,
+        "peer-resident rounds must bypass the orchestrator"
+    );
+    assert_eq!(
+        (star.0, star.1, star.2, &star.3, star.4),
+        (peer.0, peer.1, peer.2, &peer.3, peer.4),
+        "resident mode must be observer-identical to star mode"
+    );
+}
+
 /// The kernel axis of the determinism matrix: swapping the node-local
 /// multiply kernel (`CC_KERNEL=naive|blocked|bitset`) is observer
 /// equivalent. Every algorithm output, plus rounds, words, pattern
@@ -751,8 +805,8 @@ fn full_tracing_is_bit_identical_to_off() {
     let full = probe("full");
     assert_eq!(
         off.len(),
-        8,
-        "probe must cover the 2-executor × 4-transport matrix: {off:?}"
+        12,
+        "probe must cover the 2-executor × 6-transport matrix: {off:?}"
     );
     assert_eq!(off, full, "CC_TRACE=full must be observer-only");
 }
