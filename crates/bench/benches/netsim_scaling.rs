@@ -1,0 +1,272 @@
+//! Network-condition overhead: Seidel APSP and the resident
+//! `TriangleProgram` workload on cliques of growing size, with the fabric
+//! conditioned by each `cc-netsim` profile (`off`, `lan`, `wan`, `lossy`,
+//! `flaky-node`) over two transport backends (`inmemory`, `channel`).
+//!
+//! The determinism split is **asserted before anything is exported**: every
+//! profile × backend cell must reproduce the unconditioned in-memory run's
+//! results, rounds, words, and pattern fingerprints bit for bit — loss is
+//! absorbed by retransmission, stragglers only stretch simulated time, and
+//! the flaky-node profile's crash/restart cycle re-ships program state
+//! without changing a single observable. What conditioning *is* allowed to
+//! move are the new columns this bench charts: `sim_time_ns` (the round's
+//! simulated completion time, max over delivering links), retransmit
+//! counts, and injected fault counts — each a pure function of the netsim
+//! seed, alongside the real wall-clock cost of drawing the conditions.
+
+use cc_clique::{Clique, CliqueConfig, NetsimConfig, NetsimProfile, TransportKind};
+use cc_graph::generators;
+use cc_subgraph::count_triangles_program;
+use criterion::{criterion_group, BenchmarkId, Criterion};
+
+const APSP_SIZES: [usize; 2] = [16, 32];
+const TRIANGLE_SIZES: [usize; 2] = [32, 64];
+const NETSIM_SEED: u64 = 7;
+const PROFILES: [NetsimProfile; 5] = [
+    NetsimProfile::Off,
+    NetsimProfile::Lan,
+    NetsimProfile::Wan,
+    NetsimProfile::Lossy,
+    NetsimProfile::FlakyNode,
+];
+const BACKENDS: [(&str, TransportKind); 2] = [
+    ("inmemory", TransportKind::InMemory),
+    ("channel", TransportKind::Channel),
+];
+
+/// The deterministic half of one cell: everything the netsim contract says
+/// must be bit-identical to the unconditioned run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Observation {
+    rounds: u64,
+    words: u64,
+    fingerprints: Vec<u64>,
+    result: u64,
+}
+
+/// The conditioned half: seed-deterministic but profile-dependent.
+#[derive(Debug, Clone, Copy)]
+struct Conditions {
+    sim_ns: u64,
+    retransmits: u64,
+    faults: u64,
+}
+
+fn clique_for(n: usize, kind: TransportKind, profile: NetsimProfile) -> Clique {
+    let cfg = CliqueConfig {
+        transport: kind,
+        netsim: NetsimConfig {
+            profile,
+            seed: NETSIM_SEED,
+        },
+        ..CliqueConfig::default()
+    };
+    Clique::with_config(n, cfg)
+}
+
+fn observe(clique: &Clique, result: u64) -> (Observation, Conditions) {
+    (
+        Observation {
+            rounds: clique.rounds(),
+            words: clique.stats().words(),
+            fingerprints: clique.stats().pattern_fingerprints().to_vec(),
+            result,
+        },
+        Conditions {
+            sim_ns: clique.sim_time_ns(),
+            retransmits: clique.net_retransmits(),
+            faults: clique.net_faults(),
+        },
+    )
+}
+
+fn apsp_once(
+    n: usize,
+    kind: TransportKind,
+    profile: NetsimProfile,
+    g: &cc_graph::Graph,
+) -> (Observation, Conditions) {
+    let mut clique = clique_for(n, kind, profile);
+    let dist = cc_apsp::apsp_seidel(&mut clique, g).to_matrix();
+    let digest = dist.iter_indexed().fold(0u64, |acc, (_, _, d)| {
+        acc.wrapping_mul(31).wrapping_add(d.raw() as u64)
+    });
+    observe(&clique, digest)
+}
+
+fn triangles_once(
+    n: usize,
+    kind: TransportKind,
+    profile: NetsimProfile,
+    g: &cc_graph::Graph,
+) -> (Observation, Conditions) {
+    let mut clique = clique_for(n, kind, profile);
+    let count = count_triangles_program(&mut clique, g);
+    observe(&clique, count)
+}
+
+/// Per-cell deterministic model costs keyed by measurement id.
+type ModelCost = (String, u64, u64, Conditions);
+
+#[allow(clippy::type_complexity)]
+fn run_workload(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    model_costs: &mut Vec<ModelCost>,
+    workload: &'static str,
+    n: usize,
+    g: &cc_graph::Graph,
+    once: fn(usize, TransportKind, NetsimProfile, &cc_graph::Graph) -> (Observation, Conditions),
+) {
+    // The determinism gate: the unconditioned in-memory run is the
+    // reference every conditioned cell must reproduce bit for bit.
+    let (reference, baseline) = once(n, TransportKind::InMemory, NetsimProfile::Off, g);
+    assert_eq!(
+        (baseline.sim_ns, baseline.retransmits, baseline.faults),
+        (0, 0, 0),
+        "the off profile must charge no simulated conditions"
+    );
+    for profile in PROFILES {
+        for (backend, kind) in BACKENDS {
+            let (obs, cond) = once(n, kind, profile, g);
+            assert_eq!(
+                obs,
+                reference,
+                "netsim {} over {backend} diverged from the unconditioned run at n={n}",
+                profile.name()
+            );
+            if !matches!(profile, NetsimProfile::Off) {
+                assert!(
+                    cond.sim_ns > 0,
+                    "profile {} must charge simulated time",
+                    profile.name()
+                );
+                // Seed-determinism of the conditioned half: a second run of
+                // the same cell draws the identical schedule.
+                let (_, replay) = once(n, kind, profile, g);
+                assert_eq!(
+                    (cond.sim_ns, cond.retransmits, cond.faults),
+                    (replay.sim_ns, replay.retransmits, replay.faults),
+                    "profile {} conditions must be a pure function of the seed",
+                    profile.name()
+                );
+            }
+            let id = format!("{workload}/n{n}/{}/{backend}", profile.name());
+            model_costs.push((id, obs.rounds, obs.words, cond));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{workload}/n{n}/{}", profile.name()), backend),
+                &(kind, profile),
+                |bench, &(kind, profile)| {
+                    bench.iter(|| once(n, kind, profile, g));
+                },
+            );
+        }
+    }
+}
+
+fn bench_netsim_scaling(c: &mut Criterion) -> Vec<ModelCost> {
+    let mut model_costs = Vec::new();
+    let mut group = c.benchmark_group("netsim_scaling");
+    group.sample_size(10);
+    for n in APSP_SIZES {
+        let g = generators::gnp(n, 0.25, 11);
+        run_workload(
+            &mut group,
+            &mut model_costs,
+            "apsp_seidel",
+            n,
+            &g,
+            apsp_once,
+        );
+    }
+    for n in TRIANGLE_SIZES {
+        let g = generators::gnp(n, 0.3, 5);
+        run_workload(
+            &mut group,
+            &mut model_costs,
+            "triangle_program",
+            n,
+            &g,
+            triangles_once,
+        );
+    }
+    group.finish();
+    model_costs
+}
+
+criterion_group!(benches_unused, noop);
+fn noop(_c: &mut Criterion) {}
+
+fn main() {
+    // Hand-rolled entry instead of `criterion_main!` so the shim's recorded
+    // measurements can be exported — one measurement pass feeds both the
+    // stdout report and BENCH_netsim.json (same scheme as transport_scaling).
+    let _ = benches_unused;
+    let mut criterion = Criterion::default();
+    let model_costs = bench_netsim_scaling(&mut criterion);
+    export_json(criterion.take_measurements(), &model_costs);
+}
+
+/// Writes `BENCH_netsim.json` at the workspace root from the deterministic
+/// model costs and the criterion measurements (ids look like
+/// `apsp_seidel/n32/lossy/channel`).
+fn export_json(measurements: Vec<criterion::Measurement>, model_costs: &[ModelCost]) {
+    use std::fmt::Write as _;
+
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut records = String::new();
+    for (id, rounds, words, cond) in model_costs {
+        let mut parts = id.split('/');
+        let workload = parts.next().expect("workload segment");
+        let n: usize = parts
+            .next()
+            .and_then(|s| s.strip_prefix('n'))
+            .and_then(|s| s.parse().ok())
+            .expect("size segment");
+        let profile = parts.next().expect("profile segment");
+        let backend = parts.next().expect("backend segment");
+        let off_median = measurements
+            .iter()
+            .find(|m| m.id == format!("{workload}/n{n}/off/{backend}"))
+            .map(criterion::Measurement::median_ns)
+            .expect("unconditioned baseline measured");
+        let m = measurements
+            .iter()
+            .find(|m| m.id == *id)
+            .unwrap_or_else(|| panic!("no measurement recorded for {id}"));
+        if !records.is_empty() {
+            records.push_str(",\n");
+        }
+        let _ = write!(
+            records,
+            "    {{\"workload\": \"{workload}\", \"n\": {n}, \"profile\": \"{profile}\", \
+             \"transport\": \"{backend}\", \"rounds\": {rounds}, \"words\": {words}, \
+             \"sim_time_ns\": {}, \"retransmits\": {}, \"faults\": {}, \
+             \"min_ns\": {:.0}, \"median_ns\": {:.0}, \"mean_ns\": {:.0}, \
+             \"overhead_vs_off\": {:.2}}}",
+            cond.sim_ns,
+            cond.retransmits,
+            cond.faults,
+            m.min_ns(),
+            m.median_ns(),
+            m.mean_ns(),
+            m.median_ns() / off_median,
+        );
+    }
+    let json = format!(
+        "{{\n  \"host_available_parallelism\": {host_threads},\n  \"netsim_seed\": \
+         {NETSIM_SEED},\n  \"note\": \"Seidel APSP and the resident TriangleProgram workload \
+         under every cc-netsim profile (off/lan/wan/lossy/flaky-node) over the inmemory and \
+         channel fabrics. Results, rounds, words, and pattern fingerprints are asserted \
+         bit-identical to the unconditioned run before export (loss is absorbed by retransmit, \
+         flaky-node crash/restart re-ships program state); sim_time_ns is the simulated \
+         completion time (max over delivering links per round), asserted reproducible per seed \
+         along with retransmits and faults. *_ns is wall-clock including the cost of drawing \
+         conditions; overhead_vs_off is the median ratio against the same backend \
+         unconditioned.\",\n  \"results\": [\n{records}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_netsim.json");
+    std::fs::write(path, &json).expect("write BENCH_netsim.json");
+    println!("wrote {path}");
+}

@@ -192,8 +192,9 @@ fn backend_json(snap: &MemorySnapshot) -> String {
 /// (each is a complete JSON document, so splicing preserves validity);
 /// absent artifacts are listed rather than silently dropped.
 fn collate_existing_artifacts() -> String {
-    const ARTIFACTS: [&str; 6] = [
+    const ARTIFACTS: [&str; 7] = [
         "kernel",
+        "netsim",
         "pool",
         "runtime",
         "service",

@@ -4,6 +4,7 @@ use crate::inbox::Inboxes;
 use crate::network::Network;
 use crate::stats::Stats;
 use crate::word::Word;
+use cc_netsim::{NetsimConfig, NetsimTransport};
 use cc_runtime::{Engine, Executor, ExecutorKind, LinkLoads, NodeProgram, WireProgram};
 use cc_transport::{TransportFabric, TransportKind};
 use std::sync::Arc;
@@ -75,6 +76,16 @@ pub struct CliqueConfig {
     /// a given fabric; an unrecognised value is reported once and falls
     /// back to in-memory.
     pub transport: TransportKind,
+    /// Simulated network conditions layered over the transport (see
+    /// [`NetsimConfig`]): seeded per-link latency/jitter, stragglers,
+    /// message loss with retransmission, and node crash/restart fault
+    /// plans. Results, rounds, words, and pattern fingerprints are
+    /// bit-identical to an unconditioned fabric — conditioning only adds
+    /// the simulated-time/retransmit/fault accounting surfaced through
+    /// [`Stats::sim_time_ns`] and friends. The default consults the
+    /// `CC_NETSIM` environment variable (`off` / `lan` / `wan` / `lossy` /
+    /// `flaky-node`, optionally `:<seed>`), mirroring `CC_TRANSPORT`.
+    pub netsim: NetsimConfig,
 }
 
 impl Default for CliqueConfig {
@@ -87,6 +98,7 @@ impl Default for CliqueConfig {
             executor: ExecutorKind::from_env_or(ExecutorKind::Sequential),
             exec_cutover: None,
             transport: TransportKind::from_env_or(TransportKind::InMemory),
+            netsim: NetsimConfig::from_env_or(NetsimConfig::default()),
         }
     }
 }
@@ -142,6 +154,10 @@ pub struct Clique {
     stats: Stats,
     cfg: CliqueConfig,
     exec: Executor,
+    /// Simulated network time already drained from the transport into
+    /// `stats` — the transport's counter is cumulative for its lifetime,
+    /// while `stats` is per-run (it survives `reset`).
+    sim_seen: u64,
 }
 
 impl Clique {
@@ -183,12 +199,18 @@ impl Clique {
             n >= 2,
             "a congested clique needs at least 2 nodes (got {n})"
         );
+        // The condition layer wraps the *outside* of the built transport
+        // (including any tracing decorator), so every round barrier —
+        // closure primitives and engine-driven runs alike — is conditioned.
+        // `wrap` is the identity for `NetsimProfile::Off`.
+        let transport = NetsimTransport::wrap(cfg.transport.build(n, exec.clone()), cfg.netsim);
         Self {
             n,
-            net: Network::new(n, cfg.transport.build(n, exec.clone())),
+            net: Network::new(n, transport),
             stats: Stats::new(cfg.record_patterns),
             exec,
             cfg,
+            sim_seen: 0,
         }
     }
 
@@ -204,6 +226,10 @@ impl Clique {
     /// resets; they are a lifetime diagnostic, not per-run accounting.)
     pub fn reset(&mut self) {
         self.stats = Stats::new(self.cfg.record_patterns);
+        // Simulated network time, like transport epochs, keeps counting on
+        // the fabric across resets; re-anchor so the fresh stats only see
+        // time accrued from here on.
+        self.sim_seen = self.net.sim_time_ns();
     }
 
     /// Creates a clique of `n` nodes executing on a parallel backend sized
@@ -269,6 +295,35 @@ impl Clique {
         self.net.orchestrator_bytes()
     }
 
+    /// Simulated network time accrued by this run, in nanoseconds: the
+    /// maximum over delivering links of base latency + per-word serialised
+    /// time + jitter (+ retransmission backoff, straggler inflation, and
+    /// crash outages), summed over round barriers. `0` unless a `cc-netsim`
+    /// profile is active (see [`CliqueConfig::netsim`]); for a fixed
+    /// profile, seed, and workload the value is bit-reproducible. Reset by
+    /// [`Clique::reset`] along with rounds and words.
+    #[must_use]
+    pub fn sim_time_ns(&self) -> u64 {
+        self.stats.sim_time_ns()
+    }
+
+    /// Simulated message retransmissions performed by the condition layer
+    /// over the transport's lifetime (like [`Clique::transport_epochs`],
+    /// this is a lifetime diagnostic that keeps counting across resets).
+    /// `0` unless a lossy `cc-netsim` profile is active.
+    #[must_use]
+    pub fn net_retransmits(&self) -> u64 {
+        self.net.net_retransmits()
+    }
+
+    /// Simulated node crashes injected by the condition layer over the
+    /// transport's lifetime. `0` unless a fault-plan profile
+    /// (`flaky-node`) is active.
+    #[must_use]
+    pub fn net_faults(&self) -> u64 {
+        self.net.net_faults()
+    }
+
     /// The execution backend handle. Algorithms use this to fan node-local
     /// computation out over the configured backend
     /// (`clique.executor().map(n, |v| …)`), keeping the parallelism decision
@@ -309,6 +364,17 @@ impl Clique {
     fn charge_loads(&mut self, loads: &LinkLoads) {
         self.stats.record_fingerprint(loads.iter());
         self.stats.charge(loads.rounds(), loads.words());
+        self.sync_sim_time();
+    }
+
+    /// Drains simulated network time newly accrued on the transport into
+    /// the per-run stats (attributed to every active phase). A no-op on an
+    /// unconditioned fabric, where the transport's counter stays at zero.
+    fn sync_sim_time(&mut self) {
+        let total = self.net.sim_time_ns();
+        let delta = total - self.sim_seen;
+        self.sim_seen = total;
+        self.stats.charge_sim_time(delta);
     }
 
     fn require_unicast(&self, primitive: &str) {
@@ -533,6 +599,7 @@ impl Clique {
             stats.record_fingerprint(loads.iter());
         });
         stats.charge(report.rounds, report.words);
+        self.sync_sim_time();
         report.programs
     }
 
@@ -558,6 +625,7 @@ impl Clique {
             stats.record_fingerprint(loads.iter());
         });
         stats.charge(report.rounds, report.words);
+        self.sync_sim_time();
         report.programs
     }
 
@@ -938,6 +1006,74 @@ mod tests {
             assert_eq!(workload(&mut warm), reference);
         }
         assert!(warm.transport_epochs() > 0, "epochs survive resets");
+    }
+
+    #[test]
+    fn netsim_conditioning_changes_sim_time_but_nothing_else() {
+        use cc_netsim::NetsimProfile;
+        let workload = |cfg: CliqueConfig| {
+            let mut c = Clique::with_config(8, cfg);
+            let ib = c.route(|v| vec![((v + 3) % 8, vec![v as u64 * 7, v as u64])]);
+            let sum = c.sum_all(|v| v as i64);
+            let received: Vec<_> = (0..8)
+                .map(|d| ib.received(d, (d + 5) % 8).to_vec())
+                .collect();
+            let sim = c.sim_time_ns();
+            (
+                (
+                    received,
+                    sum,
+                    c.rounds(),
+                    c.stats().words(),
+                    c.stats().pattern_fingerprints().to_vec(),
+                ),
+                sim,
+                c.net_retransmits(),
+            )
+        };
+        let base = CliqueConfig {
+            record_patterns: true,
+            netsim: NetsimConfig::default(), // off
+            ..CliqueConfig::default()
+        };
+        let lossy = CliqueConfig {
+            netsim: NetsimConfig {
+                profile: NetsimProfile::Lossy,
+                seed: 42,
+            },
+            ..base.clone()
+        };
+        let (reference, off_sim, off_rx) = workload(base);
+        assert_eq!((off_sim, off_rx), (0, 0), "off charges no simulated time");
+        let (outcome_a, sim_a, _) = workload(lossy.clone());
+        let (outcome_b, sim_b, _) = workload(lossy);
+        assert_eq!(outcome_a, reference, "conditioning must not change results");
+        assert_eq!(outcome_b, reference);
+        assert!(sim_a > 0, "lossy profile must accrue simulated time");
+        assert_eq!(sim_a, sim_b, "sim time is a pure function of the seed");
+    }
+
+    #[test]
+    fn netsim_sim_time_attributes_to_phases_and_resets() {
+        use cc_netsim::NetsimProfile;
+        let cfg = CliqueConfig {
+            netsim: NetsimConfig {
+                profile: NetsimProfile::Lan,
+                seed: 9,
+            },
+            ..CliqueConfig::default()
+        };
+        let mut c = Clique::with_config(4, cfg);
+        c.phase("ping", |c| {
+            c.broadcast(|v| v as u64);
+        });
+        let phase_sim = c.stats().phase("ping").unwrap().sim_time_ns;
+        assert!(phase_sim > 0, "phase must see the conditioned barrier");
+        assert_eq!(c.sim_time_ns(), phase_sim);
+        c.reset();
+        assert_eq!(c.sim_time_ns(), 0, "reset re-anchors simulated time");
+        c.broadcast(|v| v as u64);
+        assert!(c.sim_time_ns() > 0, "post-reset barriers accrue fresh time");
     }
 
     #[test]

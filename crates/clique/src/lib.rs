@@ -57,6 +57,20 @@
 //! like `CC_EXECUTOR`, and an unrecognised value is reported once instead
 //! of being silently swallowed.
 //!
+//! ## Network conditions
+//!
+//! [`CliqueConfig::netsim`] layers a seeded, fully deterministic
+//! condition model (`cc-netsim`) over whichever fabric is selected:
+//! per-link latency and jitter, stragglers, message loss with bounded
+//! retransmission, and node crash/restart fault plans. Conditioning is
+//! **observer-plus-recovery only** — results, rounds, words, and pattern
+//! fingerprints stay bit-identical to an unconditioned run — while a new
+//! accounting column, [`Stats::sim_time_ns`] / [`Clique::sim_time_ns`],
+//! reports how long the run would have taken on the modelled network. The
+//! `CC_NETSIM` environment variable (`off` / `lan` / `wan` / `lossy` /
+//! `flaky-node`, optionally `:<seed>`) retargets every default-configured
+//! clique, exactly like `CC_TRANSPORT`.
+//!
 //! ## Example
 //!
 //! ```rust
@@ -95,3 +109,7 @@ pub use cc_runtime::{
 // selects the fabric by `TransportKind`, and callers building custom
 // fabrics implement `Transport`.
 pub use cc_transport::{Transport, TransportKind};
+// Network-condition surface: `CliqueConfig` selects the profile by
+// `NetsimConfig`, so algorithm crates need no direct `cc_netsim`
+// dependency to opt in.
+pub use cc_netsim::{NetsimConfig, NetsimProfile};

@@ -81,6 +81,24 @@ impl Network {
         self.transport.orchestrator_bytes()
     }
 
+    /// Cumulative simulated network time (see [`Transport::sim_time_ns`]);
+    /// `0` on an unconditioned fabric.
+    pub(crate) fn sim_time_ns(&self) -> u64 {
+        self.transport.sim_time_ns()
+    }
+
+    /// Simulated retransmissions performed so far (see
+    /// [`Transport::net_retransmits`]).
+    pub(crate) fn net_retransmits(&self) -> u64 {
+        self.transport.net_retransmits()
+    }
+
+    /// Simulated node faults injected so far (see
+    /// [`Transport::net_faults`]).
+    pub(crate) fn net_faults(&self) -> u64 {
+        self.transport.net_faults()
+    }
+
     /// The backend's name, for diagnostics.
     pub(crate) fn transport_name(&self) -> &'static str {
         self.transport.name()

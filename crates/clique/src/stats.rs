@@ -15,6 +15,11 @@ pub struct PhaseStats {
     /// words, nested phases attribute their time to every enclosing phase
     /// (an enclosing phase's interval contains its inner phases').
     pub wall_ns: u64,
+    /// Simulated network time accrued while the phase was active, in
+    /// nanoseconds. Zero unless a `cc-netsim` condition profile is active
+    /// (`CC_NETSIM` / [`crate::CliqueConfig::netsim`]); follows the same
+    /// nested-attribution rule as rounds and words.
+    pub sim_time_ns: u64,
 }
 
 /// Cumulative execution statistics for a [`crate::Clique`].
@@ -28,6 +33,7 @@ pub struct PhaseStats {
 pub struct Stats {
     rounds: u64,
     words: u64,
+    sim_time_ns: u64,
     phases: BTreeMap<String, PhaseStats>,
     stack: Vec<(String, Instant)>,
     /// Fingerprints of flush-level communication patterns (for obliviousness
@@ -54,6 +60,14 @@ impl Stats {
     #[must_use]
     pub fn words(&self) -> u64 {
         self.words
+    }
+
+    /// Total simulated network time accrued so far, in nanoseconds. Zero
+    /// unless a `cc-netsim` condition profile is active; for a fixed
+    /// profile and seed the value is bit-reproducible across runs.
+    #[must_use]
+    pub fn sim_time_ns(&self) -> u64 {
+        self.sim_time_ns
     }
 
     /// Statistics for a named phase, if that phase ever ran.
@@ -84,6 +98,19 @@ impl Stats {
             let e = self.phases.entry(name.clone()).or_default();
             e.rounds += rounds;
             e.words += words;
+        }
+    }
+
+    /// Charges simulated network time, attributing it to every active phase
+    /// (the same nesting rule as [`Stats::charge`]).
+    pub(crate) fn charge_sim_time(&mut self, sim_ns: u64) {
+        if sim_ns == 0 {
+            return;
+        }
+        self.sim_time_ns += sim_ns;
+        for (name, _) in &self.stack {
+            let e = self.phases.entry(name.clone()).or_default();
+            e.sim_time_ns += sim_ns;
         }
     }
 
@@ -128,15 +155,29 @@ impl Stats {
 
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "rounds={} words={}", self.rounds, self.words)?;
-        for (name, p) in &self.phases {
+        if self.sim_time_ns > 0 {
             writeln!(
+                f,
+                "rounds={} words={} sim={:.3}ms",
+                self.rounds,
+                self.words,
+                self.sim_time_ns as f64 / 1_000_000.0
+            )?;
+        } else {
+            writeln!(f, "rounds={} words={}", self.rounds, self.words)?;
+        }
+        for (name, p) in &self.phases {
+            write!(
                 f,
                 "  {name}: rounds={} words={} wall={:.3}ms",
                 p.rounds,
                 p.words,
                 p.wall_ns as f64 / 1_000_000.0
             )?;
+            if p.sim_time_ns > 0 {
+                write!(f, " sim={:.3}ms", p.sim_time_ns as f64 / 1_000_000.0)?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }

@@ -63,6 +63,27 @@ pub trait Fabric {
         let _ = (kind, states, on_round);
         None
     }
+
+    /// True when this fabric injects node crash/restart faults. The engine
+    /// then drives [`WireProgram`]s through the checkpointable classical
+    /// loop (polling [`Fabric::take_crash`] after every barrier) instead of
+    /// a resident session it could not interrupt mid-flight.
+    fn has_fault_plan(&self) -> bool {
+        false
+    }
+
+    /// Takes the node the fault plan crashed at the last barrier, if any.
+    /// Destructive: each crash is surfaced exactly once.
+    fn take_crash(&mut self) -> Option<usize> {
+        None
+    }
+
+    /// Notifies the fabric that `node` restarted and its re-shipped program
+    /// state occupies `state_words` words (so a conditioning fabric can
+    /// charge the recovery's simulated cost). A no-op by default.
+    fn on_recovery(&mut self, node: usize, state_words: usize) {
+        let _ = (node, state_words);
+    }
 }
 
 /// The default in-process [`Fabric`]: per-link loads computed in canonical
@@ -169,8 +190,24 @@ impl Engine {
     pub fn run_traced_on<P: NodeProgram>(
         &self,
         fabric: &mut dyn Fabric,
+        programs: Vec<P>,
+        on_loads: impl FnMut(&LinkLoads),
+    ) -> RunReport<P> {
+        self.run_classical(fabric, programs, on_loads, |_, _| {})
+    }
+
+    /// The classical round loop shared by [`Engine::run_traced_on`] and the
+    /// crash-recovery wire path: step, deliver through the fabric, account,
+    /// then hand the fabric and program states to `after_round` — the seam
+    /// where a fault-injecting fabric gets its crashed node re-shipped.
+    /// The hook must be state-preserving (or restore an equivalent state):
+    /// the loop continues with whatever programs it leaves behind.
+    fn run_classical<P: NodeProgram>(
+        &self,
+        fabric: &mut dyn Fabric,
         mut programs: Vec<P>,
         mut on_loads: impl FnMut(&LinkLoads),
+        mut after_round: impl FnMut(&mut dyn Fabric, &mut [P]),
     ) -> RunReport<P> {
         let n = programs.len();
         assert!(n > 0, "cannot run an empty program set");
@@ -210,6 +247,7 @@ impl Engine {
                 }
             });
             inboxes = delivered;
+            after_round(fabric, &mut programs);
         }
 
         RunReport {
@@ -240,6 +278,9 @@ impl Engine {
     ) -> RunReport<P> {
         let n = programs.len();
         assert!(n > 0, "cannot run an empty program set");
+        if fabric.has_fault_plan() {
+            return self.run_wire_recovering(fabric, programs, on_loads);
+        }
         if !fabric.is_resident() {
             return self.run_traced_on(fabric, programs, on_loads);
         }
@@ -275,6 +316,31 @@ impl Engine {
             // classical round loop instead.
             None => self.run_traced_on(fabric, programs, on_loads),
         }
+    }
+
+    /// The crash-recovery wire loop: the classical round loop, but after
+    /// every barrier the fabric's fault plan is polled. A crashed node's
+    /// program is checkpointed through the [`WireProgram`] codec — encoded,
+    /// then decoded into a freshly restarted replacement, exactly the bytes
+    /// a restarted worker would have been re-shipped — and the fabric is
+    /// told so it can charge the recovery's simulated cost. Because
+    /// `decode(encode(p))` reconstructs `p` exactly (the codec contract),
+    /// results stay bit-identical to a faultless run; only the fabric's
+    /// simulated-time accounting moves.
+    fn run_wire_recovering<P: WireProgram>(
+        &self,
+        fabric: &mut dyn Fabric,
+        programs: Vec<P>,
+        on_loads: impl FnMut(&LinkLoads),
+    ) -> RunReport<P> {
+        let n = programs.len();
+        self.run_classical(fabric, programs, on_loads, |fabric, programs| {
+            while let Some(node) = fabric.take_crash() {
+                let state = programs[node].encode_state();
+                programs[node] = P::decode_state(node, n, &state);
+                fabric.on_recovery(node, state.len());
+            }
+        })
     }
 
     /// Steps every live node once, returning outboxes in node order.
@@ -487,6 +553,86 @@ mod tests {
         let report = Engine::new(ExecutorKind::Sequential).run(vec![SelfTalk, SelfTalk]);
         assert_eq!(report.rounds, 0);
         assert_eq!(report.words, 0);
+    }
+
+    #[test]
+    fn crash_recovery_replays_the_faultless_run_bit_for_bit() {
+        use crate::resident::EchoRingProgram;
+
+        /// Wraps the default fabric with a scripted fault plan: after the
+        /// barriers listed in `crash_at`, the matching node "crashes" and
+        /// must be re-shipped through the WireProgram codec.
+        #[derive(Debug)]
+        struct CrashyFabric {
+            inner: EngineFabric,
+            barriers: u64,
+            crash_at: Vec<(u64, usize)>,
+            pending: Option<usize>,
+            recoveries: Vec<(usize, usize)>,
+        }
+
+        impl Fabric for CrashyFabric {
+            fn deliver_round(
+                &mut self,
+                n: usize,
+                outboxes: Vec<NodeOutbox>,
+            ) -> (Vec<NodeInbox>, LinkLoads) {
+                let out = self.inner.deliver_round(n, outboxes);
+                if let Some(&(_, node)) = self.crash_at.iter().find(|(b, _)| *b == self.barriers) {
+                    self.pending = Some(node);
+                }
+                self.barriers += 1;
+                out
+            }
+
+            fn has_fault_plan(&self) -> bool {
+                true
+            }
+
+            fn take_crash(&mut self) -> Option<usize> {
+                self.pending.take()
+            }
+
+            fn on_recovery(&mut self, node: usize, state_words: usize) {
+                self.recoveries.push((node, state_words));
+            }
+        }
+
+        let n = 6;
+        let engine = Engine::new(ExecutorKind::Sequential);
+        let plain = engine.run((0..n).map(|_| EchoRingProgram::new(4)).collect());
+
+        let mut fabric = CrashyFabric {
+            inner: EngineFabric::new(engine.executor()),
+            barriers: 0,
+            crash_at: vec![(1, 2), (3, 0)],
+            pending: None,
+            recoveries: Vec::new(),
+        };
+        let mut trace = Vec::new();
+        let report = engine.run_wire_traced_on(
+            &mut fabric,
+            (0..n).map(|_| EchoRingProgram::new(4)).collect::<Vec<_>>(),
+            |l| trace.push(l.iter().collect::<Vec<_>>()),
+        );
+
+        assert_eq!(report.rounds, plain.rounds);
+        assert_eq!(report.words, plain.words);
+        assert_eq!(report.engine_rounds, plain.engine_rounds);
+        for (node, (a, b)) in report.programs.iter().zip(&plain.programs).enumerate() {
+            assert_eq!(a, b, "node {node} diverged after crash recovery");
+        }
+        // Both crashes were surfaced, and the re-shipped states carried the
+        // programs' real encoded sizes.
+        assert_eq!(
+            fabric
+                .recoveries
+                .iter()
+                .map(|&(n, _)| n)
+                .collect::<Vec<_>>(),
+            vec![2, 0]
+        );
+        assert!(fabric.recoveries.iter().all(|&(_, words)| words > 0));
     }
 
     #[test]

@@ -27,19 +27,25 @@ pub(crate) struct Primed {
     pub(crate) words: u64,
 }
 
-/// Fingerprint-keyed store of primed computations.
+/// Fingerprint-keyed store of primed computations. Each entry is stamped
+/// with an insertion sequence number so the retention caps can evict
+/// oldest-primed-first — a deterministic order, because priming order is
+/// fixed by the seeded batch drain.
 #[derive(Debug, Default)]
 pub(crate) struct ResultCache {
-    entries: BTreeMap<CacheKey, Primed>,
+    entries: BTreeMap<CacheKey, (u64, Primed)>,
+    next_seq: u64,
 }
 
 impl ResultCache {
     pub(crate) fn get(&self, key: &CacheKey) -> Option<&Primed> {
-        self.entries.get(key)
+        self.entries.get(key).map(|(_, primed)| primed)
     }
 
     pub(crate) fn insert(&mut self, key: CacheKey, primed: Primed) {
-        self.entries.insert(key, primed);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(key, (seq, primed));
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -49,13 +55,33 @@ impl ResultCache {
     /// Approximate bytes held by the cache: each entry's response payload
     /// ([`Response::approx_bytes`]) plus its key and cost counters. The
     /// ROADMAP names unbounded cache growth as the service's open leak —
-    /// this is the number that makes the growth observable.
+    /// this is the number the retention caps are enforced against.
     pub(crate) fn approx_bytes(&self) -> u64 {
         let per_entry = (std::mem::size_of::<CacheKey>() + std::mem::size_of::<Primed>()) as u64;
         self.entries
             .values()
-            .map(|p| per_entry + p.response.approx_bytes())
+            .map(|(_, p)| per_entry + p.response.approx_bytes())
             .sum()
+    }
+
+    /// Evicts oldest-primed entries until both caps hold; returns how many
+    /// entries were dropped. Deterministic: insertion sequence numbers
+    /// follow the seeded drain order, never caller timing.
+    pub(crate) fn enforce(&mut self, max_entries: usize, max_bytes: u64) -> u64 {
+        let mut evicted = 0;
+        while self.entries.len() > max_entries
+            || (self.entries.len() > 1 && self.approx_bytes() > max_bytes)
+        {
+            let oldest = *self
+                .entries
+                .iter()
+                .min_by_key(|(_, (seq, _))| *seq)
+                .expect("non-empty past a cap")
+                .0;
+            self.entries.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
     }
 
     pub(crate) fn clear(&mut self) {

@@ -83,5 +83,5 @@ pub use crate::query::{Query, Response};
 pub use crate::registry::{GraphId, GraphRegistry};
 pub use crate::service::{
     QueryOutcome, Service, ServiceConfig, ServiceMode, ServiceStats, Ticket,
-    DEFAULT_BATCH_INSTANCES,
+    DEFAULT_BATCH_INSTANCES, DEFAULT_MAX_CACHED, DEFAULT_MAX_CACHE_BYTES, DEFAULT_MAX_UNREDEEMED,
 };

@@ -21,6 +21,14 @@ pub const DEFAULT_BATCH_INSTANCES: usize = 2;
 /// [`ServiceConfig::max_unredeemed`]).
 pub const DEFAULT_MAX_UNREDEEMED: usize = 1024;
 
+/// Default cap on primed computations the result cache retains (see
+/// [`ServiceConfig::max_cached`]).
+pub const DEFAULT_MAX_CACHED: usize = 4096;
+
+/// Default cap on the result cache's approximate byte footprint (see
+/// [`ServiceConfig::max_cache_bytes`]): 64 MiB.
+pub const DEFAULT_MAX_CACHE_BYTES: u64 = 64 * 1024 * 1024;
+
 /// How the service schedules submitted queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServiceMode {
@@ -112,6 +120,20 @@ pub struct ServiceConfig {
     /// in [`ServiceStats::outcomes_evicted`]). `0` means
     /// [`DEFAULT_MAX_UNREDEEMED`].
     pub max_unredeemed: usize,
+    /// Cap on primed computations the result cache retains. Past it, each
+    /// drain evicts the **oldest-primed** entries (a deterministic order —
+    /// priming follows the seeded batch drain), warns once per service, and
+    /// counts every drop in [`ServiceStats::results_evicted`]. An evicted
+    /// computation is simply re-primed on its next submission — answers
+    /// never change, only whether a replay is free. `0` means
+    /// [`DEFAULT_MAX_CACHED`].
+    pub max_cached: usize,
+    /// Companion byte cap on the cache's approximate footprint
+    /// ([`Service::cache_bytes`]); enforced with the same oldest-first
+    /// policy. The newest entry always survives even when it alone exceeds
+    /// the cap, so the hot key keeps replaying for free. `0` means
+    /// [`DEFAULT_MAX_CACHE_BYTES`].
+    pub max_cache_bytes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -122,6 +144,8 @@ impl Default for ServiceConfig {
             batch_seed: 0x5e71_1ce5,
             girth: GirthConfig::default(),
             max_unredeemed: DEFAULT_MAX_UNREDEEMED,
+            max_cached: DEFAULT_MAX_CACHED,
+            max_cache_bytes: DEFAULT_MAX_CACHE_BYTES,
         }
     }
 }
@@ -193,6 +217,9 @@ pub struct ServiceStats {
     /// Unredeemed outcomes dropped by the retention cap (see
     /// [`ServiceConfig::max_unredeemed`]).
     pub outcomes_evicted: u64,
+    /// Primed computations dropped by the cache caps (see
+    /// [`ServiceConfig::max_cached`] / [`ServiceConfig::max_cache_bytes`]).
+    pub results_evicted: u64,
 }
 
 /// One queued submission.
@@ -236,8 +263,11 @@ pub struct Service {
     ready: BTreeMap<u64, QueryOutcome>,
     next_ticket: u64,
     stats: ServiceStats,
-    /// The retention cap's one warning per service lifetime has fired.
+    /// The outcome retention cap's one warning per service lifetime has
+    /// fired.
     evict_warned: bool,
+    /// The cache caps' one warning per service lifetime has fired.
+    cache_evict_warned: bool,
 }
 
 impl Default for Service {
@@ -272,6 +302,7 @@ impl Service {
             next_ticket: 0,
             stats: ServiceStats::default(),
             evict_warned: false,
+            cache_evict_warned: false,
         }
     }
 
@@ -383,9 +414,10 @@ impl Service {
     }
 
     /// Approximate bytes the cache holds right now (entry payloads plus
-    /// keys and cost counters). The cache has no eviction yet, so this —
-    /// with [`Service::cached_computations`] — is how its growth is
-    /// watched.
+    /// keys and cost counters). Bounded by
+    /// [`ServiceConfig::max_cache_bytes`] (and
+    /// [`ServiceConfig::max_cached`] on entry count): each drain evicts the
+    /// oldest primed computations past the caps.
     #[must_use]
     pub fn cache_bytes(&self) -> u64 {
         self.cache.approx_bytes()
@@ -576,6 +608,7 @@ impl Service {
         }
 
         self.enforce_outcome_cap();
+        self.enforce_cache_cap();
         self.stats.cache_entries = self.cache.len() as u64;
         self.stats.cache_bytes = self.cache.approx_bytes();
         if let Some(start) = drain_start {
@@ -616,6 +649,44 @@ impl Service {
             cc_telemetry::Event::Counter {
                 name: "service_outcomes_evicted",
                 delta: excess as u64,
+            }
+        });
+    }
+
+    /// Bounds the result cache at [`ServiceConfig::max_cached`] entries and
+    /// [`ServiceConfig::max_cache_bytes`] approximate bytes by evicting the
+    /// oldest-primed computations (a deterministic order, fixed by the
+    /// seeded drain). Runs **after** the batch's submissions resolve, so
+    /// every key the batch primed serves its own batch before it can be
+    /// dropped. Warns once per service lifetime and counts every drop in
+    /// [`ServiceStats::results_evicted`].
+    fn enforce_cache_cap(&mut self) {
+        let max_entries = match self.cfg.max_cached {
+            0 => DEFAULT_MAX_CACHED,
+            cap => cap,
+        };
+        let max_bytes = match self.cfg.max_cache_bytes {
+            0 => DEFAULT_MAX_CACHE_BYTES,
+            cap => cap,
+        };
+        let evicted = self.cache.enforce(max_entries, max_bytes);
+        if evicted == 0 {
+            return;
+        }
+        self.stats.results_evicted += evicted;
+        if !self.cache_evict_warned {
+            self.cache_evict_warned = true;
+            eprintln!(
+                "cc-service: result-cache cap ({max_entries} entries / {max_bytes} bytes) \
+                 reached; evicting the oldest primed computations (raise \
+                 ServiceConfig::max_cached / max_cache_bytes to keep more replays free; \
+                 warned once)"
+            );
+        }
+        cc_telemetry::global().emit(cc_telemetry::TraceLevel::Summary, || {
+            cc_telemetry::Event::Counter {
+                name: "service_results_evicted",
+                delta: evicted,
             }
         });
     }

@@ -360,3 +360,76 @@ fn unredeemed_outcomes_are_bounded_under_a_submit_heavy_no_take_stream() {
     assert_eq!(svc.retained_outcomes(), 0, "redeeming drains the map");
     assert_eq!(svc.unredeemed_bytes(), 0);
 }
+
+#[test]
+fn result_cache_is_bounded_and_evicted_keys_reprime_identically() {
+    // The ROADMAP's other leak: the fingerprint-keyed result cache grew one
+    // entry per distinct computation, forever. With the entry cap, the
+    // occupancy plateaus, drops are counted, and an evicted computation is
+    // simply re-primed on its next submission with a bit-identical answer
+    // and accounting — only the `cached` flag (was the replay free?) flips.
+    let cap = 4;
+    let mut svc = Service::new(ServiceConfig {
+        mode: ServiceMode::Batch { instances: 2 },
+        max_cached: cap,
+        ..ServiceConfig::default()
+    });
+    let ids: Vec<_> = (0..10)
+        .map(|i| svc.register(generators::gnp(10, 0.3, 100 + i)))
+        .collect();
+    let mut first = Vec::new();
+    for &id in &ids {
+        first.push(svc.query(id, Query::TriangleCount));
+        assert!(
+            svc.cached_computations() <= cap,
+            "{} cached computations exceed the cap {cap}",
+            svc.cached_computations()
+        );
+    }
+    assert_eq!(
+        svc.stats().results_evicted,
+        (ids.len() - cap) as u64,
+        "every primed computation beyond the cap was dropped, and counted"
+    );
+    // The oldest primed graph is gone; requerying re-primes it.
+    let again = svc.query(ids[0], Query::TriangleCount);
+    assert_eq!(again.response, first[0].response);
+    assert_eq!(
+        (again.rounds, again.words),
+        (first[0].rounds, first[0].words)
+    );
+    assert!(
+        !again.cached,
+        "an evicted key re-primes instead of replaying"
+    );
+    // The newest keys survived the caps: their replays stay free.
+    let hot = svc.query(*ids.last().unwrap(), Query::TriangleCount);
+    assert!(hot.cached, "the newest entry stays cached");
+    assert_eq!(hot.response, first.last().unwrap().response);
+}
+
+#[test]
+fn result_cache_byte_cap_keeps_the_newest_entry() {
+    // An impossible byte budget degenerates to "cache of one": the byte cap
+    // evicts oldest-first but always spares the newest entry, so the hot
+    // key keeps replaying for free.
+    let mut svc = Service::new(ServiceConfig {
+        mode: ServiceMode::Batch { instances: 2 },
+        max_cache_bytes: 1,
+        ..ServiceConfig::default()
+    });
+    let a = svc.register(generators::gnp(10, 0.3, 1));
+    let b = svc.register(generators::gnp(10, 0.3, 2));
+    let _ = svc.query(a, Query::TriangleCount);
+    let _ = svc.query(b, Query::TriangleCount);
+    assert_eq!(
+        svc.cached_computations(),
+        1,
+        "byte cap keeps only the newest"
+    );
+    assert!(svc.stats().results_evicted >= 1);
+    assert!(
+        svc.query(b, Query::TriangleCount).cached,
+        "the survivor is the newest entry"
+    );
+}

@@ -198,6 +198,60 @@ pub enum Event {
         /// (`0` by construction in resident mode).
         orchestrator_bytes: u64,
     },
+    /// One network-conditioned round barrier ([`TraceLevel::Rounds`]): the
+    /// netsim wrapper's per-round aggregate — simulated completion time
+    /// (the max over delivering links, retransmits included) and how many
+    /// links retransmitted or straggled.
+    ///
+    /// [`TraceLevel::Rounds`]: crate::TraceLevel::Rounds
+    NetsimRound {
+        /// Conditioning profile name (`"lan"`, `"wan"`, `"lossy"`,
+        /// `"flaky-node"`).
+        profile: &'static str,
+        /// Barrier epoch this round committed.
+        epoch: u64,
+        /// Charged links this round.
+        links: usize,
+        /// Simulated round completion time: the slowest link's delivery
+        /// time in simulated nanoseconds.
+        sim_ns: u64,
+        /// Simulated retransmissions across all links this round.
+        retransmits: u64,
+        /// Links hit by straggler injection this round.
+        stragglers: u64,
+    },
+    /// One lossy link's simulated retransmit sequence within a round
+    /// ([`TraceLevel::Full`]).
+    ///
+    /// [`TraceLevel::Full`]: crate::TraceLevel::Full
+    NetsimRetransmit {
+        /// Conditioning profile name.
+        profile: &'static str,
+        /// Barrier epoch the retransmits happened in.
+        epoch: u64,
+        /// Link source node.
+        src: usize,
+        /// Link destination node.
+        dst: usize,
+        /// Delivery attempts the link needed (`2` means one retransmit).
+        attempts: u32,
+    },
+    /// One injected node fault or its recovery ([`TraceLevel::Summary`]).
+    ///
+    /// [`TraceLevel::Summary`]: crate::TraceLevel::Summary
+    NetsimFault {
+        /// Conditioning profile name.
+        profile: &'static str,
+        /// Barrier epoch the fault was injected after.
+        epoch: u64,
+        /// The crashed / recovered node.
+        node: usize,
+        /// `"crash"` or `"recover"`.
+        kind: &'static str,
+        /// Words of serialized program state re-shipped (`0` for crashes;
+        /// recoveries carry the checkpoint size).
+        state_words: usize,
+    },
 }
 
 /// Serialises one event as a single-line JSON object (the [`crate::JsonlSink`]
@@ -309,6 +363,41 @@ pub fn event_json(event: &Event) -> String {
             "{{\"event\":\"resident_round\",\"backend\":{},\"epoch\":{epoch},\"live\":{live},\
              \"peer_bytes\":{peer_bytes},\"orchestrator_bytes\":{orchestrator_bytes}}}",
             js(backend)
+        ),
+        Event::NetsimRound {
+            profile,
+            epoch,
+            links,
+            sim_ns,
+            retransmits,
+            stragglers,
+        } => format!(
+            "{{\"event\":\"netsim_round\",\"profile\":{},\"epoch\":{epoch},\"links\":{links},\
+             \"sim_ns\":{sim_ns},\"retransmits\":{retransmits},\"stragglers\":{stragglers}}}",
+            js(profile)
+        ),
+        Event::NetsimRetransmit {
+            profile,
+            epoch,
+            src,
+            dst,
+            attempts,
+        } => format!(
+            "{{\"event\":\"netsim_retransmit\",\"profile\":{},\"epoch\":{epoch},\"src\":{src},\
+             \"dst\":{dst},\"attempts\":{attempts}}}",
+            js(profile)
+        ),
+        Event::NetsimFault {
+            profile,
+            epoch,
+            node,
+            kind,
+            state_words,
+        } => format!(
+            "{{\"event\":\"netsim_fault\",\"profile\":{},\"epoch\":{epoch},\"node\":{node},\
+             \"kind\":{},\"state_words\":{state_words}}}",
+            js(profile),
+            js(kind)
         ),
     }
 }
@@ -433,6 +522,28 @@ mod tests {
                 live: 5,
                 peer_bytes: 2048,
                 orchestrator_bytes: 0,
+            },
+            Event::NetsimRound {
+                profile: "lossy",
+                epoch: 2,
+                links: 12,
+                sim_ns: 1_500_000,
+                retransmits: 3,
+                stragglers: 1,
+            },
+            Event::NetsimRetransmit {
+                profile: "lossy",
+                epoch: 2,
+                src: 0,
+                dst: 5,
+                attempts: 2,
+            },
+            Event::NetsimFault {
+                profile: "flaky-node",
+                epoch: 11,
+                node: 4,
+                kind: "recover",
+                state_words: 64,
             },
         ];
         for e in &events {

@@ -71,8 +71,8 @@ mod timeline;
 
 pub use crate::event::{event_json, Event, LinkHistogram};
 pub use crate::sink::{
-    DispatchAgg, EngineAgg, JsonlSink, MemorySink, MemorySnapshot, PhaseAgg, TelemetrySink,
-    TransportAgg,
+    DispatchAgg, EngineAgg, JsonlSink, MemorySink, MemorySnapshot, NetsimAgg, PhaseAgg,
+    TelemetrySink, TransportAgg,
 };
 pub use crate::timeline::RoundTimeline;
 

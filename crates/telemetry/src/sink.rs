@@ -93,6 +93,24 @@ pub struct TransportAgg {
     pub peer_bytes: u64,
 }
 
+/// Network-conditioning aggregate across every [`Event::NetsimRound`] /
+/// [`Event::NetsimFault`] seen.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetsimAgg {
+    /// Conditioned round barriers observed.
+    pub rounds: u64,
+    /// Total simulated time across all rounds (sum of per-round maxima).
+    pub sim_ns: u64,
+    /// Total simulated retransmissions.
+    pub retransmits: u64,
+    /// Total straggler injections.
+    pub stragglers: u64,
+    /// Injected node crashes.
+    pub faults: u64,
+    /// Completed recoveries (state re-ships).
+    pub recoveries: u64,
+}
+
 /// A point-in-time copy of everything a [`MemorySink`] has aggregated.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct MemorySnapshot {
@@ -110,6 +128,8 @@ pub struct MemorySnapshot {
     pub dispatch: DispatchAgg,
     /// Per-backend transport aggregates.
     pub transports: BTreeMap<&'static str, TransportAgg>,
+    /// Network-conditioning aggregate (zero when netsim is off).
+    pub netsim: NetsimAgg,
     /// Ring of the most recent raw events (capacity
     /// [`MemorySink::RECENT_CAP`]; oldest dropped first).
     pub recent: Vec<Event>,
@@ -260,6 +280,26 @@ impl TelemetrySink for MemorySink {
                 let agg = state.transports.entry(backend).or_default();
                 agg.resident_rounds += 1;
                 agg.peer_bytes += peer_bytes;
+            }
+            Event::NetsimRound {
+                sim_ns,
+                retransmits,
+                stragglers,
+                ..
+            } => {
+                state.netsim.rounds += 1;
+                state.netsim.sim_ns += sim_ns;
+                state.netsim.retransmits += retransmits;
+                state.netsim.stragglers += stragglers;
+            }
+            // Per-link detail; the per-round aggregate above already counts.
+            Event::NetsimRetransmit { .. } => {}
+            Event::NetsimFault { kind, .. } => {
+                if *kind == "crash" {
+                    state.netsim.faults += 1;
+                } else {
+                    state.netsim.recoveries += 1;
+                }
             }
         }
         if state.recent.len() >= Self::RECENT_CAP {

@@ -118,13 +118,38 @@ impl fmt::Display for RoundTimeline {
                     "  {backend} resident epoch {epoch:>4}: live={live} \
                      peer_bytes={peer_bytes} orchestrator_bytes={orchestrator_bytes}"
                 )?,
+                Event::NetsimRound {
+                    profile,
+                    epoch,
+                    links,
+                    sim_ns,
+                    retransmits,
+                    stragglers,
+                } => writeln!(
+                    f,
+                    "  netsim[{profile}] epoch {epoch:>4}: links={links} sim={:.3}ms \
+                     retransmits={retransmits} stragglers={stragglers}",
+                    ms(*sim_ns)
+                )?,
+                Event::NetsimFault {
+                    profile,
+                    epoch,
+                    node,
+                    kind,
+                    state_words,
+                } => writeln!(
+                    f,
+                    "  netsim[{profile}] epoch {epoch:>4}: {kind} node {node} \
+                     (state_words={state_words})"
+                )?,
                 Event::ConfigWarning { owner, var, .. } => {
                     writeln!(f, "  warning: {owner} ignored malformed {var}")?;
                 }
                 Event::Counter { .. }
                 | Event::Gauge { .. }
                 | Event::ExecutorDispatch { .. }
-                | Event::KernelDecision { .. } => {}
+                | Event::KernelDecision { .. }
+                | Event::NetsimRetransmit { .. } => {}
             }
         }
 
@@ -177,6 +202,19 @@ impl fmt::Display for RoundTimeline {
                 ms(agg.barrier_ns),
                 agg.frame_batches,
                 render_hist(&agg.hist)
+            )?;
+        }
+        if snap.netsim.rounds > 0 {
+            writeln!(
+                f,
+                "netsim: rounds={} sim={:.3}ms retransmits={} stragglers={} \
+                 faults={} recoveries={}",
+                snap.netsim.rounds,
+                ms(snap.netsim.sim_ns),
+                snap.netsim.retransmits,
+                snap.netsim.stragglers,
+                snap.netsim.faults,
+                snap.netsim.recoveries
             )?;
         }
         for (name, value) in &snap.gauges {

@@ -61,4 +61,16 @@ impl Fabric for TransportFabric<'_> {
     ) -> Option<ResidentOutcome> {
         self.transport.run_resident(kind, states, on_round)
     }
+
+    fn has_fault_plan(&self) -> bool {
+        self.transport.has_fault_plan()
+    }
+
+    fn take_crash(&mut self) -> Option<usize> {
+        self.transport.take_crash()
+    }
+
+    fn on_recovery(&mut self, node: usize, state_words: usize) {
+        self.transport.on_recovery(node, state_words);
+    }
 }

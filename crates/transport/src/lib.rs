@@ -183,6 +183,52 @@ pub trait Transport: fmt::Debug + Send {
     fn orchestrator_bytes(&self) -> u64 {
         0
     }
+
+    /// Accumulated *simulated* time spent at round barriers, in
+    /// nanoseconds. `0` on every ordinary backend: real fabrics take the
+    /// time they take and report nothing. Only a network-conditioning
+    /// wrapper (cc-netsim's `NetsimTransport`) models link latency, and it
+    /// accumulates each round's slowest-link completion time here.
+    fn sim_time_ns(&self) -> u64 {
+        0
+    }
+
+    /// Total simulated retransmissions performed by a lossy conditioning
+    /// wrapper. `0` on every ordinary backend (real fabrics are reliable
+    /// byte streams; loss is a *model*, not an observation).
+    fn net_retransmits(&self) -> u64 {
+        0
+    }
+
+    /// Total simulated node faults (crashes) injected by a conditioning
+    /// wrapper. `0` on every ordinary backend.
+    fn net_faults(&self) -> u64 {
+        0
+    }
+
+    /// True when this fabric injects node crash/restart faults, in which
+    /// case the engine must drive [`cc_runtime::WireProgram`]s through the
+    /// checkpointable classical loop (polling [`Transport::take_crash`]
+    /// each round) rather than a resident session it cannot interrupt.
+    fn has_fault_plan(&self) -> bool {
+        false
+    }
+
+    /// Takes the node index the fault plan crashed at the last barrier, if
+    /// any. The caller (the engine's recovery loop) responds by re-shipping
+    /// that node's serialized program state — see
+    /// [`Transport::on_recovery`]. Draining is destructive: a crash is
+    /// handled exactly once.
+    fn take_crash(&mut self) -> Option<usize> {
+        None
+    }
+
+    /// Notifies the fabric that `node` was restarted and its re-shipped
+    /// program state occupies `state_words` words, letting a conditioning
+    /// wrapper charge the recovery's simulated cost. A no-op by default.
+    fn on_recovery(&mut self, node: usize, state_words: usize) {
+        let _ = (node, state_words);
+    }
 }
 
 /// Which [`Transport`] backend a simulation uses.

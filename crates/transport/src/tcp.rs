@@ -84,6 +84,54 @@ struct Worker {
     hi: usize,
 }
 
+impl Worker {
+    /// Reads the next frame during a round barrier, turning an I/O failure
+    /// into a diagnosis instead of an opaque error: a worker whose stream
+    /// dies mid-barrier has crashed (or been killed), and the whole round
+    /// must fail loudly — the remaining workers are released by the
+    /// orchestrator's teardown, never left deadlocked on a barrier that
+    /// cannot complete.
+    fn read_barrier_frame(&mut self, what: &str) -> Frame {
+        match read_frame(&mut self.reader) {
+            Ok(frame) => frame,
+            Err(e) => self.barrier_failure(what, &e),
+        }
+    }
+
+    /// Ships one coalesced batch, with the same loud diagnosis on failure
+    /// (a dead worker surfaces here as a broken pipe).
+    fn ship_batch(&mut self, batch: &[u8], what: &str) {
+        if let Err(e) = self
+            .writer
+            .write_all(batch)
+            .and_then(|()| self.writer.flush())
+        {
+            self.barrier_failure(what, &e);
+        }
+    }
+
+    /// Panics with the worker's exit status when the process is known to be
+    /// gone, or the raw I/O error otherwise.
+    fn barrier_failure(&mut self, what: &str, e: &io::Error) -> ! {
+        let status = self
+            .child
+            .as_mut()
+            .and_then(|c| c.try_wait().ok().flatten());
+        match status {
+            Some(status) => panic!(
+                "tcp worker (shard {}..{}) died mid-barrier ({status}) while the \
+                 orchestrator was waiting for {what}: {e}",
+                self.lo, self.hi
+            ),
+            None => panic!(
+                "tcp worker (shard {}..{}) became unreachable mid-barrier while the \
+                 orchestrator was waiting for {what}: {e}",
+                self.lo, self.hi
+            ),
+        }
+    }
+}
+
 impl TcpTransport {
     /// Binds the orchestrator listener (an ephemeral loopback port unless
     /// `addr` pins one), launches `workers` worker processes (`0` means
@@ -299,17 +347,14 @@ impl Transport for TcpTransport {
                     bytes: batch.len(),
                 }
             });
-            wk.writer
-                .write_all(&batch)
-                .and_then(|()| wk.writer.flush())
-                .expect("ship round batch to worker");
+            wk.ship_batch(&batch, "a round batch acknowledgement");
         }
 
         let mut inboxes = vec![Delivered::empty(n); n];
         let mut all_loads = Vec::new();
         for wk in &mut self.workers {
             loop {
-                match read_frame(&mut wk.reader).expect("read worker round") {
+                match wk.read_barrier_frame("the star round's echoes and commit token") {
                     Frame::Payload {
                         epoch: e,
                         src,
@@ -400,10 +445,7 @@ impl Transport for TcpTransport {
                 );
             }
             push_frame(&mut batch, &Frame::RoundEnd { epoch });
-            wk.writer
-                .write_all(&batch)
-                .and_then(|()| wk.writer.flush())
-                .expect("ship resident session to worker");
+            wk.ship_batch(&batch, "a resident session start");
         }
 
         // Barrier-broker loop: one ResidentDone commit token per worker
@@ -416,7 +458,7 @@ impl Transport for TcpTransport {
             let mut live_total = 0u64;
             let mut round_peer_bytes = 0u64;
             for wk in &mut self.workers {
-                match read_frame(&mut wk.reader).expect("read resident commit") {
+                match wk.read_barrier_frame("a resident round-commit token") {
                     Frame::ResidentDone {
                         epoch: e,
                         live,
@@ -448,16 +490,16 @@ impl Transport for TcpTransport {
                 }
             });
             on_round(&loads);
+            let mut release = Vec::new();
+            push_frame(
+                &mut release,
+                &Frame::Release {
+                    epoch,
+                    live: live_total as u32,
+                },
+            );
             for wk in &mut self.workers {
-                write_frame(
-                    &mut wk.writer,
-                    &Frame::Release {
-                        epoch,
-                        live: live_total as u32,
-                    },
-                )
-                .and_then(|()| wk.writer.flush())
-                .expect("release resident round");
+                wk.ship_batch(&release, "a round release acknowledgement");
             }
             epoch += 1;
             if live_total == 0 {
@@ -470,7 +512,7 @@ impl Transport for TcpTransport {
         for wk in &mut self.workers {
             let mut got = 0usize;
             loop {
-                match read_frame(&mut wk.reader).expect("read resident finals") {
+                match wk.read_barrier_frame("the resident session's final states") {
                     Frame::Program { node, state } => {
                         let node = node as usize;
                         assert!(
@@ -1169,6 +1211,43 @@ mod tests {
             star.epoch()
         };
         assert_eq!(transport.epoch(), star_epochs);
+    }
+
+    #[test]
+    fn killed_worker_fails_the_round_barrier_loudly() {
+        let n = 6;
+        let mut transport = TcpTransport::new(n, 2, false, None);
+        // A warm round proves the fabric works before the sabotage.
+        transport.send(0, 1, &[1, 2]);
+        let _ = transport.finish_round();
+
+        // Kill worker 0's process and reap it, so the next barrier meets a
+        // dead stream rather than a slow worker.
+        let child = transport.workers[0]
+            .child
+            .as_mut()
+            .expect("spawned workers carry a child handle");
+        child.kill().expect("kill tcp worker");
+        let _ = child.wait();
+
+        transport.send(0, 1, &[3]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = transport.finish_round();
+        }));
+        // The regression this pins: the barrier must fail with a diagnosis,
+        // not hang waiting for a commit token that can never arrive (the
+        // test harness itself would time out) and not report an opaque
+        // broken-pipe error.
+        let payload = result.expect_err("a dead worker must fail the barrier");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("panic payload is a message");
+        assert!(
+            msg.contains("mid-barrier"),
+            "barrier failure must diagnose the dead worker: {msg}"
+        );
     }
 
     #[test]

@@ -106,6 +106,30 @@ impl Transport for TracedTransport {
     fn orchestrator_bytes(&self) -> u64 {
         self.inner.orchestrator_bytes()
     }
+
+    fn sim_time_ns(&self) -> u64 {
+        self.inner.sim_time_ns()
+    }
+
+    fn net_retransmits(&self) -> u64 {
+        self.inner.net_retransmits()
+    }
+
+    fn net_faults(&self) -> u64 {
+        self.inner.net_faults()
+    }
+
+    fn has_fault_plan(&self) -> bool {
+        self.inner.has_fault_plan()
+    }
+
+    fn take_crash(&mut self) -> Option<usize> {
+        self.inner.take_crash()
+    }
+
+    fn on_recovery(&mut self, node: usize, state_words: usize) {
+        self.inner.on_recovery(node, state_words);
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,9 @@
 //! * [`transport`] — pluggable message fabrics carrying the simulation's
 //!   traffic: in-memory, cross-thread channels, multi-process unix
 //!   sockets.
+//! * [`netsim`] — deterministic network conditioning behind the transport
+//!   seam: per-link latency/jitter, stragglers, message loss with
+//!   retransmit, node crash/restart fault plans.
 //! * [`clique`] — the congested clique simulator (rounds, links, routing).
 //! * [`algebra`] — semirings, rings, matrices, bilinear (Strassen) algorithms.
 //! * [`graph`] — graph types, generators, and centralized reference oracles.
@@ -278,6 +281,51 @@
 //! identical to frame-by-frame writes (property-tested, including
 //! chunked partial-read delivery), only the syscall count drops.
 //!
+//! ## Network conditions & fault injection
+//!
+//! Transports decide where the words travel; the [`netsim`] layer
+//! ([`cc_netsim`]) decides what the journey *costs* — and what goes wrong
+//! on the way. [`NetsimTransport`](netsim::NetsimTransport) wraps any
+//! [`Transport`](transport::Transport) (the same decorator seam the
+//! telemetry wrapper uses, applied outermost at
+//! [`Clique`](clique::Clique) construction) and conditions every committed
+//! round from **one seeded RNG keyed by (seed, epoch, src, dst)** — no
+//! wall-clock, no OS entropy, no delivery-order dependence:
+//!
+//! * **Latency & stragglers** — each delivering link draws a simulated
+//!   delay (base + per-word + jitter, occasionally stretched by a
+//!   straggler multiplier); a round's simulated completion time is the
+//!   *max over delivering links*, accumulated into the new `sim_time_ns`
+//!   accounting column ([`Clique::sim_time_ns`](clique::Clique),
+//!   [`PhaseStats::sim_time_ns`](clique::PhaseStats) — phase attribution
+//!   and [`reset`](clique::Clique::reset) work exactly like rounds).
+//! * **Loss & retransmit** — links drop words with per-profile
+//!   probability; lost deliveries retry with exponential backoff in
+//!   *simulated* time (bounded attempts, loud panic past the budget), so
+//!   loss stretches `sim_time_ns` and bumps the retransmit counter but
+//!   **never changes what arrives**.
+//! * **Crash/restart fault plans** — the flaky-node profile periodically
+//!   crashes a deterministic node; the engine's recovery hook re-ships the
+//!   [`WireProgram`](runtime::WireProgram)'s serialized state and replays
+//!   the interrupted round, so even a mid-run crash leaves results
+//!   bit-identical.
+//!
+//! The determinism contract **splits** here, deliberately: results,
+//! rounds, words, pattern fingerprints, and barrier epochs are
+//! bit-identical between a conditioned and an unconditioned run — under
+//! loss *and* under crash recovery — while `sim_time_ns`, retransmit, and
+//! fault counts are bit-reproducible *per netsim seed* (both halves pinned
+//! in `tests/runtime_determinism.rs`, and asserted again before
+//! `BENCH_netsim.json` is exported). Conditioning is configured by
+//! [`CliqueConfig::netsim`](clique::CliqueConfig) or the `CC_NETSIM`
+//! variable (`off` | `lan` | `wan` | `lossy` | `flaky-node`, optionally
+//! `:seed`), which rides the same warn-once [`runtime::env_config`] parser
+//! as `CC_EXECUTOR` — CI runs the full suite under `CC_NETSIM=lossy` to
+//! prove the suite cannot tell the difference. `BENCH_netsim.json` charts
+//! the profiles (simulated time, retransmits, wall-clock overhead) across
+//! backends; the `multi_process` example conditions a multi-process fabric
+//! with the lossy profile and reproduces the clean run bit for bit.
+//!
 //! ## Service layer
 //!
 //! Everything above answers *one* question per simulator; the [`service`]
@@ -376,6 +424,7 @@ pub use cc_clique as clique;
 pub use cc_congest as congest;
 pub use cc_core as core;
 pub use cc_graph as graph;
+pub use cc_netsim as netsim;
 pub use cc_runtime as runtime;
 pub use cc_service as service;
 pub use cc_subgraph as subgraph;

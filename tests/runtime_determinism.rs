@@ -541,6 +541,131 @@ fn algorithms_are_kernel_independent() {
     }
 }
 
+/// The netsim axis of the determinism matrix: conditioning the fabric with
+/// per-link latency/jitter, stragglers, message loss (with retransmission),
+/// and a node crash/restart fault plan changes **nothing** an observer can
+/// see — algorithm outputs, rounds, words, pattern fingerprints, and
+/// barrier epochs are bit-identical to the unconditioned run. The
+/// flaky-node cell exercises full crash recovery (program state re-shipped
+/// through the `WireProgram` codec mid-run) and still replays the
+/// reference bit for bit.
+#[test]
+fn algorithms_are_netsim_condition_independent() {
+    use congested_clique::clique::{NetsimConfig, NetsimProfile};
+
+    let n = 12;
+    let seed = 41;
+    let reference = run_algorithms_with(cfg_transport(TransportKind::InMemory), n, seed);
+    assert!(reference.rounds > 0 && reference.epochs > 0);
+    for profile in [
+        NetsimProfile::Lan,
+        NetsimProfile::Wan,
+        NetsimProfile::Lossy,
+        NetsimProfile::FlakyNode,
+    ] {
+        let config = CliqueConfig {
+            netsim: NetsimConfig { profile, seed: 7 },
+            ..cfg_transport(TransportKind::InMemory)
+        };
+        let got = run_algorithms_with(config, n, seed);
+        assert_eq!(reference, got, "netsim profile {profile:?} diverged");
+    }
+    // Conditioning composes with a non-default fabric: a lossy channel
+    // backend still reproduces the unconditioned in-memory reference.
+    let config = CliqueConfig {
+        netsim: NetsimConfig {
+            profile: NetsimProfile::Lossy,
+            seed: 7,
+        },
+        ..cfg_transport(TransportKind::Channel)
+    };
+    let got = run_algorithms_with(config, n, seed);
+    assert_eq!(reference, got, "lossy-conditioned channel fabric diverged");
+
+    // Non-vacuousness check for the flaky-node cell: at this scale the
+    // fault plan must actually crash nodes (so the bit-identity above
+    // exercised real crash recovery, not a run that never crossed a
+    // crash-period boundary).
+    let g = generators::gnp(n, 0.25, seed ^ 0x5a5a);
+    let mut flaky = Clique::with_config(
+        n,
+        CliqueConfig {
+            netsim: NetsimConfig {
+                profile: NetsimProfile::FlakyNode,
+                seed: 7,
+            },
+            ..CliqueConfig::default()
+        },
+    );
+    let mut conditioned = 0;
+    for _ in 0..6 {
+        conditioned = subgraph::count_triangles_program(&mut flaky, &g);
+    }
+    // Pinned off explicitly so the CC_NETSIM=lossy CI lane cannot
+    // condition the comparison baseline.
+    let mut clean = Clique::with_config(
+        n,
+        CliqueConfig {
+            netsim: NetsimConfig::default(),
+            ..CliqueConfig::default()
+        },
+    );
+    let mut unconditioned = 0;
+    for _ in 0..6 {
+        unconditioned = subgraph::count_triangles_program(&mut clean, &g);
+    }
+    assert!(
+        flaky.net_faults() > 0,
+        "the flaky-node cell must inject at least one crash"
+    );
+    assert_eq!(conditioned, unconditioned);
+    assert_eq!(flaky.rounds(), clean.rounds());
+    assert_eq!(flaky.stats().words(), clean.stats().words());
+}
+
+/// The other half of the netsim determinism split: while results are
+/// condition-independent, the simulated-time column is a pure function of
+/// (profile, seed, workload) — bit-reproducible across runs, zero when
+/// conditioning is off, and moved by the seed.
+#[test]
+fn netsim_sim_time_is_reproducible_per_seed() {
+    use congested_clique::clique::{NetsimConfig, NetsimProfile};
+
+    let graph = generators::gnp(10, 0.3, 3);
+    let run = |netsim: NetsimConfig| {
+        let mut c = Clique::with_config(
+            10,
+            CliqueConfig {
+                netsim,
+                ..CliqueConfig::default()
+            },
+        );
+        let count = subgraph::count_triangles(&mut c, &graph);
+        (count, c.sim_time_ns(), c.net_retransmits())
+    };
+
+    let off = run(NetsimConfig::default());
+    assert_eq!((off.1, off.2), (0, 0), "off charges no simulated time");
+    let lossy = NetsimConfig {
+        profile: NetsimProfile::Lossy,
+        seed: 99,
+    };
+    let a = run(lossy);
+    let b = run(lossy);
+    assert_eq!(a.0, off.0, "conditioning must not change the answer");
+    assert!(a.1 > 0, "lossy conditioning charges simulated time");
+    assert!(a.2 > 0, "the lossy profile retransmits");
+    assert_eq!(
+        a, b,
+        "sim time and retransmits are pure functions of the seed"
+    );
+    let other = run(NetsimConfig {
+        profile: NetsimProfile::Lossy,
+        seed: 100,
+    });
+    assert_ne!(a.1, other.1, "a different seed draws a different schedule");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
