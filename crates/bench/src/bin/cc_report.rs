@@ -8,24 +8,47 @@
 //! existing `BENCH_*.json` artifact spliced in verbatim, so one file tells
 //! the whole performance story.
 //!
-//! Run after `cargo build --release` (the socket backend execs the
+//! Run after `cargo build --release` (the socket and tcp backends exec the
 //! `cc-clique-node` worker binary): `cargo run --release -p cc-bench --bin
 //! cc-report`.
+//!
+//! `cc-report --replay <capture.jsonl>` skips the workloads entirely:
+//! it parses an existing [`cc_telemetry::JsonlSink`] capture back into a
+//! fresh in-memory aggregate and prints the human [`RoundTimeline`] —
+//! offline rendering for traces recorded on another machine or an earlier
+//! run.
 
 use cc_clique::{Clique, CliqueConfig, ExecutorKind, TransportKind};
 use cc_graph::{generators, oracle};
 use cc_service::{Query, Service, ServiceConfig, ServiceMode};
-use cc_telemetry::{self as telemetry, MemorySnapshot, Telemetry, TraceLevel};
+use cc_telemetry::{
+    self as telemetry, event_from_json, MemorySink, MemorySnapshot, RoundTimeline, Telemetry,
+    TraceLevel,
+};
 use std::fmt::Write as _;
 
 /// Bumped whenever a field is renamed, retyped, or removed (additions are
 /// compatible). CI greps the artifact for this exact version.
-const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: distributed capture — per-backend `workers` columns (per-process
+/// event attribution), `critical_path` table (per-epoch closer / straggler
+/// skew), and the `worker_events_total` counter join the v1 fields.
+const SCHEMA_VERSION: u32 = 2;
 
 const N: usize = 16;
 const SEED: u64 = 2015;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 2 && args[1] == "--replay" {
+        let Some(path) = args.get(2) else {
+            eprintln!("usage: cc-report --replay <capture.jsonl>");
+            std::process::exit(2);
+        };
+        replay(path);
+        return;
+    }
+
     // The capture must exist before any instrumented layer runs; failing
     // that, `CC_TRACE` from the environment would decide the level and the
     // report could come up empty.
@@ -35,10 +58,26 @@ fn main() {
         .memory()
         .expect("with_memory aggregates in memory");
 
-    let backends: [(&str, TransportKind); 3] = [
+    let backends: [(&str, TransportKind); 5] = [
         ("inmemory", TransportKind::InMemory),
         ("channel", TransportKind::Channel),
         ("socket", TransportKind::Socket { workers: 2 }),
+        (
+            "tcp",
+            TransportKind::Tcp {
+                workers: 2,
+                resident: false,
+                addr: None,
+            },
+        ),
+        (
+            "tcp-peer",
+            TransportKind::Tcp {
+                workers: 2,
+                resident: true,
+                addr: None,
+            },
+        ),
     ];
 
     let mut sections = String::new();
@@ -50,11 +89,15 @@ fn main() {
             sections.push_str(",\n");
         }
         let _ = write!(sections, "    \"{label}\": {}", backend_json(&snap));
+        let wire = label.split('-').next().unwrap_or(label);
         println!(
-            "captured {label}: {} phases, {} transport rounds, {} gauges",
+            "captured {label}: {} phases, {} transport rounds, {} gauges, \
+             {} worker events from {} workers",
             snap.phases.len(),
-            snap.transports.get(label).map_or(0, |t| t.rounds),
-            snap.gauges.len()
+            snap.transports.get(wire).map_or(0, |t| t.rounds),
+            snap.gauges.len(),
+            snap.workers.values().map(|w| w.events).sum::<u64>(),
+            snap.workers.len()
         );
     }
 
@@ -64,8 +107,11 @@ fn main() {
          capture: per backend, a phased clique workload (triangles + exact APSP, n = {N}) \
          and a duplicate-heavy service batch, traced at CC_TRACE=full into the in-memory \
          aggregator. wall/step/barrier figures are nanoseconds; link_hist_pow2[i] counts \
-         per-round links carrying [2^i, 2^(i+1)) words; collated embeds the standalone \
-         BENCH_*.json artifacts verbatim.\",\n  \"backends\": {{\n{sections}\n  }},\n  \
+         per-round links carrying [2^i, 2^(i+1)) words; workers holds per-process event \
+         attribution merged from the multi-process backends' wire snapshots; critical_path \
+         lists, per barrier epoch, the worker that closed it last and its skew over the \
+         median lane; collated embeds the standalone BENCH_*.json artifacts \
+         verbatim.\",\n  \"backends\": {{\n{sections}\n  }},\n  \
          \"collated\": {collated}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
@@ -176,16 +222,102 @@ fn backend_json(snap: &MemorySnapshot) -> String {
         let _ = write!(counters, "\"{name}\": {value}");
     }
 
+    // Distributed-capture columns (schema v2): one object per worker
+    // process, with the busy/idle split derived from its barrier lanes.
+    let busy_idle = snap.worker_busy_idle();
+    let mut workers = String::new();
+    for (id, w) in &snap.workers {
+        if !workers.is_empty() {
+            workers.push_str(", ");
+        }
+        let (busy, idle) = busy_idle.get(id).copied().unwrap_or((0, 0));
+        let _ = write!(
+            workers,
+            "\"{id}\": {{\"events\": {}, \"frame_batches\": {}, \"frame_bytes\": {}, \
+             \"resident_rounds\": {}, \"peer_bytes\": {}, \"kernel_decisions\": {}, \
+             \"config_warnings\": {}, \"busy_ns\": {busy}, \"idle_ns\": {idle}}}",
+            w.events,
+            w.frame_batches,
+            w.frame_bytes,
+            w.resident_rounds,
+            w.peer_bytes,
+            w.kernel_decisions,
+            w.config_warnings
+        );
+    }
+    let worker_events_total: u64 = snap.workers.values().map(|w| w.events).sum();
+
+    // Per-epoch critical path: which worker closed each barrier last, and
+    // how far ahead of the median lane it ran.
+    let mut critical_path = String::new();
+    for p in snap.critical_path() {
+        if !critical_path.is_empty() {
+            critical_path.push_str(", ");
+        }
+        let skew = if p.median_ns > 0 {
+            p.max_ns as f64 / p.median_ns as f64
+        } else {
+            1.0
+        };
+        let lanes: Vec<String> = p
+            .lanes
+            .iter()
+            .map(|(w, ns)| format!("[{w}, {ns}]"))
+            .collect();
+        let _ = write!(
+            critical_path,
+            "{{\"backend\": \"{}\", \"epoch\": {}, \"closer\": {}, \"max_ns\": {}, \
+             \"median_ns\": {}, \"skew\": {:.4}, \"lanes\": [{}]}}",
+            p.backend,
+            p.epoch,
+            p.closer,
+            p.max_ns,
+            p.median_ns,
+            skew,
+            lanes.join(", ")
+        );
+    }
+
     let e = &snap.engine;
     let d = &snap.dispatch;
     format!(
         "{{\n      \"phases\": {{{phases}}},\n      \"engine\": {{\"barriers\": {}, \
          \"step_ns\": {}, \"barrier_ns\": {}, \"rounds\": {}, \"words\": {}}},\n      \
          \"executor\": {{\"inline\": {}, \"dispatched\": {}, \"pieces\": {}}},\n      \
-         \"transport\": {{{transports}}},\n      \"gauges\": {{{gauges}}},\n      \
+         \"transport\": {{{transports}}},\n      \"workers\": {{{workers}}},\n      \
+         \"worker_events_total\": {worker_events_total},\n      \
+         \"critical_path\": [{critical_path}],\n      \"gauges\": {{{gauges}}},\n      \
          \"counters\": {{{counters}}}\n    }}",
         e.barriers, e.step_ns, e.barrier_ns, e.rounds, e.words, d.inline, d.dispatched, d.pieces
     )
+}
+
+/// Offline timeline rendering: parses a `JsonlSink` capture line by line
+/// (skipping anything `event_from_json` rejects, counting it) into a fresh
+/// in-memory aggregate, then prints the same [`RoundTimeline`] a live
+/// traced run would show.
+fn replay(path: &str) {
+    let contents = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cc-report --replay: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let sink = MemorySink::new();
+    let (mut parsed, mut skipped) = (0u64, 0u64);
+    for line in contents.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match event_from_json(line) {
+            Some(event) => {
+                use cc_telemetry::TelemetrySink as _;
+                sink.record(&event);
+                parsed += 1;
+            }
+            None => skipped += 1,
+        }
+    }
+    print!("{}", RoundTimeline::from_snapshot(&sink.snapshot()));
+    println!("replayed {parsed} events from {path} ({skipped} unparsable lines skipped)");
 }
 
 /// Embeds every standalone `BENCH_*.json` at the workspace root verbatim

@@ -225,6 +225,16 @@ impl Clique {
     /// a newly built one. (Transport barrier epochs keep counting across
     /// resets; they are a lifetime diagnostic, not per-run accounting.)
     pub fn reset(&mut self) {
+        // Mark the reuse boundary in the trace: the discarded totals and
+        // the fabric epoch the next run starts from, so a timeline over a
+        // warm-pool session shows where one logical run ends.
+        cc_telemetry::global().emit(cc_telemetry::TraceLevel::Summary, || {
+            cc_telemetry::Event::Reset {
+                rounds: self.stats.rounds(),
+                words: self.stats.words(),
+                epoch: self.net.epochs(),
+            }
+        });
         self.stats = Stats::new(self.cfg.record_patterns);
         // Simulated network time, like transport epochs, keeps counting on
         // the fabric across resets; re-anchor so the fresh stats only see

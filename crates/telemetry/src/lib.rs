@@ -69,10 +69,10 @@ mod event;
 mod sink;
 mod timeline;
 
-pub use crate::event::{event_json, Event, LinkHistogram};
+pub use crate::event::{event_from_json, event_json, Event, LinkHistogram};
 pub use crate::sink::{
-    DispatchAgg, EngineAgg, JsonlSink, MemorySink, MemorySnapshot, NetsimAgg, PhaseAgg,
-    TelemetrySink, TransportAgg,
+    DispatchAgg, EngineAgg, EpochPath, JsonlSink, MemorySink, MemorySnapshot, NetsimAgg, PhaseAgg,
+    TelemetrySink, TransportAgg, WireSink, WorkerAgg,
 };
 pub use crate::timeline::RoundTimeline;
 
@@ -289,6 +289,24 @@ impl Telemetry {
         self.memory.as_ref()
     }
 
+    /// Merges one worker's shipped event lines (the `Frame::Telemetry`
+    /// payload: [`event_json`] lines drained from the worker's
+    /// [`WireSink`]) into this handle's sink, wrapping each parsed event
+    /// in [`Event::Worker`] for per-process attribution. Malformed lines
+    /// are skipped — a corrupt capture must not fail the run — and a
+    /// sink-less handle ignores the batch entirely.
+    pub fn merge_worker(&self, worker: u32, lines: &[String]) {
+        let Some(sink) = &self.sink else { return };
+        for line in lines {
+            if let Some(event) = event_from_json(line) {
+                sink.record(&Event::Worker {
+                    worker,
+                    event: Box::new(event),
+                });
+            }
+        }
+    }
+
     /// Flushes the sink (a no-op for the memory sink).
     pub fn flush(&self) {
         if let Some(sink) = &self.sink {
@@ -431,6 +449,34 @@ mod tests {
         assert!(Telemetry::from_spec(&TraceSpec::default())
             .memory()
             .is_none());
+    }
+
+    #[test]
+    fn merge_worker_attributes_parsed_lines_and_skips_garbage() {
+        let tel = Telemetry::with_memory(TraceLevel::Full);
+        let lines = vec![
+            event_json(&Event::FrameBatch {
+                backend: "socket",
+                frames: 2,
+                bytes: 128,
+            }),
+            "not json at all".to_string(),
+            event_json(&Event::Counter {
+                name: "worker_events_dropped",
+                delta: 5,
+            }),
+        ];
+        tel.merge_worker(3, &lines);
+        let snap = tel.memory().expect("memory handle").snapshot();
+        let agg = &snap.workers[&3];
+        assert_eq!(
+            (agg.events, agg.frame_batches, agg.frame_bytes),
+            (2, 1, 128)
+        );
+        // Worker traffic stays out of the orchestrator's transport view.
+        assert!(snap.transports.is_empty());
+        // A sink-less handle ignores merges without panicking.
+        Telemetry::off().merge_worker(0, &lines);
     }
 
     #[test]

@@ -93,6 +93,54 @@ pub struct TransportAgg {
     pub peer_bytes: u64,
 }
 
+/// Per-worker-process aggregate across every [`Event::Worker`]-wrapped
+/// event merged from a distributed capture, plus the orchestrator-measured
+/// barrier lanes for that worker. Deliberately separate from the global
+/// aggregates: a worker's `FrameBatch` is the worker's half of the wire,
+/// not a second copy of the orchestrator's.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkerAgg {
+    /// Total merged events attributed to this worker.
+    pub events: u64,
+    /// Frame batches the worker shipped.
+    pub frame_batches: u64,
+    /// Total encoded bytes across the worker's frame batches.
+    pub frame_bytes: u64,
+    /// Program-resident rounds the worker stepped.
+    pub resident_rounds: u64,
+    /// Payload bytes the worker exchanged peer-to-peer.
+    pub peer_bytes: u64,
+    /// Kernel dispatch decisions taken inside the worker.
+    pub kernel_decisions: u64,
+    /// Config warnings the worker re-reported (deduped in
+    /// [`MemorySnapshot::warnings`]; counted here per process).
+    pub config_warnings: u64,
+    /// Total barrier-lane wall-clock charged to this worker (its busy
+    /// time as seen from the orchestrator's commit-collection loop).
+    pub lane_ns: u64,
+    /// Barrier lanes observed for this worker.
+    pub lanes: u64,
+}
+
+/// One epoch's critical path derived from merged [`Event::BarrierLane`]s:
+/// who closed the barrier, how far behind the median they were, and every
+/// worker's lane. Produced by [`MemorySnapshot::critical_path`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochPath {
+    /// Backend the barrier belongs to.
+    pub backend: &'static str,
+    /// Barrier epoch.
+    pub epoch: u64,
+    /// Worker whose commit token closed the barrier (last to arrive).
+    pub closer: u32,
+    /// The closer's wall-clock from barrier start.
+    pub max_ns: u64,
+    /// Median lane wall-clock across the epoch's workers.
+    pub median_ns: u64,
+    /// Every `(worker, wall_ns)` lane, sorted by worker id.
+    pub lanes: Vec<(u32, u64)>,
+}
+
 /// Network-conditioning aggregate across every [`Event::NetsimRound`] /
 /// [`Event::NetsimFault`] seen.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -130,11 +178,71 @@ pub struct MemorySnapshot {
     pub transports: BTreeMap<&'static str, TransportAgg>,
     /// Network-conditioning aggregate (zero when netsim is off).
     pub netsim: NetsimAgg,
+    /// Per-worker aggregates from merged distributed captures, keyed by
+    /// worker process index (empty for single-process runs).
+    pub workers: BTreeMap<u32, WorkerAgg>,
+    /// Raw barrier lanes keyed by `(backend, epoch)` — epoch alone would
+    /// collide when several backends run against one sink. Each entry is
+    /// the `(worker, wall_ns)` arrivals for that barrier in commit order.
+    pub lanes: BTreeMap<(&'static str, u64), Vec<(u32, u64)>>,
+    /// How many processes reported each deduplicated config warning,
+    /// keyed by the rendered message in [`MemorySnapshot::warnings`].
+    pub warning_counts: BTreeMap<String, u64>,
     /// Ring of the most recent raw events (capacity
     /// [`MemorySink::RECENT_CAP`]; oldest dropped first).
     pub recent: Vec<Event>,
     /// Raw events dropped from the ring once it filled.
     pub dropped: u64,
+}
+
+impl MemorySnapshot {
+    /// Derives the per-epoch critical path from the merged barrier lanes:
+    /// for every `(backend, epoch)` barrier, the worker that closed it,
+    /// its wall-clock, and the epoch median. Sorted by backend then epoch.
+    #[must_use]
+    pub fn critical_path(&self) -> Vec<EpochPath> {
+        self.lanes
+            .iter()
+            .filter(|(_, lanes)| !lanes.is_empty())
+            .map(|(&(backend, epoch), lanes)| {
+                let (closer, max_ns) = lanes
+                    .iter()
+                    .copied()
+                    .max_by_key(|&(worker, ns)| (ns, worker))
+                    .expect("non-empty lanes");
+                let mut sorted_ns: Vec<u64> = lanes.iter().map(|&(_, ns)| ns).collect();
+                sorted_ns.sort_unstable();
+                let median_ns = sorted_ns[sorted_ns.len() / 2];
+                let mut by_worker = lanes.clone();
+                by_worker.sort_unstable();
+                EpochPath {
+                    backend,
+                    epoch,
+                    closer,
+                    max_ns,
+                    median_ns,
+                    lanes: by_worker,
+                }
+            })
+            .collect()
+    }
+
+    /// Cumulative per-worker `(busy_ns, idle_ns)` across all merged
+    /// barriers: busy is the worker's own lane time, idle is how long it
+    /// sat waiting for each epoch's closing worker (`epoch max − lane`).
+    #[must_use]
+    pub fn worker_busy_idle(&self) -> BTreeMap<u32, (u64, u64)> {
+        let mut out: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        for lanes in self.lanes.values() {
+            let max_ns = lanes.iter().map(|&(_, ns)| ns).max().unwrap_or(0);
+            for &(worker, ns) in lanes {
+                let entry = out.entry(worker).or_insert((0, 0));
+                entry.0 += ns;
+                entry.1 += max_ns - ns;
+            }
+        }
+        out
+    }
 }
 
 /// In-memory aggregating sink. Aggregates are exact for the whole capture;
@@ -192,10 +300,7 @@ impl TelemetrySink for MemorySink {
                 expected,
                 using,
             } => {
-                state.warnings.push(format!(
-                    "{owner}: ignoring unrecognised {var}={raw:?} (expected {expected}); \
-                     using {using}"
-                ));
+                push_warning(&mut state, owner, var, raw, expected, using);
             }
             Event::Counter { name, delta } => {
                 *state.counters.entry(name).or_insert(0) += delta;
@@ -301,12 +406,81 @@ impl TelemetrySink for MemorySink {
                     state.netsim.recoveries += 1;
                 }
             }
+            // A merged worker event updates *worker* attribution only: the
+            // global engine/transport aggregates stay the orchestrator's
+            // view, so existing single-process assertions keep holding and
+            // nothing is double counted.
+            Event::Worker { worker, event } => {
+                let agg = state.workers.entry(*worker).or_default();
+                agg.events += 1;
+                match event.as_ref() {
+                    Event::FrameBatch { bytes, .. } => {
+                        agg.frame_batches += 1;
+                        agg.frame_bytes += *bytes as u64;
+                    }
+                    Event::ResidentRound { peer_bytes, .. } => {
+                        agg.resident_rounds += 1;
+                        agg.peer_bytes += peer_bytes;
+                    }
+                    Event::KernelDecision { .. } => agg.kernel_decisions += 1,
+                    Event::ConfigWarning {
+                        owner,
+                        var,
+                        raw,
+                        expected,
+                        using,
+                    } => {
+                        agg.config_warnings += 1;
+                        push_warning(&mut state, owner, var, raw, expected, using);
+                    }
+                    _ => {}
+                }
+            }
+            Event::Reset { .. } => {
+                *state.counters.entry("clique_resets").or_insert(0) += 1;
+            }
+            Event::BarrierLane {
+                backend,
+                epoch,
+                worker,
+                wall_ns,
+            } => {
+                state
+                    .lanes
+                    .entry((backend, *epoch))
+                    .or_default()
+                    .push((*worker, *wall_ns));
+                let agg = state.workers.entry(*worker).or_default();
+                agg.lane_ns += wall_ns;
+                agg.lanes += 1;
+            }
         }
         if state.recent.len() >= Self::RECENT_CAP {
             state.recent.remove(0);
             state.dropped += 1;
         }
         state.recent.push(event.clone());
+    }
+}
+
+/// Records one config warning with cross-process deduplication: the
+/// rendered message lands in `warnings` the first time any process reports
+/// it; repeats (each worker re-parses the same knob) only bump its count.
+fn push_warning(
+    state: &mut MemorySnapshot,
+    owner: &str,
+    var: &str,
+    raw: &str,
+    expected: &str,
+    using: &str,
+) {
+    let msg = format!(
+        "{owner}: ignoring unrecognised {var}={raw:?} (expected {expected}); using {using}"
+    );
+    let count = state.warning_counts.entry(msg.clone()).or_insert(0);
+    *count += 1;
+    if *count == 1 {
+        state.warnings.push(msg);
     }
 }
 
@@ -351,6 +525,74 @@ impl TelemetrySink for JsonlSink {
 impl Drop for JsonlSink {
     fn drop(&mut self) {
         self.flush();
+    }
+}
+
+/// Worker-side buffering sink for distributed capture: events accumulate
+/// in memory as [`crate::event_json`] lines and are drained by the
+/// transport worker loop into `Frame::Telemetry` payloads piggybacked on
+/// the next commit (or the final Shutdown/Release). Bounded — a worker
+/// that never reaches a flush point must not grow without limit; drops are
+/// surfaced as a synthetic `worker_events_dropped` counter line on the
+/// next drain.
+#[derive(Debug, Default)]
+pub struct WireSink {
+    state: Mutex<WireState>,
+}
+
+#[derive(Debug, Default)]
+struct WireState {
+    lines: Vec<String>,
+    dropped: u64,
+}
+
+impl WireSink {
+    /// Maximum buffered lines between drains.
+    pub const WIRE_CAP: usize = 65_536;
+
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes every buffered event line, leaving the buffer empty. If the
+    /// buffer overflowed since the last drain, the first returned line is
+    /// a `worker_events_dropped` counter recording the loss.
+    #[must_use]
+    pub fn drain(&self) -> Vec<String> {
+        let mut state = self.state.lock().expect("wire sink poisoned");
+        let mut lines = std::mem::take(&mut state.lines);
+        if state.dropped > 0 {
+            let dropped = std::mem::take(&mut state.dropped);
+            lines.insert(
+                0,
+                event_json(&Event::Counter {
+                    name: "worker_events_dropped",
+                    delta: dropped,
+                }),
+            );
+        }
+        lines
+    }
+
+    /// Whether nothing is buffered (drains can be skipped entirely, so an
+    /// idle worker ships no telemetry frames at all).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        let state = self.state.lock().expect("wire sink poisoned");
+        state.lines.is_empty() && state.dropped == 0
+    }
+}
+
+impl TelemetrySink for WireSink {
+    fn record(&self, event: &Event) {
+        let mut state = self.state.lock().expect("wire sink poisoned");
+        if state.lines.len() >= Self::WIRE_CAP {
+            state.dropped += 1;
+            return;
+        }
+        state.lines.push(event_json(event));
     }
 }
 
@@ -503,6 +745,154 @@ mod tests {
 
         sink.reset();
         assert_eq!(sink.snapshot(), MemorySnapshot::default());
+    }
+
+    #[test]
+    fn worker_events_attribute_without_touching_global_aggregates() {
+        let sink = MemorySink::new();
+        sink.record(&Event::Worker {
+            worker: 0,
+            event: Box::new(Event::FrameBatch {
+                backend: "socket",
+                frames: 4,
+                bytes: 256,
+            }),
+        });
+        sink.record(&Event::Worker {
+            worker: 1,
+            event: Box::new(Event::ResidentRound {
+                backend: "tcp",
+                epoch: 2,
+                live: 8,
+                peer_bytes: 1024,
+                orchestrator_bytes: 0,
+            }),
+        });
+        sink.record(&Event::Worker {
+            worker: 1,
+            event: Box::new(Event::KernelDecision {
+                kernel: "bitset",
+                op: "mul_bool",
+                n: 64,
+                tile: 0,
+            }),
+        });
+        let snap = sink.snapshot();
+        assert_eq!(snap.workers.len(), 2);
+        let w0 = &snap.workers[&0];
+        assert_eq!((w0.events, w0.frame_batches, w0.frame_bytes), (1, 1, 256));
+        let w1 = &snap.workers[&1];
+        assert_eq!(
+            (
+                w1.events,
+                w1.resident_rounds,
+                w1.peer_bytes,
+                w1.kernel_decisions
+            ),
+            (2, 1, 1024, 1)
+        );
+        // Worker-attributed traffic must not leak into the orchestrator's
+        // per-backend aggregates.
+        assert!(snap.transports.is_empty());
+    }
+
+    #[test]
+    fn duplicate_worker_warnings_dedupe_with_per_process_counts() {
+        let sink = MemorySink::new();
+        let warn = |worker: Option<u32>| {
+            let inner = Event::ConfigWarning {
+                owner: "cc-runtime".to_string(),
+                var: "CC_KERNEL",
+                raw: "banana".to_string(),
+                expected: "names".to_string(),
+                using: "bitset".to_string(),
+            };
+            match worker {
+                Some(w) => Event::Worker {
+                    worker: w,
+                    event: Box::new(inner),
+                },
+                None => inner,
+            }
+        };
+        sink.record(&warn(None)); // orchestrator
+        sink.record(&warn(Some(0)));
+        sink.record(&warn(Some(1)));
+        let snap = sink.snapshot();
+        assert_eq!(snap.warnings.len(), 1, "one footer line per knob");
+        assert_eq!(snap.warning_counts[&snap.warnings[0]], 3);
+        assert_eq!(snap.workers[&0].config_warnings, 1);
+        assert_eq!(snap.workers[&1].config_warnings, 1);
+    }
+
+    #[test]
+    fn barrier_lanes_derive_critical_path_and_busy_idle() {
+        let sink = MemorySink::new();
+        let lane = |epoch, worker, wall_ns| Event::BarrierLane {
+            backend: "socket",
+            epoch,
+            worker,
+            wall_ns,
+        };
+        // Epoch 0: worker 1 closes at 300 (median 200); epoch 1: worker 0
+        // closes at 500 (median 100).
+        sink.record(&lane(0, 0, 200));
+        sink.record(&lane(0, 1, 300));
+        sink.record(&lane(0, 2, 100));
+        sink.record(&lane(1, 0, 500));
+        sink.record(&lane(1, 1, 100));
+        sink.record(&lane(1, 2, 50));
+        let snap = sink.snapshot();
+        let path = snap.critical_path();
+        assert_eq!(path.len(), 2);
+        assert_eq!(
+            (path[0].closer, path[0].max_ns, path[0].median_ns),
+            (1, 300, 200)
+        );
+        assert_eq!(
+            (path[1].closer, path[1].max_ns, path[1].median_ns),
+            (0, 500, 100)
+        );
+        let busy_idle = snap.worker_busy_idle();
+        // Worker 2: busy 100+50, idle (300-100)+(500-50).
+        assert_eq!(busy_idle[&2], (150, 650));
+        // The closer of every epoch it closes accrues no idle there.
+        assert_eq!(busy_idle[&1], (400, 400));
+        assert_eq!(snap.workers[&0].lane_ns, 700);
+        assert_eq!(snap.workers[&0].lanes, 2);
+    }
+
+    #[test]
+    fn wire_sink_buffers_lines_and_reports_overflow() {
+        let sink = WireSink::new();
+        assert!(sink.is_empty());
+        sink.record(&Event::Counter {
+            name: "tick",
+            delta: 1,
+        });
+        sink.record(&Event::PhaseStart {
+            name: "mm".to_string(),
+        });
+        assert!(!sink.is_empty());
+        let lines = sink.drain();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"counter\""));
+        assert!(sink.is_empty());
+        assert!(sink.drain().is_empty(), "drain leaves the buffer empty");
+
+        for _ in 0..(WireSink::WIRE_CAP + 3) {
+            sink.record(&Event::Counter {
+                name: "tick",
+                delta: 1,
+            });
+        }
+        let lines = sink.drain();
+        assert_eq!(lines.len(), WireSink::WIRE_CAP + 1);
+        assert!(
+            lines[0].contains("worker_events_dropped") && lines[0].contains("\"delta\":3"),
+            "overflow surfaced: {}",
+            lines[0]
+        );
     }
 
     #[test]

@@ -145,10 +145,47 @@ impl fmt::Display for RoundTimeline {
                 Event::ConfigWarning { owner, var, .. } => {
                     writeln!(f, "  warning: {owner} ignored malformed {var}")?;
                 }
+                Event::Reset {
+                    rounds,
+                    words,
+                    epoch,
+                } => writeln!(
+                    f,
+                    "-- reset: discarded rounds={rounds} words={words} (fabric epoch {epoch})"
+                )?,
+                // Merged worker events render with a `w<id>` lane prefix;
+                // only the worker's wire-visible activity shows in the
+                // ring — the rest lands in the per-worker footer.
+                Event::Worker { worker, event } => match event.as_ref() {
+                    Event::FrameBatch {
+                        backend,
+                        frames,
+                        bytes,
+                    } => writeln!(
+                        f,
+                        "  w{worker} {backend} batch: frames={frames} bytes={bytes}"
+                    )?,
+                    Event::ResidentRound {
+                        backend,
+                        epoch,
+                        live,
+                        peer_bytes,
+                        orchestrator_bytes,
+                    } => writeln!(
+                        f,
+                        "  w{worker} {backend} resident epoch {epoch:>4}: live={live} \
+                         peer_bytes={peer_bytes} orchestrator_bytes={orchestrator_bytes}"
+                    )?,
+                    Event::ConfigWarning { owner, var, .. } => {
+                        writeln!(f, "  w{worker} warning: {owner} ignored malformed {var}")?;
+                    }
+                    _ => {}
+                },
                 Event::Counter { .. }
                 | Event::Gauge { .. }
                 | Event::ExecutorDispatch { .. }
                 | Event::KernelDecision { .. }
+                | Event::BarrierLane { .. }
                 | Event::NetsimRetransmit { .. } => {}
             }
         }
@@ -217,8 +254,74 @@ impl fmt::Display for RoundTimeline {
                 snap.netsim.recoveries
             )?;
         }
+        let path = snap.critical_path();
+        if !path.is_empty() {
+            const PATH_TAIL: usize = 64;
+            writeln!(f, "critical path:")?;
+            if path.len() > PATH_TAIL {
+                writeln!(f, "  ({} earlier epochs omitted)", path.len() - PATH_TAIL)?;
+            }
+            for ep in path.iter().skip(path.len().saturating_sub(PATH_TAIL)) {
+                let lanes: Vec<String> = ep
+                    .lanes
+                    .iter()
+                    .map(|&(w, ns)| {
+                        let star = if w == ep.closer { "*" } else { "" };
+                        format!("w{w}={:.3}ms{star}", ms(ns))
+                    })
+                    .collect();
+                let skew = if ep.median_ns > 0 {
+                    ep.max_ns as f64 / ep.median_ns as f64
+                } else {
+                    0.0
+                };
+                writeln!(
+                    f,
+                    "  {} epoch {:>4}: closer=w{} max={:.3}ms median={:.3}ms skew={:.2} \
+                     lanes[{}]",
+                    ep.backend,
+                    ep.epoch,
+                    ep.closer,
+                    ms(ep.max_ns),
+                    ms(ep.median_ns),
+                    skew,
+                    lanes.join(" ")
+                )?;
+            }
+        }
+        if !snap.workers.is_empty() {
+            let busy_idle = snap.worker_busy_idle();
+            writeln!(f, "workers:")?;
+            for (id, agg) in &snap.workers {
+                let (busy, idle) = busy_idle.get(id).copied().unwrap_or((0, 0));
+                writeln!(
+                    f,
+                    "  w{id}: events={} batches={} resident={} peer_bytes={} kernel={} \
+                     warnings={} busy={:.3}ms idle={:.3}ms",
+                    agg.events,
+                    agg.frame_batches,
+                    agg.resident_rounds,
+                    agg.peer_bytes,
+                    agg.kernel_decisions,
+                    agg.config_warnings,
+                    ms(busy),
+                    ms(idle)
+                )?;
+            }
+        }
         for (name, value) in &snap.gauges {
             writeln!(f, "gauge {name} = {value}")?;
+        }
+        if !snap.warnings.is_empty() {
+            writeln!(f, "warnings (deduped across processes):")?;
+            for w in &snap.warnings {
+                let count = snap.warning_counts.get(w).copied().unwrap_or(1);
+                if count > 1 {
+                    writeln!(f, "  {w} [x{count} processes]")?;
+                } else {
+                    writeln!(f, "  {w}")?;
+                }
+            }
         }
         if let Some(warns) = snap.counters.get("config_warnings") {
             writeln!(f, "config warnings: {warns}")?;
@@ -276,6 +379,89 @@ mod tests {
         assert!(text.contains("inmemory epoch    0"), "{text}");
         assert!(text.contains("phases:"), "{text}");
         assert!(text.contains("gauge service_cache_entries = 3"), "{text}");
+    }
+
+    #[test]
+    fn timeline_renders_worker_lanes_and_critical_path() {
+        let sink = MemorySink::new();
+        sink.record(&Event::Worker {
+            worker: 0,
+            event: Box::new(Event::FrameBatch {
+                backend: "socket",
+                frames: 3,
+                bytes: 192,
+            }),
+        });
+        sink.record(&Event::Worker {
+            worker: 1,
+            event: Box::new(Event::ResidentRound {
+                backend: "tcp",
+                epoch: 0,
+                live: 4,
+                peer_bytes: 512,
+                orchestrator_bytes: 0,
+            }),
+        });
+        sink.record(&Event::BarrierLane {
+            backend: "socket",
+            epoch: 0,
+            worker: 0,
+            wall_ns: 2_000_000,
+        });
+        sink.record(&Event::BarrierLane {
+            backend: "socket",
+            epoch: 0,
+            worker: 1,
+            wall_ns: 3_000_000,
+        });
+        sink.record(&Event::Reset {
+            rounds: 7,
+            words: 99,
+            epoch: 4,
+        });
+
+        let text = RoundTimeline::from_snapshot(&sink.snapshot()).to_string();
+        assert!(text.contains("w0 socket batch: frames=3"), "{text}");
+        assert!(text.contains("w1 tcp resident epoch"), "{text}");
+        assert!(text.contains("critical path:"), "{text}");
+        assert!(
+            text.contains("closer=w1 max=3.000ms median=3.000ms"),
+            "{text}"
+        );
+        assert!(text.contains("w1=3.000ms*"), "closer starred: {text}");
+        assert!(text.contains("workers:"), "{text}");
+        assert!(text.contains("w0: events=1 batches=1"), "{text}");
+        assert!(text.contains("busy=2.000ms idle=1.000ms"), "{text}");
+        assert!(
+            text.contains("-- reset: discarded rounds=7 words=99"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn duplicate_warnings_render_once_with_process_counts() {
+        let sink = MemorySink::new();
+        let warning = Event::ConfigWarning {
+            owner: "cc-transport".to_string(),
+            var: "CC_TRANSPORT",
+            raw: "banana".to_string(),
+            expected: "names".to_string(),
+            using: "inmemory".to_string(),
+        };
+        sink.record(&warning);
+        for worker in 0..2 {
+            sink.record(&Event::Worker {
+                worker,
+                event: Box::new(warning.clone()),
+            });
+        }
+        let text = RoundTimeline::from_snapshot(&sink.snapshot()).to_string();
+        assert_eq!(
+            text.matches("ignoring unrecognised CC_TRANSPORT").count(),
+            1,
+            "one footer line per knob: {text}"
+        );
+        assert!(text.contains("[x3 processes]"), "{text}");
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //!
 //! Usage:
 //! * unix-socket star mode (`cc_transport::SocketTransport`):
-//!   `cc-clique-node <socket-path> <worker> <lo> <count> <n>`
+//!   `cc-clique-node <socket-path> <worker> <lo> <count> <n> [trace]` —
+//!   the optional `trace` is the orchestrator-forwarded `CC_TRACE` level
+//!   name (defaults to `off`)
 //! * TCP star / program-resident mode (`cc_transport::TcpTransport`):
 //!   `cc-clique-node tcp://<host>:<port> <worker>` — the shard assignment
 //!   and peer routing table arrive over the wire. Only the builtin
@@ -34,8 +36,8 @@ fn main() {
             return;
         }
     }
-    if args.len() != 6 {
-        eprintln!("usage: cc-clique-node <socket-path> <worker> <lo> <count> <n>");
+    if args.len() != 6 && args.len() != 7 {
+        eprintln!("usage: cc-clique-node <socket-path> <worker> <lo> <count> <n> [trace]");
         exit(2);
     }
     let parse = |i: usize| -> usize {
@@ -45,7 +47,10 @@ fn main() {
         })
     };
     let (worker, lo, count, n) = (parse(2), parse(3), parse(4), parse(5));
-    if let Err(e) = cc_transport::worker_main(Path::new(&args[1]), worker as u32, lo, count, n) {
+    let trace = args.get(6).map_or("off", String::as_str);
+    if let Err(e) =
+        cc_transport::worker_main(Path::new(&args[1]), worker as u32, lo, count, n, trace)
+    {
         eprintln!("cc-clique-node worker {worker}: {e}");
         exit(1);
     }

@@ -82,6 +82,10 @@ pub enum Frame {
         count: u32,
         /// Clique size.
         n: u32,
+        /// Orchestrator-forwarded `CC_TRACE` level name (`"off"`,
+        /// `"summary"`, `"rounds"`, `"full"`), so remote workers inherit
+        /// the trace level without sharing the orchestrator's environment.
+        trace: String,
     },
     /// Worker → orchestrator: the address (`host:port`) the worker's peer
     /// listener is bound to, for the orchestrator's routing table.
@@ -138,6 +142,17 @@ pub enum Frame {
         /// Clique-wide live programs after this round.
         live: u32,
     },
+    /// Worker → orchestrator telemetry snapshot: event lines drained from
+    /// the worker's `WireSink` (one `cc_telemetry::event_json` object per
+    /// line), piggybacked on commit/teardown traffic so distributed
+    /// capture adds no sockets and no barrier semantics. Never sent when
+    /// the forwarded trace level is `off`.
+    Telemetry {
+        /// The reporting worker.
+        worker: u32,
+        /// Serialized event lines, in emission order.
+        lines: Vec<String>,
+    },
 }
 
 /// Decode-side failure: the bytes are not a well-formed frame.
@@ -188,6 +203,7 @@ const TAG_PROGRAM: u8 = 9;
 const TAG_RESIDENT_START: u8 = 10;
 const TAG_RESIDENT_DONE: u8 = 11;
 const TAG_RELEASE: u8 = 12;
+const TAG_TELEMETRY: u8 = 13;
 
 impl Frame {
     /// Encodes the frame body (no length prefix).
@@ -237,12 +253,14 @@ impl Frame {
                 lo,
                 count,
                 n,
+                trace,
             } => {
                 buf.push(TAG_ASSIGN);
                 buf.extend_from_slice(&worker.to_le_bytes());
                 buf.extend_from_slice(&lo.to_le_bytes());
                 buf.extend_from_slice(&count.to_le_bytes());
                 buf.extend_from_slice(&n.to_le_bytes());
+                put_string(&mut buf, trace);
             }
             Frame::PeerAddr { worker, addr } => {
                 buf.push(TAG_PEER_ADDR);
@@ -288,6 +306,14 @@ impl Frame {
                 buf.extend_from_slice(&epoch.to_le_bytes());
                 buf.extend_from_slice(&live.to_le_bytes());
             }
+            Frame::Telemetry { worker, lines } => {
+                buf.push(TAG_TELEMETRY);
+                buf.extend_from_slice(&worker.to_le_bytes());
+                buf.extend_from_slice(&(lines.len() as u32).to_le_bytes());
+                for line in lines {
+                    put_string(&mut buf, line);
+                }
+            }
         }
         buf
     }
@@ -328,6 +354,7 @@ impl Frame {
                 lo: r.u32()?,
                 count: r.u32()?,
                 n: r.u32()?,
+                trace: r.string()?,
             },
             TAG_PEER_ADDR => Frame::PeerAddr {
                 worker: r.u32()?,
@@ -375,6 +402,18 @@ impl Frame {
                 epoch: r.u64()?,
                 live: r.u32()?,
             },
+            TAG_TELEMETRY => {
+                let worker = r.u32()?;
+                let n = r.u32()? as usize;
+                if n > MAX_FRAME_BYTES / 4 {
+                    return Err(FrameError::Oversized(n as u64));
+                }
+                let mut lines = Vec::with_capacity(n.min(r.remaining() / 4));
+                for _ in 0..n {
+                    lines.push(r.string()?);
+                }
+                Frame::Telemetry { worker, lines }
+            }
             t => return Err(FrameError::BadTag(t)),
         };
         if r.remaining() > 0 {
@@ -541,6 +580,7 @@ mod tests {
                 lo: 8,
                 count: 4,
                 n: 16,
+                trace: "full".to_string(),
             },
             Frame::PeerAddr {
                 worker: 1,
@@ -564,6 +604,13 @@ mod tests {
                 loads: vec![(1, 0, 9)],
             },
             Frame::Release { epoch: 11, live: 0 },
+            Frame::Telemetry {
+                worker: 1,
+                lines: vec![
+                    "{\"event\":\"counter\",\"name\":\"c\",\"delta\":1}".to_string(),
+                    String::new(),
+                ],
+            },
         ];
         for f in frames {
             assert_eq!(Frame::decode(&f.encode()), Ok(f.clone()), "{f:?}");

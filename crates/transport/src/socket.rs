@@ -88,6 +88,11 @@ impl SocketTransport {
             .expect("non-blocking accept loop");
         let bin = node_binary();
 
+        // Workers inherit the orchestrator's trace level through argv (the
+        // spawn-time analogue of the TCP backend's `Frame::Assign` field),
+        // so a traced run captures worker-side events without relying on
+        // the child re-reading `CC_TRACE` from the environment.
+        let trace = cc_telemetry::global().level().name();
         let mut children = Vec::with_capacity(w);
         for worker in 0..w {
             let (lo, hi) = shard(n, w, worker);
@@ -98,6 +103,7 @@ impl SocketTransport {
                     lo.to_string(),
                     (hi - lo).to_string(),
                     n.to_string(),
+                    trace.to_string(),
                 ])
                 .spawn()
                 .unwrap_or_else(|e| panic!("spawn {}: {e}", bin.display()));
@@ -236,7 +242,8 @@ impl Transport for SocketTransport {
         // round-commit token for this epoch.
         let mut inboxes = vec![Delivered::empty(n); n];
         let mut all_loads = Vec::new();
-        for wk in &mut self.workers {
+        let barrier_start = Instant::now();
+        for (idx, wk) in self.workers.iter_mut().enumerate() {
             loop {
                 match read_frame(&mut wk.reader).expect("read worker round") {
                     Frame::Payload {
@@ -258,6 +265,9 @@ impl Transport for SocketTransport {
                             lane.extend(words);
                         }
                     }
+                    Frame::Telemetry { worker, lines } => {
+                        cc_telemetry::global().merge_worker(worker, &lines);
+                    }
                     Frame::Commit { epoch: e, loads } => {
                         assert_eq!(e, epoch, "round-commit token for a different epoch");
                         all_loads.extend(
@@ -265,6 +275,14 @@ impl Transport for SocketTransport {
                                 .into_iter()
                                 .map(|(s, d, w)| (s as usize, d as usize, w as usize)),
                         );
+                        cc_telemetry::global().emit(cc_telemetry::TraceLevel::Rounds, || {
+                            cc_telemetry::Event::BarrierLane {
+                                backend: "socket",
+                                epoch,
+                                worker: idx as u32,
+                                wall_ns: barrier_start.elapsed().as_nanos() as u64,
+                            }
+                        });
                         break;
                     }
                     other => panic!("unexpected frame from worker: {other:?}"),
@@ -303,6 +321,16 @@ impl Drop for SocketTransport {
         for wk in &mut self.workers {
             let _ = write_frame(&mut wk.writer, &Frame::Shutdown);
             let _ = wk.writer.flush();
+        }
+        // Workers flush any buffered telemetry as their last frames before
+        // exiting; drain each stream to EOF so those snapshots land in the
+        // merged capture.
+        for wk in &mut self.workers {
+            while let Ok(frame) = read_frame(&mut wk.reader) {
+                if let Frame::Telemetry { worker, lines } = frame {
+                    cc_telemetry::global().merge_worker(worker, &lines);
+                }
+            }
         }
         for wk in &mut self.workers {
             let _ = wk.child.wait();
@@ -399,14 +427,19 @@ fn accept_one(
 /// and commit the epoch — until told to shut down.
 ///
 /// `lo` is the first owned destination, `count` the shard width, `n` the
-/// clique size.
+/// clique size. `trace` is the orchestrator-forwarded `CC_TRACE` level
+/// name; when it enables capture, the worker buffers its event stream in a
+/// [`cc_telemetry::WireSink`] and ships snapshots back ahead of each
+/// round-commit token ([`Frame::Telemetry`]).
 pub fn worker_main(
     socket: &std::path::Path,
     worker: u32,
     lo: usize,
     count: usize,
     n: usize,
+    trace: &str,
 ) -> io::Result<()> {
+    let wire = crate::tcp::install_wire_sink(trace);
     let stream = UnixStream::connect(socket)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -452,7 +485,18 @@ pub fn worker_main(
                     check(e == epoch, "round delimiter epoch mismatch")?;
                     break;
                 }
-                Frame::Shutdown => return Ok(()),
+                Frame::Shutdown => {
+                    // Final telemetry flush: whatever the sink buffered
+                    // since the last commit travels as the worker's last
+                    // frames before exit.
+                    let mut batch = Vec::new();
+                    crate::tcp::push_telemetry(&mut batch, worker, wire.as_deref());
+                    if !batch.is_empty() {
+                        writer.write_all(&batch)?;
+                        writer.flush()?;
+                    }
+                    return Ok(());
+                }
                 other => return Err(protocol_error(&format!("unexpected frame {other:?}"))),
             }
         }
@@ -462,6 +506,7 @@ pub fn worker_main(
         // length-prefixed batch — one write per (worker, round).
         let mut loads: Vec<(u32, u32, u64)> = Vec::new();
         let mut batch = Vec::new();
+        let mut echoed = 0usize;
         for d in 0..count {
             let dst = lo + d;
             for src in 0..n {
@@ -479,13 +524,25 @@ pub fn worker_main(
                         words: row,
                     };
                     push_frame(&mut batch, &frame);
+                    echoed += 1;
                 }
                 if charged > 0 {
                     loads.push((src as u32, dst as u32, charged as u64));
                 }
             }
         }
-        push_frame(&mut batch, &Frame::Commit { epoch, loads });
+        let commit_body = Frame::Commit { epoch, loads }.encode();
+        cc_telemetry::global().emit(cc_telemetry::TraceLevel::Full, || {
+            cc_telemetry::Event::FrameBatch {
+                backend: "socket",
+                frames: echoed + 1,
+                bytes: batch.len() + commit_body.len() + 4,
+            }
+        });
+        // Buffered telemetry rides just ahead of the commit token, so the
+        // orchestrator's barrier loop merges it before the round closes.
+        crate::tcp::push_telemetry(&mut batch, worker, wire.as_deref());
+        push_frame_bytes(&mut batch, &commit_body);
         writer.write_all(&batch)?;
         writer.flush()?;
         epoch += 1;

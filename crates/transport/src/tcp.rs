@@ -227,7 +227,11 @@ impl TcpTransport {
             .unzip();
 
         // Distribute the shard assignment and the routing table; the peer
-        // mesh itself is dialled lazily on the first resident session.
+        // mesh itself is dialled lazily on the first resident session. The
+        // assignment carries the orchestrator's trace level so workers
+        // inherit it over the handshake instead of from a (possibly
+        // absent) shared environment.
+        let trace = cc_telemetry::global().level().name().to_string();
         for (idx, wk) in workers.iter_mut().enumerate() {
             let mut batch = Vec::new();
             push_frame(
@@ -237,6 +241,7 @@ impl TcpTransport {
                     lo: wk.lo as u32,
                     count: (wk.hi - wk.lo) as u32,
                     n: n as u32,
+                    trace: trace.clone(),
                 },
             );
             push_frame(
@@ -352,7 +357,8 @@ impl Transport for TcpTransport {
 
         let mut inboxes = vec![Delivered::empty(n); n];
         let mut all_loads = Vec::new();
-        for wk in &mut self.workers {
+        let barrier_start = Instant::now();
+        for (idx, wk) in self.workers.iter_mut().enumerate() {
             loop {
                 match wk.read_barrier_frame("the star round's echoes and commit token") {
                     Frame::Payload {
@@ -374,6 +380,9 @@ impl Transport for TcpTransport {
                             lane.extend(words);
                         }
                     }
+                    Frame::Telemetry { worker, lines } => {
+                        cc_telemetry::global().merge_worker(worker, &lines);
+                    }
                     Frame::Commit { epoch: e, loads } => {
                         assert_eq!(e, epoch, "round-commit token for a different epoch");
                         all_loads.extend(
@@ -381,6 +390,14 @@ impl Transport for TcpTransport {
                                 .into_iter()
                                 .map(|(s, d, w)| (s as usize, d as usize, w as usize)),
                         );
+                        cc_telemetry::global().emit(cc_telemetry::TraceLevel::Rounds, || {
+                            cc_telemetry::Event::BarrierLane {
+                                backend: "tcp",
+                                epoch,
+                                worker: idx as u32,
+                                wall_ns: barrier_start.elapsed().as_nanos() as u64,
+                            }
+                        });
                         break;
                     }
                     other => panic!("unexpected frame from worker: {other:?}"),
@@ -457,24 +474,39 @@ impl Transport for TcpTransport {
             let mut all_loads = Vec::new();
             let mut live_total = 0u64;
             let mut round_peer_bytes = 0u64;
-            for wk in &mut self.workers {
-                match wk.read_barrier_frame("a resident round-commit token") {
-                    Frame::ResidentDone {
-                        epoch: e,
-                        live,
-                        peer_bytes,
-                        loads,
-                    } => {
-                        assert_eq!(e, epoch, "resident commit for a different epoch");
-                        live_total += live as u64;
-                        round_peer_bytes += peer_bytes;
-                        all_loads.extend(
-                            loads
-                                .into_iter()
-                                .map(|(s, d, w)| (s as usize, d as usize, w as usize)),
-                        );
+            let barrier_start = Instant::now();
+            for (idx, wk) in self.workers.iter_mut().enumerate() {
+                loop {
+                    match wk.read_barrier_frame("a resident round-commit token") {
+                        Frame::Telemetry { worker, lines } => {
+                            cc_telemetry::global().merge_worker(worker, &lines);
+                        }
+                        Frame::ResidentDone {
+                            epoch: e,
+                            live,
+                            peer_bytes,
+                            loads,
+                        } => {
+                            assert_eq!(e, epoch, "resident commit for a different epoch");
+                            live_total += live as u64;
+                            round_peer_bytes += peer_bytes;
+                            all_loads.extend(
+                                loads
+                                    .into_iter()
+                                    .map(|(s, d, w)| (s as usize, d as usize, w as usize)),
+                            );
+                            cc_telemetry::global().emit(cc_telemetry::TraceLevel::Rounds, || {
+                                cc_telemetry::Event::BarrierLane {
+                                    backend: "tcp",
+                                    epoch,
+                                    worker: idx as u32,
+                                    wall_ns: barrier_start.elapsed().as_nanos() as u64,
+                                }
+                            });
+                            break;
+                        }
+                        other => panic!("unexpected frame from resident worker: {other:?}"),
                     }
-                    other => panic!("unexpected frame from resident worker: {other:?}"),
                 }
             }
             let loads = merge_loads(all_loads);
@@ -522,6 +554,9 @@ impl Transport for TcpTransport {
                         finals[node] = state;
                         got += 1;
                     }
+                    Frame::Telemetry { worker, lines } => {
+                        cc_telemetry::global().merge_worker(worker, &lines);
+                    }
                     Frame::RoundEnd { epoch: e } => {
                         assert_eq!(e, epoch, "finals delimiter epoch mismatch");
                         break;
@@ -549,6 +584,17 @@ impl Drop for TcpTransport {
         for wk in &mut self.workers {
             let _ = write_frame(&mut wk.writer, &Frame::Shutdown);
             let _ = wk.writer.flush();
+        }
+        // Drain each stream to EOF before reaping: workers flush their
+        // final telemetry snapshot on Shutdown, after all barrier traffic.
+        // Anything unparseable (or a stream already dead) just ends the
+        // drain — teardown must never fail on observer data.
+        for wk in &mut self.workers {
+            while let Ok(frame) = read_frame(&mut wk.reader) {
+                if let Frame::Telemetry { worker, lines } = frame {
+                    cc_telemetry::global().merge_worker(worker, &lines);
+                }
+            }
         }
         for wk in &mut self.workers {
             if let Some(child) = &mut wk.child {
@@ -747,15 +793,16 @@ pub fn tcp_worker_main(addr: &str, worker: u32, registry: ResidentRegistry) -> i
     )?;
     writer.flush()?;
 
-    let (lo, count, n) = match read_frame(&mut reader)? {
+    let (lo, count, n, trace) = match read_frame(&mut reader)? {
         Frame::Assign {
             worker: w,
             lo,
             count,
             n,
+            trace,
         } => {
             check(w == worker, "assignment for a different worker")?;
-            (lo as usize, count as usize, n as usize)
+            (lo as usize, count as usize, n as usize, trace)
         }
         other => return Err(protocol_error(&format!("expected Assign, got {other:?}"))),
     };
@@ -763,12 +810,16 @@ pub fn tcp_worker_main(addr: &str, worker: u32, registry: ResidentRegistry) -> i
         Frame::Peers { addrs } => addrs,
         other => return Err(protocol_error(&format!("expected Peers, got {other:?}"))),
     };
+    let wire = install_wire_sink(&trace);
 
     let mut mesh: Option<Mesh> = None;
     let mut epoch = 0u64;
     loop {
         match read_frame(&mut reader)? {
-            Frame::Shutdown => return Ok(()),
+            Frame::Shutdown => {
+                flush_telemetry(&mut writer, worker, wire.as_deref())?;
+                return Ok(());
+            }
             Frame::ResidentStart { epoch: e, kind } => {
                 check(e == epoch, "resident session from a different epoch")?;
                 let mesh = match &mut mesh {
@@ -785,19 +836,93 @@ pub fn tcp_worker_main(addr: &str, worker: u32, registry: ResidentRegistry) -> i
                     lo,
                     count,
                     n,
+                    worker,
+                    wire.as_deref(),
                 )?;
             }
             first => {
-                epoch = star_round(&mut reader, &mut writer, first, epoch, lo, count, n)?;
+                epoch = star_round(
+                    &mut reader,
+                    &mut writer,
+                    first,
+                    epoch,
+                    lo,
+                    count,
+                    n,
+                    worker,
+                    wire.as_deref(),
+                )?;
             }
         }
     }
+}
+
+/// Installs the worker's telemetry from the orchestrator-forwarded trace
+/// level name: a buffering [`cc_telemetry::WireSink`] when tracing is on
+/// (events ship back piggybacked on commits), an explicit Off handle when
+/// it isn't — the forwarded spec wins over whatever `CC_TRACE` the worker
+/// process inherited, so multi-host workers behave like the orchestrator.
+/// First-install-wins still applies: if the worker process already
+/// initialised telemetry (in-process tests), the existing handle stays and
+/// no events ship.
+pub(crate) fn install_wire_sink(trace: &str) -> Option<Arc<cc_telemetry::WireSink>> {
+    let level = cc_telemetry::TraceSpec::parse(trace)
+        .map(|spec| spec.level)
+        .unwrap_or_default();
+    if level == cc_telemetry::TraceLevel::Off {
+        let _ = cc_telemetry::install(cc_telemetry::Telemetry::off());
+        return None;
+    }
+    let wire = Arc::new(cc_telemetry::WireSink::new());
+    match cc_telemetry::install(cc_telemetry::Telemetry::with_sink(level, wire.clone())) {
+        Ok(()) => Some(wire),
+        Err(_) => None, // someone beat us to it; don't ship a dead buffer
+    }
+}
+
+/// Appends one `Frame::Telemetry` carrying the wire sink's drained lines
+/// to `batch`, if there is anything to ship. Returns without touching the
+/// batch when tracing is off or nothing was captured, so an untraced run
+/// puts zero extra bytes on the wire.
+pub(crate) fn push_telemetry(
+    batch: &mut Vec<u8>,
+    worker: u32,
+    wire: Option<&cc_telemetry::WireSink>,
+) {
+    let Some(wire) = wire else { return };
+    if wire.is_empty() {
+        return;
+    }
+    push_frame(
+        batch,
+        &Frame::Telemetry {
+            worker,
+            lines: wire.drain(),
+        },
+    );
+}
+
+/// Writes the final telemetry flush directly to the orchestrator stream
+/// (the Shutdown path, where no batch is being assembled).
+fn flush_telemetry(
+    writer: &mut BufWriter<TcpStream>,
+    worker: u32,
+    wire: Option<&cc_telemetry::WireSink>,
+) -> io::Result<()> {
+    let mut batch = Vec::new();
+    push_telemetry(&mut batch, worker, wire);
+    if batch.is_empty() {
+        return Ok(());
+    }
+    writer.write_all(&batch)?;
+    writer.flush()
 }
 
 /// One classical star round, primed with the already-read `first` frame:
 /// buffer the epoch's frames, assemble the owned shard's inbox rows and
 /// accounting, echo the rows, commit the epoch. Identical semantics to the
 /// unix-socket worker loop.
+#[allow(clippy::too_many_arguments)]
 fn star_round(
     reader: &mut BufReader<TcpStream>,
     writer: &mut BufWriter<TcpStream>,
@@ -806,6 +931,8 @@ fn star_round(
     lo: usize,
     count: usize,
     n: usize,
+    worker: u32,
+    wire: Option<&cc_telemetry::WireSink>,
 ) -> io::Result<u64> {
     // rows[(dst - lo) * n + src]: assembled unicast lanes for the shard.
     let mut rows: Vec<Vec<Word>> = vec![Vec::new(); count * n];
@@ -852,6 +979,7 @@ fn star_round(
 
     let mut loads: Vec<(u32, u32, u64)> = Vec::new();
     let mut batch = Vec::new();
+    let mut echoed = 0usize;
     for d in 0..count {
         let dst = lo + d;
         for src in 0..n {
@@ -869,13 +997,27 @@ fn star_round(
                     words: row,
                 };
                 push_frame(&mut batch, &frame);
+                echoed += 1;
             }
             if charged > 0 {
                 loads.push((src as u32, dst as u32, charged as u64));
             }
         }
     }
-    push_frame(&mut batch, &Frame::Commit { epoch, loads });
+    // Account the echo batch in the worker's own event stream, then ship
+    // telemetry *before* the commit token: the orchestrator's barrier
+    // loop merges telemetry frames and breaks on the commit, so the
+    // snapshot rides the same rendezvous with no extra read.
+    let commit_body = Frame::Commit { epoch, loads }.encode();
+    cc_telemetry::global().emit(cc_telemetry::TraceLevel::Full, || {
+        cc_telemetry::Event::FrameBatch {
+            backend: "tcp",
+            frames: echoed + 1,
+            bytes: batch.len() + commit_body.len() + 4,
+        }
+    });
+    push_telemetry(&mut batch, worker, wire);
+    push_frame_bytes(&mut batch, &commit_body);
     writer.write_all(&batch)?;
     writer.flush()?;
     Ok(epoch + 1)
@@ -899,6 +1041,8 @@ fn resident_session(
     lo: usize,
     count: usize,
     n: usize,
+    worker: u32,
+    wire: Option<&cc_telemetry::WireSink>,
 ) -> io::Result<u64> {
     // Receive the shard: one encoded program per owned node.
     let mut programs: Vec<Option<Box<dyn ResidentNode>>> = (0..count).map(|_| None).collect();
@@ -963,6 +1107,7 @@ fn resident_session(
         let mut bcast_words = vec![0usize; n];
         let mut bcast_slabs: Vec<Vec<Arc<[Word]>>> = vec![Vec::new(); n];
         let mut batches: Vec<Vec<u8>> = vec![Vec::new(); mesh.writers.len()];
+        let mut batch_frames = vec![0usize; mesh.writers.len()];
         for (i, outbox) in outboxes.into_iter().enumerate() {
             let src = lo + i;
             let (unicast, broadcast) = outbox.into_parts();
@@ -984,6 +1129,7 @@ fn resident_session(
                             words,
                         },
                     );
+                    batch_frames[mesh.owner[dst]] += 1;
                 }
             }
             for slab in broadcast {
@@ -996,6 +1142,7 @@ fn resident_session(
                 .encode();
                 for j in mesh.peer_indices() {
                     push_frame_bytes(&mut batches[j], &bytes);
+                    batch_frames[j] += 1;
                 }
                 bcast_slabs[src].push(slab);
             }
@@ -1003,6 +1150,7 @@ fn resident_session(
         let mut peer_bytes = 0u64;
         for j in mesh.peer_indices() {
             push_frame(&mut batches[j], &Frame::RoundEnd { epoch });
+            batch_frames[j] += 1;
             peer_bytes += batches[j].len() as u64;
         }
         for (j, batch) in batches.iter().enumerate() {
@@ -1012,6 +1160,13 @@ fn resident_session(
             let w = mesh.writers[j].as_mut().expect("mesh link");
             w.write_all(batch)?;
             w.flush()?;
+            cc_telemetry::global().emit(cc_telemetry::TraceLevel::Full, || {
+                cc_telemetry::Event::FrameBatch {
+                    backend: "tcp",
+                    frames: batch_frames[j],
+                    bytes: batch.len(),
+                }
+            });
         }
 
         // Drain peers until every link has delimited the round. The
@@ -1092,16 +1247,31 @@ fn resident_session(
             inboxes[d] = NodeInbox::from_parts(unicast, bcast_slabs.clone());
         }
 
-        // Commit the round and wait for the clique-wide barrier release.
-        write_frame(
-            writer,
+        // The worker's own view of the round: its shard's live count and
+        // the bytes it pushed into the mesh.
+        cc_telemetry::global().emit(cc_telemetry::TraceLevel::Rounds, || {
+            cc_telemetry::Event::ResidentRound {
+                backend: "tcp",
+                epoch,
+                live: live_local as u64,
+                peer_bytes,
+                orchestrator_bytes: 0,
+            }
+        });
+        // Commit the round and wait for the clique-wide barrier release;
+        // buffered telemetry rides just ahead of the commit token.
+        let mut commit = Vec::new();
+        push_telemetry(&mut commit, worker, wire);
+        push_frame(
+            &mut commit,
             &Frame::ResidentDone {
                 epoch,
                 live: live_local as u32,
                 peer_bytes,
                 loads,
             },
-        )?;
+        );
+        writer.write_all(&commit)?;
         writer.flush()?;
         let live_total = match read_frame(reader)? {
             Frame::Release { epoch: e, live } => {
@@ -1116,7 +1286,8 @@ fn resident_session(
         }
     }
 
-    // Teardown: return the shard's final states.
+    // Teardown: return the shard's final states, with any telemetry
+    // captured since the last commit riding ahead of the delimiter.
     let mut batch = Vec::new();
     for (i, program) in programs.iter().enumerate() {
         push_frame(
@@ -1127,6 +1298,7 @@ fn resident_session(
             },
         );
     }
+    push_telemetry(&mut batch, worker, wire);
     push_frame(&mut batch, &Frame::RoundEnd { epoch });
     writer.write_all(&batch)?;
     writer.flush()?;

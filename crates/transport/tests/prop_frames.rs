@@ -55,12 +55,24 @@ fn frame() -> BoxedStrategy<Frame> {
         .prop_map(|(epoch, loads)| Frame::Commit { epoch, loads })
         .boxed();
     // Setup / resident-session frames of the TCP backend.
-    let assign = (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
-        .prop_map(|(worker, lo, count, n)| Frame::Assign {
+    let assign = (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u8>(),
+    )
+        .prop_map(|(worker, lo, count, n, t)| Frame::Assign {
             worker,
             lo,
             count,
             n,
+            trace: match t % 4 {
+                0 => "off".to_string(),
+                1 => "summary".to_string(),
+                2 => "rounds".to_string(),
+                _ => "full".to_string(),
+            },
         })
         .boxed();
     let peer_addr = (any::<u32>(), addr())
@@ -98,6 +110,24 @@ fn frame() -> BoxedStrategy<Frame> {
     let release = (any::<u64>(), any::<u32>())
         .prop_map(|(epoch, live)| Frame::Release { epoch, live })
         .boxed();
+    // Worker telemetry snapshots: event-json lines plus adversarial
+    // strings (empty, unicode, embedded quotes) — the codec ships them
+    // opaquely, so any byte sequence must survive.
+    let telemetry_line = prop_oneof![
+        Just(String::new()),
+        Just(r#"{"event":"counter","name":"x","value":1}"#.to_string()),
+        vec(any::<u32>(), 0..24)
+            .prop_map(|cs| {
+                cs.into_iter()
+                    .map(|c| char::from_u32(c % 0x11_0000).unwrap_or('\u{fffd}'))
+                    .collect::<String>()
+            })
+            .boxed(),
+    ]
+    .boxed();
+    let telemetry = (any::<u32>(), vec(telemetry_line, 0..6))
+        .prop_map(|(worker, lines)| Frame::Telemetry { worker, lines })
+        .boxed();
     prop_oneof![
         any::<u32>()
             .prop_map(|worker| Frame::Hello { worker })
@@ -116,6 +146,7 @@ fn frame() -> BoxedStrategy<Frame> {
         resident_start,
         resident_done,
         release,
+        telemetry,
     ]
     .boxed()
 }

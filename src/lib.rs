@@ -409,13 +409,56 @@
 //! by per-phase and per-backend totals — the `trace_run` example prints
 //! one for a traced triangle count.
 //!
-//! Instrumentation is **observer-only**: `CC_TRACE=full` leaves results,
-//! rounds, words, and fingerprints bit-identical to `CC_TRACE=off` (pinned
-//! in `tests/runtime_determinism.rs`), and at the default `off` every emit
-//! site is a single branch on an already-resolved handle. The
-//! `cc-report` binary (`cargo run --release -p cc-bench --bin cc-report`)
-//! collates the `BENCH_*.json` suite plus a live capture per transport
-//! backend into a schema-versioned `BENCH_telemetry.json`.
+//! ### Distributed capture
+//!
+//! On the multi-process backends the interesting work happens in worker
+//! processes, so the capture is distributed. The orchestrator forwards its
+//! resolved trace level in the setup handshake — an extra `cc-clique-node`
+//! argv for the unix-socket backend, the `trace` field of
+//! [`Frame::Assign`](transport::Frame::Assign) for TCP — so multi-host
+//! workers inherit the level without relying on their own `CC_TRACE`
+//! environment. Each traced worker installs a buffering
+//! [`WireSink`](telemetry::WireSink) at startup and captures the event
+//! stream it would locally: frame batches, resident rounds, kernel
+//! decisions, config warnings. Snapshots travel back as
+//! [`Frame::Telemetry`](transport::Frame::Telemetry) — serialized
+//! event-JSON lines riding the existing streams just ahead of each
+//! round-commit token (and once more at shutdown), so there are no extra
+//! sockets and the barrier protocol is unchanged. The orchestrator merges
+//! every snapshot into its [`MemorySink`](telemetry::MemorySink) wrapped in
+//! [`Event::Worker`](telemetry::Event::Worker) for per-process
+//! attribution: worker events land in per-worker aggregates only, never in
+//! the global transport totals (which would double-count the fabric).
+//!
+//! The merged stream supports **per-round critical-path attribution**: the
+//! orchestrator stamps a [`BarrierLane`](telemetry::Event::BarrierLane)
+//! per (backend, epoch, worker) as commit tokens arrive, and
+//! [`MemorySnapshot::critical_path`](telemetry::MemorySnapshot::critical_path)
+//! reduces the lanes to, per epoch, which worker closed the barrier last,
+//! its wall-clock against the round median (straggler skew), and
+//! [`worker_busy_idle`](telemetry::MemorySnapshot::worker_busy_idle)
+//! accumulates each worker's busy/idle split. Reading the
+//! [`RoundTimeline`](telemetry::RoundTimeline) output: indented `w<id> …`
+//! lines are worker-lane events nested under the orchestrator's rounds;
+//! the `critical path` footer prints one line per epoch
+//! (`socket epoch 3: closer=w1 max=0.8ms median=0.5ms skew=1.60
+//! lanes[w0=0.5ms w1=0.8ms*]` — the starred lane closed the barrier);
+//! the `workers` footer totals each process's events and busy/idle;
+//! deduplicated config warnings list once with a `[xN processes]` count.
+//!
+//! Instrumentation is **observer-only**: `CC_TRACE=full` — including the
+//! distributed capture and snapshot shipping above — leaves results,
+//! rounds, words, and fingerprints bit-identical to `CC_TRACE=off` on all
+//! six transport entries (pinned by the subprocess probe in
+//! `tests/runtime_determinism.rs`), and at the default `off` every emit
+//! site is a single branch on an already-resolved handle; untraced workers
+//! ship zero extra bytes. The `cc-report` binary (`cargo run --release -p
+//! cc-bench --bin cc-report`) collates the `BENCH_*.json` suite plus a
+//! live capture per transport backend into a schema-versioned
+//! `BENCH_telemetry.json` (v2: per-worker columns and the per-epoch
+//! critical-path table join the v1 fields); `cc-report --replay
+//! <capture.jsonl>` re-renders an existing JSONL capture as a
+//! `RoundTimeline` offline.
 
 pub use cc_algebra as algebra;
 pub use cc_apsp as apsp;

@@ -890,6 +890,29 @@ fn trace_probe_worker() {
             );
         }
     }
+    // Guard against a vacuous comparison: under CC_TRACE=full the sweep
+    // above ran multi-process backends, so the distributed capture must
+    // have merged worker-attributed events — the bit-identity the driver
+    // asserts is then proved *with* worker capture and snapshot shipping
+    // active, not with telemetry accidentally off. (Asserted here, never
+    // printed: PROBE lines must stay identical between off and full.)
+    if std::env::var("CC_TRACE").as_deref() == Ok("full") {
+        let snap = congested_clique::telemetry::global()
+            .memory()
+            .expect("CC_TRACE=full without a path aggregates in memory")
+            .snapshot();
+        assert!(
+            !snap.workers.is_empty() && snap.workers.values().all(|w| w.events > 0),
+            "distributed capture engaged during the probe: {:?}",
+            snap.workers.keys()
+        );
+        assert!(
+            snap.critical_path()
+                .iter()
+                .any(|p| p.backend == "socket" || p.backend == "tcp"),
+            "barrier lanes captured during the probe"
+        );
+    }
 }
 
 /// The tentpole's observer-only contract, pinned end to end: running the

@@ -181,6 +181,97 @@ fn service_drain_publishes_cache_and_pool_gauges() {
 }
 
 #[test]
+fn clique_reset_emits_a_reset_marker() {
+    let mem = sink();
+    let n = 8;
+    let g = generators::gnp(n, 0.5, 21);
+    let mut clique = Clique::with_config(n, cfg(TransportKind::InMemory));
+    let t = clique.phase("capture.reset-run", |c| count_triangles(c, &g));
+    assert_eq!(t, oracle::count_triangles(&g));
+    let discarded = clique.rounds();
+    assert!(discarded > 0, "the run accrued rounds to discard");
+
+    let before = mem.counter("clique_resets");
+    clique.reset();
+    assert_eq!(clique.rounds(), 0, "reset zeroes the accounting");
+    assert_eq!(
+        mem.counter("clique_resets"),
+        before + 1,
+        "reset marker counted"
+    );
+    // The raw marker carries the discarded totals (the ring holds the most
+    // recent RECENT_CAP events, far more than this test emits after reset).
+    let snap = mem.snapshot();
+    assert!(
+        snap.recent.iter().any(|e| matches!(
+            e,
+            telemetry::Event::Reset { rounds, words, .. }
+                if *rounds == discarded && *words > 0
+        )),
+        "Reset event with the discarded totals in the ring"
+    );
+}
+
+#[test]
+fn tcp_peer_resident_capture_attributes_worker_events() {
+    let mem = sink();
+    let n = 12;
+    let g = generators::gnp(n, 0.45, 13);
+    let expected = oracle::count_triangles(&g);
+    let workers = 2;
+
+    let mut clique = Clique::with_config(
+        n,
+        cfg(TransportKind::Tcp {
+            workers,
+            resident: true,
+            addr: None,
+        }),
+    );
+    let t = count_triangles_program(&mut clique, &g);
+    assert_eq!(t, expected, "resident answer intact under tracing");
+    // The final telemetry snapshots ride the shutdown drain; drop the
+    // clique so the orchestrator merges them before we look.
+    drop(clique);
+
+    let snap = mem.snapshot();
+    // The distributed capture attributed events to every worker process:
+    // each one stepped resident rounds and shipped mesh frame batches.
+    for id in 0..workers as u32 {
+        let agg = snap.workers.get(&id).unwrap_or_else(|| {
+            panic!(
+                "worker {id} attributed in the merge: {:?}",
+                snap.workers.keys()
+            )
+        });
+        assert!(
+            agg.resident_rounds > 0,
+            "worker {id}: resident rounds captured worker-side"
+        );
+        assert!(
+            agg.frame_batches > 0 && agg.frame_bytes > 0,
+            "worker {id}: peer-mesh frame batches captured worker-side"
+        );
+        assert!(agg.events > 0 && agg.peer_bytes > 0);
+    }
+    // Worker-attributed events never leak into the orchestrator's global
+    // transport aggregates (they would double-count the fabric).
+    assert_eq!(
+        snap.transports
+            .get("inmemory")
+            .map_or(0, |t| t.frame_batches),
+        0
+    );
+    // The orchestrator measured its barrier lanes, so the critical path
+    // over the resident epochs is derivable.
+    assert!(
+        snap.critical_path().iter().any(|p| p.backend == "tcp"),
+        "tcp barrier lanes captured: {:?}",
+        snap.lanes.keys()
+    );
+}
+
+#[test]
 fn malformed_env_warnings_flow_into_the_capture() {
     let mem = sink();
     let before = mem.counter("config_warnings");
